@@ -1,0 +1,189 @@
+package nacho
+
+// The benchmark harness of deliverable (d): one testing.B benchmark per
+// table and figure of the paper's evaluation (Section 6.2). Each regenerates
+// its experiment and reports the headline aggregate as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full evaluation. cmd/nachobench prints the complete rows.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"nacho/internal/harness"
+)
+
+// reportMeans parses ratio columns of a report and publishes their means.
+func reportMeans(b *testing.B, rep *harness.Report, cols map[string]int) {
+	b.Helper()
+	for name, col := range cols {
+		var sum float64
+		var n int
+		for _, row := range rep.Rows {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(row[col], "%"), 64)
+			if err != nil {
+				continue // non-numeric cell (absolute-count fallback)
+			}
+			sum += v
+			n++
+		}
+		if n > 0 {
+			b.ReportMetric(sum/float64(n), name)
+		}
+	}
+}
+
+// BenchmarkFig5ExecutionTime regenerates Figure 5 and reports the mean
+// execution time of each system normalized to the fully volatile baseline.
+func BenchmarkFig5ExecutionTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := harness.Fig5(harness.AllBenchmarks())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMeans(b, rep, map[string]int{
+			"clank-norm":  2,
+			"prowl-norm":  3,
+			"replay-norm": 4,
+			"nacho-norm":  5,
+			"oracle-norm": 6,
+		})
+	}
+}
+
+// BenchmarkFig6Checkpoints regenerates Figure 6 and reports mean checkpoint
+// counts normalized to Clank.
+func BenchmarkFig6Checkpoints(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := harness.Fig6(harness.Fig6Benchmarks())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMeans(b, rep, map[string]int{"prowl/clank": 3, "nacho/clank": 4})
+	}
+}
+
+// BenchmarkFig7NVMTransfers regenerates Figure 7 and reports mean NVM byte
+// traffic normalized to Clank (the paper's 82% average reduction claim
+// corresponds to nacho/clank ~= 0.18).
+func BenchmarkFig7NVMTransfers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := harness.Fig7(harness.Fig6Benchmarks())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMeans(b, rep, map[string]int{
+			"prowl/clank": 2, "replay/clank": 3, "nacho/clank": 4,
+		})
+	}
+}
+
+// BenchmarkTable2ReexecutionOverhead regenerates Table 2 and reports the
+// mean re-execution overhead (%) at the shortest and longest on-durations.
+func BenchmarkTable2ReexecutionOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := harness.Table2(harness.Table2Benchmarks())
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean := func(row []string) float64 {
+			var sum float64
+			for _, cell := range row[1:] {
+				v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+				if err == nil {
+					sum += v
+				}
+			}
+			return sum / float64(len(row)-1)
+		}
+		b.ReportMetric(mean(rep.Rows[0]), "overhead-5ms-%")
+		b.ReportMetric(mean(rep.Rows[len(rep.Rows)-1]), "overhead-100ms-%")
+	}
+}
+
+// BenchmarkTable3Ablation regenerates Table 3 and reports the mean overhead
+// reduction of each NACHO component versus Naive NACHO.
+func BenchmarkTable3Ablation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := harness.Table3(harness.Table3Benchmarks())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var pw, st, n float64
+		var rows int
+		for _, row := range rep.Rows {
+			if row[1] != "overhead" {
+				continue
+			}
+			parse := func(s string) float64 {
+				v, _ := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+				return v
+			}
+			pw += parse(row[2])
+			st += parse(row[3])
+			n += parse(row[4])
+			rows++
+		}
+		if rows > 0 {
+			b.ReportMetric(pw/float64(rows), "pw-reduction-%")
+			b.ReportMetric(st/float64(rows), "st-reduction-%")
+			b.ReportMetric(n/float64(rows), "nacho-reduction-%")
+		}
+	}
+}
+
+// BenchmarkFig8DesignSpace regenerates Figure 8 and reports the mean
+// normalized execution time of the smallest and largest configurations.
+func BenchmarkFig8DesignSpace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := harness.Fig8(harness.AllBenchmarks())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMeans(b, rep, map[string]int{
+			"256B-2w": 1, "512B-2w": 2, "1024B-2w": 3, "512B-4w": 5,
+		})
+	}
+}
+
+// BenchmarkEmulatorThroughput measures raw interpreter speed (simulated
+// instructions per wall second) on the volatile baseline with verification
+// off — the simulator-infrastructure cost.
+func BenchmarkEmulatorThroughput(b *testing.B) {
+	var instructions uint64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(Config{Benchmark: "towers", System: Volatile, DisableVerify: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		instructions += res.Instructions
+	}
+	b.ReportMetric(float64(instructions)/b.Elapsed().Seconds()/1e6, "sim-MIPS")
+}
+
+// BenchmarkNACHOSimulation measures full NACHO simulation speed including
+// the cache controller and verification.
+func BenchmarkNACHOSimulation(b *testing.B) {
+	var instructions uint64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(Config{Benchmark: "aes"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		instructions += res.Instructions
+	}
+	b.ReportMetric(float64(instructions)/b.Elapsed().Seconds()/1e6, "sim-MIPS")
+}
+
+// BenchmarkIntermittentSimulation measures simulation speed under dense
+// power-failure injection (the Table 2 workload class).
+func BenchmarkIntermittentSimulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{Benchmark: "crc", OnDurationMs: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package cmd_test builds the command-line binaries and exercises them end
+// to end — flag parsing, file I/O and output formatting, the layers the
+// library tests cannot reach.
+package cmd_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// build compiles one command into t.TempDir and returns the binary path.
+func build(t *testing.T, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), filepath.Base(pkg))
+	cmd := exec.Command("go", "build", "-o", bin, "./"+pkg)
+	cmd.Dir = ".."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) (string, error) {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	return string(out), err
+}
+
+func TestNachosimEndToEnd(t *testing.T) {
+	bin := build(t, "cmd/nachosim")
+
+	out, err := run(t, bin, "-list")
+	if err != nil {
+		t.Fatalf("-list: %v\n%s", err, out)
+	}
+	for _, want := range []string{"aes", "towers", "nacho", "clank", "writethrough"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q", want)
+		}
+	}
+
+	out, err = run(t, bin, "-bench", "towers", "-system", "nacho")
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	for _, want := range []string{"cycles", "checkpoints", "hit rate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	out, err = run(t, bin, "-bench", "crc", "-onduration", "1")
+	if err != nil {
+		t.Fatalf("intermittent run: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "power failures") {
+		t.Errorf("intermittent output missing failures:\n%s", out)
+	}
+
+	if out, err = run(t, bin, "-bench", "bogus"); err == nil {
+		t.Errorf("unknown benchmark accepted:\n%s", out)
+	}
+
+	// User program from a file.
+	src := filepath.Join(t.TempDir(), "p.s")
+	prog := "_start:\n li a0, 7\n li t0, 0x000F0004\n sw a0, (t0)\n li t0, 0x000F0000\n sw zero, (t0)\n"
+	if err := os.WriteFile(src, []byte(prog), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = run(t, bin, "-run", src)
+	if err != nil {
+		t.Fatalf("-run: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "0x00000007") {
+		t.Errorf("-run result missing:\n%s", out)
+	}
+}
+
+func TestNachobenchEndToEnd(t *testing.T) {
+	bin := build(t, "cmd/nachobench")
+
+	out, err := run(t, bin, "-exp", "table1")
+	if err != nil {
+		t.Fatalf("table1: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "feature matrix") {
+		t.Errorf("table1 output wrong:\n%s", out)
+	}
+
+	out, err = run(t, bin, "-exp", "fig7", "-bench", "towers,aes", "-csv")
+	if err != nil {
+		t.Fatalf("fig7 csv: %v\n%s", err, out)
+	}
+	if !strings.HasPrefix(out, "benchmark,clank(bytes)") {
+		t.Errorf("csv header wrong:\n%s", out)
+	}
+
+	if out, err = run(t, bin, "-exp", "nope"); err == nil {
+		t.Errorf("unknown experiment accepted:\n%s", out)
+	}
+}
+
+func TestNachoasmEndToEnd(t *testing.T) {
+	bin := build(t, "cmd/nachoasm")
+
+	src := filepath.Join(t.TempDir(), "p.s")
+	prog := "_start:\n li a0, 42\nloop:\n j loop\n"
+	if err := os.WriteFile(src, []byte(prog), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outBin := filepath.Join(t.TempDir(), "p.bin")
+	out, err := run(t, bin, "-symbols", "-o", outBin, src)
+	if err != nil {
+		t.Fatalf("nachoasm: %v\n%s", err, out)
+	}
+	for _, want := range []string{"_start:", "loop:", "addi a0, zero, 42", "; symbols"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(outBin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 8 { // two instructions
+		t.Errorf("binary is %d bytes, want 8", len(data))
+	}
+
+	if out, err = run(t, bin, "/nonexistent.s"); err == nil {
+		t.Errorf("missing file accepted:\n%s", out)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.s")
+	os.WriteFile(bad, []byte("_start:\n bogus\n"), 0o644)
+	if out, err = run(t, bin, bad); err == nil {
+		t.Errorf("bad source accepted:\n%s", out)
+	}
+}

@@ -1,0 +1,55 @@
+// Command nachobench regenerates the paper's evaluation tables and figures
+// (Section 6.2) as text reports: Figure 5 (execution time), Figure 6
+// (checkpoints), Figure 7 (NVM transfers), Table 2 (re-execution overhead),
+// Table 3 (component ablation), Figure 8 (cache design space) and the
+// Table 1 feature matrix.
+//
+// Usage:
+//
+//	nachobench                  # regenerate everything
+//	nachobench -exp fig5        # one experiment
+//	nachobench -exp fig7 -bench aes,sha
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nacho"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", `experiment: all, or one of `+strings.Join(nacho.ExperimentNames(), ", "))
+		bench = flag.String("bench", "", "comma-separated benchmark subset (default: the experiment's paper set)")
+		csv   = flag.Bool("csv", false, "emit CSV (the original artifact's log format) instead of tables")
+	)
+	flag.Parse()
+
+	var subset []string
+	if *bench != "" {
+		subset = strings.Split(*bench, ",")
+	}
+
+	names := nacho.ExperimentNames()
+	if *exp != "all" {
+		names = []string{*exp}
+	}
+	for i, name := range names {
+		if i > 0 {
+			fmt.Println()
+		}
+		render := nacho.Experiment
+		if *csv {
+			render = nacho.ExperimentCSV
+		}
+		out, err := render(name, subset)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nachobench:", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+	}
+}

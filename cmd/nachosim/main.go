@@ -1,0 +1,123 @@
+// Command nachosim runs one benchmark under one memory system and prints
+// the paper's metrics — the reproduction's counterpart to the artifact's
+// benchmark.sh (Appendix A.5).
+//
+// Usage:
+//
+//	nachosim -bench aes -system nacho -cache 512 -ways 2
+//	nachosim -bench coremark -system clank -onduration 10
+//	nachosim -list
+//	nachosim -run program.s -system nacho
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nacho"
+)
+
+func main() {
+	var (
+		bench      = flag.String("bench", "aes", "benchmark name (see -list)")
+		system     = flag.String("system", "nacho", "memory system (see -list)")
+		cacheSize  = flag.Int("cache", 512, "data cache size in bytes")
+		ways       = flag.Int("ways", 2, "cache associativity")
+		onDuration = flag.Float64("onduration", 0, "power-failure on-duration in ms (0 = always on)")
+		random     = flag.Bool("random", false, "use seeded-random on-durations instead of periodic")
+		seed       = flag.Int64("seed", 1, "seed for -random")
+		noVerify   = flag.Bool("noverify", false, "disable shadow-memory and WAR verification")
+		trace      = flag.String("trace", "", "write a per-instruction execution trace to this file")
+		threshold  = flag.Int("dirty-threshold", 0, "adaptive checkpointing threshold (0 = off)")
+		energyPred = flag.Bool("energy-prediction", false, "single-buffered checkpoints under guaranteed energy")
+		list       = flag.Bool("list", false, "list benchmarks and systems, then exit")
+		runFile    = flag.String("run", "", "assemble and run a user RV32IM .s file instead of a benchmark")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("benchmarks:")
+		for _, b := range nacho.Benchmarks() {
+			desc, _ := nacho.BenchmarkDescription(b)
+			fmt.Printf("  %-10s %s\n", b, desc)
+		}
+		fmt.Println("systems:")
+		for _, s := range nacho.Systems() {
+			fmt.Printf("  %s\n", s)
+		}
+		return
+	}
+
+	cfg := nacho.Config{
+		Benchmark:        *bench,
+		System:           nacho.System(*system),
+		CacheSize:        *cacheSize,
+		Ways:             *ways,
+		OnDurationMs:     *onDuration,
+		RandomFailures:   *random,
+		Seed:             *seed,
+		DisableVerify:    *noVerify,
+		DirtyThreshold:   *threshold,
+		EnergyPrediction: *energyPred,
+	}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		cfg.Trace = f
+	}
+
+	var (
+		res *nacho.Result
+		err error
+	)
+	if *runFile != "" {
+		src, rerr := os.ReadFile(*runFile)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		res, err = nacho.RunSource(*runFile, string(src), cfg)
+	} else {
+		res, err = nacho.Run(cfg)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("benchmark        %s\n", *bench)
+	fmt.Printf("system           %s\n", *system)
+	fmt.Printf("result word      0x%08x\n", res.ResultWord)
+	fmt.Printf("cycles           %d (%.3f ms at 50 MHz)\n", res.Cycles, float64(res.Cycles)/50e3)
+	fmt.Printf("instructions     %d (%d loads, %d stores)\n", res.Instructions, res.Loads, res.Stores)
+	fmt.Printf("checkpoints      %d (%d lines flushed", res.Checkpoints, res.CheckpointLines)
+	if res.Checkpoints > 0 {
+		fmt.Printf(", avg %.1f lines, max %d", float64(res.CheckpointLines)/float64(res.Checkpoints), res.MaxCheckpointLines)
+	}
+	fmt.Printf(")\n")
+	if res.Instructions > 0 && res.Checkpoints > 0 {
+		fmt.Printf("ckpt frequency   %.1f per Minstr\n", 1e6*float64(res.Checkpoints)/float64(res.Instructions))
+	}
+	fmt.Printf("nvm reads        %d accesses, %d bytes\n", res.NVMReads, res.NVMReadBytes)
+	fmt.Printf("nvm writes       %d accesses, %d bytes\n", res.NVMWrites, res.NVMWriteBytes)
+	fmt.Printf("cache            %d hits, %d misses (%.1f%% hit rate)\n",
+		res.CacheHits, res.CacheMisses, 100*res.HitRate())
+	fmt.Printf("evictions        %d safe, %d unsafe, %d dropped stack lines\n",
+		res.SafeEvictions, res.UnsafeEvictions, res.DroppedStackLines)
+	if res.Regions > 0 {
+		fmt.Printf("regions          %d\n", res.Regions)
+	}
+	if res.PowerFailures > 0 {
+		fmt.Printf("power failures   %d\n", res.PowerFailures)
+	}
+	if len(res.Output) > 0 {
+		fmt.Printf("output           %q\n", res.Output)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nachosim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+package nacho
+
+import (
+	"nacho/internal/energy"
+	"nacho/internal/metrics"
+)
+
+// EnergyModel holds per-event energy coefficients in picojoules for the
+// rough energy model of paper Section 8. The zero value is replaced by
+// DefaultEnergyModel's coefficients.
+type EnergyModel struct {
+	InstructionPJ  float64 // core pipeline energy per retired instruction
+	CacheAccessPJ  float64 // one SRAM/data-cache access
+	NVMReadPJByte  float64 // per byte read from NVM
+	NVMWritePJByte float64 // per byte written to NVM
+}
+
+// DefaultEnergyModel returns the reference coefficients: an NVM write costs
+// more than an NVM read, which costs several times an SRAM access — the
+// FRAM-versus-SRAM ratio band of the paper's sources. Absolute values are
+// indicative; the model's purpose is comparing systems under identical
+// coefficients.
+func DefaultEnergyModel() EnergyModel {
+	m := energy.DefaultModel()
+	return EnergyModel{
+		InstructionPJ:  m.InstructionPJ,
+		CacheAccessPJ:  m.CacheAccessPJ,
+		NVMReadPJByte:  m.NVMReadPJByte,
+		NVMWritePJByte: m.NVMWritePJByte,
+	}
+}
+
+// EnergyBreakdown is a per-subsystem energy estimate in picojoules.
+type EnergyBreakdown struct {
+	CorePJ     float64
+	CachePJ    float64
+	NVMReadPJ  float64
+	NVMWritePJ float64
+}
+
+// TotalPJ sums the breakdown.
+func (b EnergyBreakdown) TotalPJ() float64 {
+	return b.CorePJ + b.CachePJ + b.NVMReadPJ + b.NVMWritePJ
+}
+
+// TotalUJ is the total in microjoules.
+func (b EnergyBreakdown) TotalUJ() float64 { return b.TotalPJ() / 1e6 }
+
+// EstimateEnergy folds a run's counters into the model. A zero model uses
+// DefaultEnergyModel.
+func EstimateEnergy(res *Result, m EnergyModel) EnergyBreakdown {
+	if m == (EnergyModel{}) {
+		m = DefaultEnergyModel()
+	}
+	im := energy.Model{
+		InstructionPJ:  m.InstructionPJ,
+		CacheAccessPJ:  m.CacheAccessPJ,
+		NVMReadPJByte:  m.NVMReadPJByte,
+		NVMWritePJByte: m.NVMWritePJByte,
+	}
+	b := im.Estimate(metrics.Counters{
+		Instructions:  res.Instructions,
+		CacheHits:     res.CacheHits,
+		CacheMisses:   res.CacheMisses,
+		NVMReadBytes:  res.NVMReadBytes,
+		NVMWriteBytes: res.NVMWriteBytes,
+	})
+	return EnergyBreakdown{CorePJ: b.CorePJ, CachePJ: b.CachePJ, NVMReadPJ: b.NVMReadPJ, NVMWritePJ: b.NVMWritePJ}
+}

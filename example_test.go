@@ -1,0 +1,52 @@
+package nacho_test
+
+import (
+	"fmt"
+
+	"nacho"
+)
+
+// Running a paper benchmark under NACHO and reading the paper's metrics.
+func ExampleRun() {
+	res, err := nacho.Run(nacho.Config{Benchmark: "towers"})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("exit:", res.ExitCode)
+	fmt.Println("checkpoints:", res.Checkpoints)
+	fmt.Println("nvm bytes:", res.NVMBytes())
+	// Output:
+	// exit: 0
+	// checkpoints: 0
+	// nvm bytes: 0
+}
+
+// Running caller-supplied RV32IM assembly on the simulated machine.
+func ExampleRunSource() {
+	const src = `
+_start:
+	li   a0, 6
+	li   a1, 7
+	mul  a0, a0, a1
+	li   t0, 0x000F0004   # MMIOResult
+	sw   a0, (t0)
+	li   t0, 0x000F0000   # MMIOExit
+	sw   zero, (t0)
+`
+	res, err := nacho.RunSource("answer", src, nacho.Config{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.ResultWord)
+	// Output:
+	// 42
+}
+
+// Comparing two systems on the same workload.
+func ExampleRun_comparison() {
+	nachoRes, _ := nacho.Run(nacho.Config{Benchmark: "aes"})
+	clankRes, _ := nacho.Run(nacho.Config{Benchmark: "aes", System: nacho.Clank})
+	fmt.Println("nacho cheaper:", nachoRes.Cycles < clankRes.Cycles)
+	// Output:
+	// nacho cheaper: true
+}

@@ -1,0 +1,66 @@
+// Package asm_test verifies the shipped user-program examples execute
+// correctly under NACHO, with and without power failures.
+package asm_test
+
+import (
+	"os"
+	"testing"
+
+	"nacho"
+)
+
+func runFile(t *testing.T, path string, cfg nacho.Config) *nacho.Result {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := nacho.RunSource(path, string(src), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestFib(t *testing.T) {
+	res := runFile(t, "fib.s", nacho.Config{})
+	if res.ResultWord != 832040 { // fib(30)
+		t.Errorf("fib(30) = %d", res.ResultWord)
+	}
+}
+
+func TestHello(t *testing.T) {
+	res := runFile(t, "hello.s", nacho.Config{})
+	if string(res.Output) != "hello, intermittent world\n" {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestBubbleAcrossSystems(t *testing.T) {
+	want := runFile(t, "bubble.s", nacho.Config{System: nacho.Volatile}).ResultWord
+	for _, sys := range []nacho.System{nacho.Clank, nacho.NACHO} {
+		res := runFile(t, "bubble.s", nacho.Config{System: sys})
+		if res.ResultWord != want {
+			t.Errorf("%s: result %d, want %d", sys, res.ResultWord, want)
+		}
+	}
+	// Clank must checkpoint-storm on the swaps; NACHO must not.
+	clank := runFile(t, "bubble.s", nacho.Config{System: nacho.Clank})
+	nachoRes := runFile(t, "bubble.s", nacho.Config{})
+	if clank.Checkpoints < 10*nachoRes.Checkpoints+10 {
+		t.Errorf("expected Clank (%d ckpts) >> NACHO (%d ckpts)", clank.Checkpoints, nachoRes.Checkpoints)
+	}
+}
+
+func TestBubbleUnderPowerFailures(t *testing.T) {
+	// The on-duration must comfortably exceed a checkpoint's duration —
+	// with shorter windows no forward progress is physically possible.
+	want := runFile(t, "bubble.s", nacho.Config{System: nacho.Volatile}).ResultWord
+	res := runFile(t, "bubble.s", nacho.Config{OnDurationMs: 0.05, RandomFailures: true})
+	if res.ResultWord != want {
+		t.Errorf("sorted checksum under failures = %d, want %d", res.ResultWord, want)
+	}
+	if res.PowerFailures == 0 {
+		t.Error("no failures injected")
+	}
+}

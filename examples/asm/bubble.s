@@ -1,0 +1,48 @@
+# bubble.s — in-place bubble sort of image-initialized data: every swap is a
+# read-then-write, so under `-system clank` this checkpoint-storms while
+# NACHO's cache absorbs it. Compare:
+#   go run ./cmd/nachosim -run examples/asm/bubble.s -system clank
+#   go run ./cmd/nachosim -run examples/asm/bubble.s -system nacho
+	.equ RESULT, 0x000F0004
+	.equ EXIT,   0x000F0000
+	.equ N, 32
+	.data
+arr:	.word 89, 12, 71, 3, 55, 20, 98, 41, 7, 64, 33, 80, 16, 92, 48, 25
+	.word 69, 10, 83, 37, 58, 1, 95, 44, 29, 76, 14, 87, 52, 23, 66, 39
+	.text
+_start:
+	la   s0, arr
+	li   s1, N-1                # passes
+outer:
+	li   t0, 0                  # i
+inner:
+	slli t1, t0, 2
+	add  t1, s0, t1
+	lw   t2, 0(t1)
+	lw   t3, 4(t1)
+	ble  t2, t3, noswap
+	sw   t3, 0(t1)
+	sw   t2, 4(t1)
+noswap:
+	addi t0, t0, 1
+	li   t1, N-1
+	bne  t0, t1, inner
+	addi s1, s1, -1
+	bnez s1, outer
+	# checksum: sum of arr[i]*(i+1) proves sortedness deterministically
+	li   a0, 0
+	li   t0, 0
+chk:
+	slli t1, t0, 2
+	add  t1, s0, t1
+	lw   t1, (t1)
+	addi t2, t0, 1
+	mul  t1, t1, t2
+	add  a0, a0, t1
+	addi t0, t0, 1
+	li   t1, N
+	bne  t0, t1, chk
+	li   t0, RESULT
+	sw   a0, (t0)
+	li   t0, EXIT
+	sw   zero, (t0)

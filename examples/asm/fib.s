@@ -1,0 +1,19 @@
+# fib.s — iterative Fibonacci, reporting fib(30) through the RESULT register.
+# Run:  go run ./cmd/nachosim -run examples/asm/fib.s -system nacho
+	.equ RESULT, 0x000F0004
+	.equ EXIT,   0x000F0000
+	.text
+_start:
+	li   a0, 0                  # fib(0)
+	li   a1, 1                  # fib(1)
+	li   t0, 30
+loop:
+	add  t1, a0, a1
+	mv   a0, a1
+	mv   a1, t1
+	addi t0, t0, -1
+	bnez t0, loop
+	li   t0, RESULT
+	sw   a0, (t0)
+	li   t0, EXIT
+	sw   zero, (t0)

@@ -1,0 +1,19 @@
+# hello.s — prints through the PUTCHAR register and exits.
+# Run:  go run ./cmd/nachosim -run examples/asm/hello.s
+	.equ PUTC, 0x000F0008
+	.equ EXIT, 0x000F0000
+	.data
+msg:	.asciz "hello, intermittent world\n"
+	.text
+_start:
+	la   a1, msg
+	li   t0, PUTC
+loop:
+	lbu  t1, (a1)
+	beqz t1, done
+	sw   t1, (t0)
+	addi a1, a1, 1
+	j    loop
+done:
+	li   t0, EXIT
+	sw   zero, (t0)

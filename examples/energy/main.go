@@ -1,0 +1,41 @@
+// Energy: apply the Section 8 rough energy model through the public API,
+// comparing systems and the energy-prediction extension.
+//
+//	go run ./examples/energy [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"nacho"
+)
+
+func main() {
+	bench := "quicksort"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	model := nacho.DefaultEnergyModel()
+	fmt.Printf("%s, estimated energy per run (model: %.0f pJ/instr, %.0f pJ/cache, %.0f/%.0f pJ per NVM byte R/W)\n\n",
+		bench, model.InstructionPJ, model.CacheAccessPJ, model.NVMReadPJByte, model.NVMWritePJByte)
+	fmt.Printf("%-22s %10s %10s %10s %10s %10s\n", "system", "core(uJ)", "cache(uJ)", "nvm-rd(uJ)", "nvm-wr(uJ)", "total(uJ)")
+
+	show := func(label string, cfg nacho.Config) {
+		cfg.Benchmark = bench
+		res, err := nacho.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b := nacho.EstimateEnergy(res, model)
+		fmt.Printf("%-22s %10.2f %10.2f %10.2f %10.2f %10.2f\n",
+			label, b.CorePJ/1e6, b.CachePJ/1e6, b.NVMReadPJ/1e6, b.NVMWritePJ/1e6, b.TotalUJ())
+	}
+	show("volatile", nacho.Config{System: nacho.Volatile})
+	show("clank", nacho.Config{System: nacho.Clank})
+	show("nacho", nacho.Config{})
+	show("nacho+energy-predict", nacho.Config{EnergyPrediction: true})
+	fmt.Println("\nNACHO approaches the volatile system's energy; energy prediction")
+	fmt.Println("(single-buffered checkpoints) trims the checkpoint NVM writes further.")
+}

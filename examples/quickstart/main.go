@@ -1,0 +1,36 @@
+// Quickstart: run one benchmark under NACHO and print the paper's metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nacho"
+)
+
+func main() {
+	// Run TinyAES — the paper's headline benchmark — under NACHO with the
+	// default 2-way 512 B cache and full verification (shadow memory, exact
+	// WAR detection, golden checksum).
+	res, err := nacho.Run(nacho.Config{Benchmark: "aes"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("aes under nacho: %d instructions in %d cycles (%v at 50 MHz)\n",
+		res.Instructions, res.Cycles, res.Duration())
+	fmt.Printf("cache hit rate   %.1f%%\n", 100*res.HitRate())
+	fmt.Printf("checkpoints      %d\n", res.Checkpoints)
+	fmt.Printf("NVM traffic      %d bytes\n", res.NVMBytes())
+
+	// Compare with the cacheless Clank baseline: the same program, the same
+	// verification, radically more NVM traffic.
+	clank, err := nacho.Run(nacho.Config{Benchmark: "aes", System: nacho.Clank})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nclank reference: %d cycles, %d NVM bytes\n", clank.Cycles, clank.NVMBytes())
+	fmt.Printf("NACHO reduces NVM traffic by %.1f%% (paper reports ~99%% for TinyAES)\n",
+		100*(1-float64(res.NVMBytes())/float64(clank.NVMBytes())))
+}

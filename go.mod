@@ -1,0 +1,3 @@
+module nacho
+
+go 1.22

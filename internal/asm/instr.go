@@ -1,0 +1,458 @@
+package asm
+
+import (
+	"strings"
+
+	"nacho/internal/isa"
+)
+
+// mnemonics that are real single-word RV32IM instructions, keyed by name.
+var realOps = map[string]isa.Op{
+	"lui": isa.LUI, "auipc": isa.AUIPC,
+	"beq": isa.BEQ, "bne": isa.BNE, "blt": isa.BLT, "bge": isa.BGE,
+	"bltu": isa.BLTU, "bgeu": isa.BGEU,
+	"lb": isa.LB, "lh": isa.LH, "lw": isa.LW, "lbu": isa.LBU, "lhu": isa.LHU,
+	"sb": isa.SB, "sh": isa.SH, "sw": isa.SW,
+	"addi": isa.ADDI, "slti": isa.SLTI, "sltiu": isa.SLTIU, "xori": isa.XORI,
+	"ori": isa.ORI, "andi": isa.ANDI, "slli": isa.SLLI, "srli": isa.SRLI, "srai": isa.SRAI,
+	"add": isa.ADD, "sub": isa.SUB, "sll": isa.SLL, "slt": isa.SLT, "sltu": isa.SLTU,
+	"xor": isa.XOR, "srl": isa.SRL, "sra": isa.SRA, "or": isa.OR, "and": isa.AND,
+	"fence": isa.FENCE, "ecall": isa.ECALL, "ebreak": isa.EBREAK,
+	"mul": isa.MUL, "mulh": isa.MULH, "mulhsu": isa.MULHSU, "mulhu": isa.MULHU,
+	"div": isa.DIV, "divu": isa.DIVU, "rem": isa.REM, "remu": isa.REMU,
+}
+
+var pseudoOps = map[string]bool{
+	"nop": true, "li": true, "la": true, "mv": true, "not": true, "neg": true,
+	"seqz": true, "snez": true, "sltz": true, "sgtz": true,
+	"beqz": true, "bnez": true, "blez": true, "bgez": true, "bltz": true, "bgtz": true,
+	"bgt": true, "ble": true, "bgtu": true, "bleu": true,
+	"j": true, "jr": true, "jal": true, "jalr": true, "call": true, "ret": true, "tail": true,
+}
+
+// instrWords returns how many 32-bit words the (possibly pseudo) instruction
+// expands to. The result must be identical in pass 1 and pass 2, so `li`
+// chooses its form from the literal text alone.
+func instrWords(line int, mnem string, ops []string) (int, error) {
+	if _, ok := realOps[mnem]; ok {
+		return 1, nil
+	}
+	if !pseudoOps[mnem] {
+		return 0, errf(line, "unknown instruction %q", mnem)
+	}
+	switch mnem {
+	case "la":
+		return 2, nil
+	case "li":
+		if len(ops) != 2 {
+			return 0, errf(line, "li needs rd, imm")
+		}
+		e := expr(ops[1])
+		if e.isPureLiteral() {
+			v, _ := (&assembler{symbols: map[string]uint32{}}).eval(line, e)
+			if v >= -2048 && v <= 2047 {
+				return 1, nil
+			}
+		}
+		return 2, nil
+	}
+	return 1, nil
+}
+
+func (a *assembler) reg(line int, s string) (isa.Reg, error) {
+	r, ok := isa.RegByName(strings.ToLower(s))
+	if !ok {
+		return 0, errf(line, "bad register %q", s)
+	}
+	return r, nil
+}
+
+func (a *assembler) imm(line int, s string) (int32, error) {
+	v, err := a.eval(line, expr(s))
+	if err != nil {
+		return 0, err
+	}
+	if v < -(1<<31) || v > (1<<32)-1 {
+		return 0, errf(line, "immediate %d out of 32-bit range", v)
+	}
+	return int32(uint32(uint64(v))), nil
+}
+
+// memOperand parses "off(reg)", "(reg)", or "sym+4(reg)".
+func (a *assembler) memOperand(line int, s string) (int32, isa.Reg, error) {
+	open := strings.LastIndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, errf(line, "bad memory operand %q (want off(reg))", s)
+	}
+	r, err := a.reg(line, s[open+1:len(s)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	offStr := strings.TrimSpace(s[:open])
+	if offStr == "" {
+		return 0, r, nil
+	}
+	off, err := a.imm(line, offStr)
+	return off, r, err
+}
+
+// relTarget evaluates a branch/jump target symbol or expression as a
+// pc-relative offset from the instruction at pc.
+func (a *assembler) relTarget(line int, s string, pc uint32) (int32, error) {
+	v, err := a.eval(line, expr(s))
+	if err != nil {
+		return 0, err
+	}
+	return int32(uint32(v) - pc), nil
+}
+
+func (a *assembler) needOps(line int, mnem string, ops []string, n int) error {
+	if len(ops) != n {
+		return errf(line, "%s needs %d operands, got %d", mnem, n, len(ops))
+	}
+	return nil
+}
+
+// encodeInstr expands an item into concrete instructions in pass 2.
+func (a *assembler) encodeInstr(it item) ([]isa.Instr, error) {
+	line, mnem, ops, pc := it.line, it.mnem, it.ops, it.addr
+	need := func(n int) error { return a.needOps(line, mnem, ops, n) }
+
+	if op, ok := realOps[mnem]; ok {
+		return a.encodeReal(it, op)
+	}
+
+	switch mnem {
+	case "nop":
+		return []isa.Instr{{Op: isa.ADDI}}, nil
+	case "li":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := a.imm(line, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		if it.size == 4 {
+			return []isa.Instr{{Op: isa.ADDI, Rd: rd, Imm: v}}, nil
+		}
+		return loadImm32(rd, v), nil
+	case "la":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := a.imm(line, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return loadImm32(rd, v), nil
+	case "mv":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rs, err := a.reg(line, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Instr{{Op: isa.ADDI, Rd: rd, Rs1: rs}}, nil
+	case "not":
+		rd, rs, err := a.twoRegs(line, mnem, ops)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Instr{{Op: isa.XORI, Rd: rd, Rs1: rs, Imm: -1}}, nil
+	case "neg":
+		rd, rs, err := a.twoRegs(line, mnem, ops)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Instr{{Op: isa.SUB, Rd: rd, Rs2: rs}}, nil
+	case "seqz":
+		rd, rs, err := a.twoRegs(line, mnem, ops)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Instr{{Op: isa.SLTIU, Rd: rd, Rs1: rs, Imm: 1}}, nil
+	case "snez":
+		rd, rs, err := a.twoRegs(line, mnem, ops)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Instr{{Op: isa.SLTU, Rd: rd, Rs2: rs}}, nil
+	case "sltz":
+		rd, rs, err := a.twoRegs(line, mnem, ops)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Instr{{Op: isa.SLT, Rd: rd, Rs1: rs}}, nil
+	case "sgtz":
+		rd, rs, err := a.twoRegs(line, mnem, ops)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Instr{{Op: isa.SLT, Rd: rd, Rs2: rs}}, nil
+	case "beqz", "bnez", "blez", "bgez", "bltz", "bgtz":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs, err := a.reg(line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		off, err := a.relTarget(line, ops[1], pc)
+		if err != nil {
+			return nil, err
+		}
+		switch mnem {
+		case "beqz":
+			return []isa.Instr{{Op: isa.BEQ, Rs1: rs, Imm: off}}, nil
+		case "bnez":
+			return []isa.Instr{{Op: isa.BNE, Rs1: rs, Imm: off}}, nil
+		case "blez":
+			return []isa.Instr{{Op: isa.BGE, Rs2: rs, Imm: off}}, nil
+		case "bgez":
+			return []isa.Instr{{Op: isa.BGE, Rs1: rs, Imm: off}}, nil
+		case "bltz":
+			return []isa.Instr{{Op: isa.BLT, Rs1: rs, Imm: off}}, nil
+		default: // bgtz
+			return []isa.Instr{{Op: isa.BLT, Rs2: rs, Imm: off}}, nil
+		}
+	case "bgt", "ble", "bgtu", "bleu":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rs1, err := a.reg(line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rs2, err := a.reg(line, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		off, err := a.relTarget(line, ops[2], pc)
+		if err != nil {
+			return nil, err
+		}
+		// Swapped-operand forms of blt/bge.
+		switch mnem {
+		case "bgt":
+			return []isa.Instr{{Op: isa.BLT, Rs1: rs2, Rs2: rs1, Imm: off}}, nil
+		case "ble":
+			return []isa.Instr{{Op: isa.BGE, Rs1: rs2, Rs2: rs1, Imm: off}}, nil
+		case "bgtu":
+			return []isa.Instr{{Op: isa.BLTU, Rs1: rs2, Rs2: rs1, Imm: off}}, nil
+		default: // bleu
+			return []isa.Instr{{Op: isa.BGEU, Rs1: rs2, Rs2: rs1, Imm: off}}, nil
+		}
+	case "j", "tail":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		off, err := a.relTarget(line, ops[0], pc)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Instr{{Op: isa.JAL, Rd: isa.Zero, Imm: off}}, nil
+	case "jr":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rs, err := a.reg(line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Instr{{Op: isa.JALR, Rd: isa.Zero, Rs1: rs}}, nil
+	case "jal":
+		switch len(ops) {
+		case 1:
+			off, err := a.relTarget(line, ops[0], pc)
+			if err != nil {
+				return nil, err
+			}
+			return []isa.Instr{{Op: isa.JAL, Rd: isa.RA, Imm: off}}, nil
+		case 2:
+			rd, err := a.reg(line, ops[0])
+			if err != nil {
+				return nil, err
+			}
+			off, err := a.relTarget(line, ops[1], pc)
+			if err != nil {
+				return nil, err
+			}
+			return []isa.Instr{{Op: isa.JAL, Rd: rd, Imm: off}}, nil
+		}
+		return nil, errf(line, "jal needs 1 or 2 operands")
+	case "jalr":
+		switch len(ops) {
+		case 1:
+			rs, err := a.reg(line, ops[0])
+			if err != nil {
+				return nil, err
+			}
+			return []isa.Instr{{Op: isa.JALR, Rd: isa.RA, Rs1: rs}}, nil
+		case 2:
+			rd, err := a.reg(line, ops[0])
+			if err != nil {
+				return nil, err
+			}
+			off, rs, err := a.memOperand(line, ops[1])
+			if err != nil {
+				return nil, err
+			}
+			return []isa.Instr{{Op: isa.JALR, Rd: rd, Rs1: rs, Imm: off}}, nil
+		}
+		return nil, errf(line, "jalr needs 1 or 2 operands")
+	case "call":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		off, err := a.relTarget(line, ops[0], pc)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Instr{{Op: isa.JAL, Rd: isa.RA, Imm: off}}, nil
+	case "ret":
+		return []isa.Instr{{Op: isa.JALR, Rd: isa.Zero, Rs1: isa.RA}}, nil
+	}
+	return nil, errf(line, "unknown instruction %q", mnem)
+}
+
+func (a *assembler) twoRegs(line int, mnem string, ops []string) (isa.Reg, isa.Reg, error) {
+	if err := a.needOps(line, mnem, ops, 2); err != nil {
+		return 0, 0, err
+	}
+	rd, err := a.reg(line, ops[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	rs, err := a.reg(line, ops[1])
+	return rd, rs, err
+}
+
+// loadImm32 materializes an arbitrary 32-bit constant with lui+addi.
+func loadImm32(rd isa.Reg, v int32) []isa.Instr {
+	lo := v << 20 >> 20 // low 12 bits, sign extended
+	hi := uint32(v) - uint32(lo)
+	if hi == 0 {
+		// Still emit two words (sizing was fixed in pass 1): lui rd,0 clears.
+		return []isa.Instr{{Op: isa.LUI, Rd: rd, Imm: 0}, {Op: isa.ADDI, Rd: rd, Rs1: rd, Imm: lo}}
+	}
+	return []isa.Instr{
+		{Op: isa.LUI, Rd: rd, Imm: int32(hi)},
+		{Op: isa.ADDI, Rd: rd, Rs1: rd, Imm: lo},
+	}
+}
+
+func (a *assembler) encodeReal(it item, op isa.Op) ([]isa.Instr, error) {
+	line, mnem, ops, pc := it.line, it.mnem, it.ops, it.addr
+	switch {
+	case op == isa.LUI || op == isa.AUIPC:
+		if err := a.needOps(line, mnem, ops, 2); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := a.imm(line, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		if uint32(v) > 0xFFFFF {
+			return nil, errf(line, "%s immediate 0x%x out of 20-bit range", mnem, uint32(v))
+		}
+		return []isa.Instr{{Op: op, Rd: rd, Imm: v << 12}}, nil
+	case op.IsBranch():
+		if err := a.needOps(line, mnem, ops, 3); err != nil {
+			return nil, err
+		}
+		rs1, err := a.reg(line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rs2, err := a.reg(line, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		off, err := a.relTarget(line, ops[2], pc)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Instr{{Op: op, Rs1: rs1, Rs2: rs2, Imm: off}}, nil
+	case op.IsLoad():
+		if err := a.needOps(line, mnem, ops, 2); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		off, rs1, err := a.memOperand(line, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Instr{{Op: op, Rd: rd, Rs1: rs1, Imm: off}}, nil
+	case op.IsStore():
+		if err := a.needOps(line, mnem, ops, 2); err != nil {
+			return nil, err
+		}
+		rs2, err := a.reg(line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		off, rs1, err := a.memOperand(line, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Instr{{Op: op, Rs1: rs1, Rs2: rs2, Imm: off}}, nil
+	case op >= isa.ADDI && op <= isa.SRAI:
+		if err := a.needOps(line, mnem, ops, 3); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rs1, err := a.reg(line, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		v, err := a.imm(line, ops[2])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Instr{{Op: op, Rd: rd, Rs1: rs1, Imm: v}}, nil
+	case op >= isa.ADD && op <= isa.AND || op >= isa.MUL && op <= isa.REMU:
+		if err := a.needOps(line, mnem, ops, 3); err != nil {
+			return nil, err
+		}
+		rd, err := a.reg(line, ops[0])
+		if err != nil {
+			return nil, err
+		}
+		rs1, err := a.reg(line, ops[1])
+		if err != nil {
+			return nil, err
+		}
+		rs2, err := a.reg(line, ops[2])
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Instr{{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}}, nil
+	case op == isa.FENCE || op == isa.ECALL || op == isa.EBREAK:
+		return []isa.Instr{{Op: op}}, nil
+	}
+	return nil, errf(line, "unhandled op %v", op)
+}

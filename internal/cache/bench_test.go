@@ -1,0 +1,28 @@
+package cache
+
+import "testing"
+
+func BenchmarkProbeHit(b *testing.B) {
+	c := MustNew(512, 2)
+	for a := uint32(0); a < 512; a += 4 {
+		c.Install(c.Victim(a), a)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := c.Probe(uint32(i*4) & 511)
+		if l != nil {
+			c.Touch(l)
+		}
+	}
+}
+
+func BenchmarkMissReplace(b *testing.B) {
+	c := MustNew(512, 2)
+	for i := 0; i < b.N; i++ {
+		addr := uint32(i * 4)
+		if l := c.Probe(addr); l == nil {
+			v := c.Victim(addr)
+			c.Install(v, addr)
+		}
+	}
+}

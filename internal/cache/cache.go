@@ -1,0 +1,190 @@
+// Package cache implements the set-associative write-back data cache
+// structure shared by NACHO and the cache-based baselines.
+//
+// Following the paper's implementation (Section 5.3) a cache line holds four
+// bytes of data, uses an LRU replacement policy, and carries — besides the
+// standard valid and dirty bits — the two bits NACHO adds: read-dominated
+// (RD) and possible-WAR (PW). Size and associativity are configurable; the
+// index function is the address hash the paper refers to ("the cache stores
+// data based on a hash of the memory address").
+package cache
+
+import "fmt"
+
+// LineSize is the cache line size in bytes (fixed at four, paper Section 5.3).
+const LineSize = 4
+
+// Line is one cache line: a 4-byte data word plus metadata bits.
+type Line struct {
+	Valid bool
+	Dirty bool
+	RD    bool   // read-dominated (NACHO bit, paper Section 4.2.1)
+	PW    bool   // possible-WAR  (NACHO bit, paper Section 4.2.2)
+	Tag   uint32 // full line address >> 2; with 4-byte lines the tag identifies the word
+	Data  uint32
+	lru   uint64 // last-touch stamp; larger is more recent
+}
+
+// Addr returns the byte address of the line's word.
+func (l *Line) Addr() uint32 { return l.Tag << 2 }
+
+// Cache is a set-associative cache of 4-byte lines.
+type Cache struct {
+	sets    [][]Line
+	ways    int
+	numSets int
+	stamp   uint64
+}
+
+// New creates a cache of sizeBytes capacity and the given associativity.
+// sizeBytes must be a positive multiple of ways*LineSize and the resulting
+// set count must be a power of two (hardware-indexable).
+func New(sizeBytes, ways int) (*Cache, error) {
+	if sizeBytes <= 0 || ways <= 0 {
+		return nil, fmt.Errorf("cache: invalid geometry %dB/%d-way", sizeBytes, ways)
+	}
+	lines := sizeBytes / LineSize
+	if lines*LineSize != sizeBytes || lines%ways != 0 {
+		return nil, fmt.Errorf("cache: size %dB not divisible into %d-way sets of %dB lines", sizeBytes, ways, LineSize)
+	}
+	numSets := lines / ways
+	if numSets&(numSets-1) != 0 {
+		return nil, fmt.Errorf("cache: set count %d is not a power of two", numSets)
+	}
+	c := &Cache{ways: ways, numSets: numSets, sets: make([][]Line, numSets)}
+	backing := make([]Line, lines)
+	for i := range c.sets {
+		c.sets[i] = backing[i*ways : (i+1)*ways : (i+1)*ways]
+	}
+	return c, nil
+}
+
+// MustNew is New for statically valid geometries; it panics on error.
+func MustNew(sizeBytes, ways int) *Cache {
+	c, err := New(sizeBytes, ways)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// SizeBytes returns the data capacity.
+func (c *Cache) SizeBytes() int { return c.numSets * c.ways * LineSize }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// NumSets returns the number of sets.
+func (c *Cache) NumSets() int { return c.numSets }
+
+// NumLines returns the total line count (the checkpoint capacity bound).
+func (c *Cache) NumLines() int { return c.numSets * c.ways }
+
+// SetIndex is the address hash: the line address modulo the set count.
+func (c *Cache) SetIndex(addr uint32) int {
+	return int(addr>>2) & (c.numSets - 1)
+}
+
+// Set returns the lines of the set addr maps to. The returned slice aliases
+// cache storage; callers mutate lines through it.
+func (c *Cache) Set(addr uint32) []Line {
+	return c.sets[c.SetIndex(addr)]
+}
+
+// Probe looks addr up and returns its line on a hit, or nil on a miss.
+// It does not touch LRU state; callers decide when an access counts.
+func (c *Cache) Probe(addr uint32) *Line {
+	set := c.Set(addr)
+	tag := addr >> 2
+	for i := range set {
+		if set[i].Valid && set[i].Tag == tag {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Victim selects the replacement victim in addr's set: an invalid line if one
+// exists, otherwise the least recently used line.
+func (c *Cache) Victim(addr uint32) *Line {
+	set := c.Set(addr)
+	var victim *Line
+	for i := range set {
+		l := &set[i]
+		if !l.Valid {
+			return l
+		}
+		if victim == nil || l.lru < victim.lru {
+			victim = l
+		}
+	}
+	return victim
+}
+
+// Touch marks the line as most recently used.
+func (c *Cache) Touch(l *Line) {
+	c.stamp++
+	l.lru = c.stamp
+}
+
+// Install points the line at addr's word. Metadata bits are left for the
+// controller to manage; the line becomes valid and most recently used.
+func (c *Cache) Install(l *Line, addr uint32) {
+	l.Valid = true
+	l.Tag = addr >> 2
+	c.Touch(l)
+}
+
+// ForEach visits every line (checkpoint flush walks).
+func (c *Cache) ForEach(f func(*Line)) {
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			f(&c.sets[i][j])
+		}
+	}
+}
+
+// InvalidateAll destroys all volatile contents (power failure).
+func (c *Cache) InvalidateAll() {
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			c.sets[i][j] = Line{}
+		}
+	}
+	c.stamp = 0
+}
+
+// ReadData returns size bytes at addr from the line's word, little-endian.
+// addr must fall inside the line.
+func (l *Line) ReadData(addr uint32, size int) uint32 {
+	shift := (addr & 3) * 8
+	v := l.Data >> shift
+	switch size {
+	case 1:
+		return v & 0xFF
+	case 2:
+		return v & 0xFFFF
+	default:
+		return v
+	}
+}
+
+// WriteData merges size bytes of val into the line's word at addr.
+func (l *Line) WriteData(addr uint32, size int, val uint32) {
+	shift := (addr & 3) * 8
+	switch size {
+	case 1:
+		l.Data = l.Data&^(0xFF<<shift) | (val&0xFF)<<shift
+	case 2:
+		l.Data = l.Data&^(0xFFFF<<shift) | (val&0xFFFF)<<shift
+	default:
+		l.Data = val
+	}
+}
+
+// LRU returns the line's last-touch stamp (exposed for controllers that keep
+// cache.Line storage outside a Cache, like the PROWL baseline).
+func (l *Line) LRU() uint64 { return l.lru }
+
+// SetLRU sets the line's last-touch stamp.
+func (l *Line) SetLRU(v uint64) { l.lru = v }

@@ -1,0 +1,167 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"nacho/internal/mem"
+	"nacho/internal/metrics"
+	"nacho/internal/sim"
+)
+
+const testBase = 0x000E_0000
+
+func newStore(maxLines int) (*Store, *mem.NVM, *sim.TestClock) {
+	clk := &sim.TestClock{}
+	var c metrics.Counters
+	nvm := mem.NewNVM(mem.NewSpace(), mem.DefaultCostModel())
+	nvm.Attach(clk, &c)
+	return NewStore(nvm, testBase, maxLines), nvm, clk
+}
+
+func snap(pc uint32) sim.Snapshot {
+	var s sim.Snapshot
+	s.PC = pc
+	for i := range s.Regs {
+		s.Regs[i] = pc + uint32(i)
+	}
+	return s
+}
+
+func TestInitAndRestore(t *testing.T) {
+	s, _, clk := newStore(4)
+	boot := snap(0x1000)
+	s.Init(boot)
+	if clk.Cycle != 0 {
+		t.Errorf("Init charged %d cycles, want 0", clk.Cycle)
+	}
+	got, ok := s.Restore()
+	if !ok || got != boot {
+		t.Fatalf("Restore = %+v, %v; want boot snapshot", got, ok)
+	}
+}
+
+func TestRestoreWithoutInit(t *testing.T) {
+	s, _, _ := newStore(0)
+	if _, ok := s.Restore(); ok {
+		t.Error("Restore succeeded on empty store")
+	}
+}
+
+func TestCheckpointRoundTripAndLines(t *testing.T) {
+	s, nvm, _ := newStore(4)
+	s.Init(snap(0x1000))
+	lines := []Line{{Addr: 0x2000, Data: 0xAAAA}, {Addr: 0x2004, Data: 0xBBBB}}
+	s.Checkpoint(snap(0x2000), lines, nil)
+	got, ok := s.Restore()
+	if !ok || got.PC != 0x2000 {
+		t.Fatalf("Restore after checkpoint: %+v, %v", got, ok)
+	}
+	// Redo applied the lines to their home addresses.
+	if nvm.ReadRaw(0x2000, 4) != 0xAAAA || nvm.ReadRaw(0x2004, 4) != 0xBBBB {
+		t.Error("checkpoint lines not applied to home NVM")
+	}
+}
+
+func TestSlotsAlternate(t *testing.T) {
+	s, _, _ := newStore(0)
+	s.Init(snap(0x1000))
+	for i := uint32(1); i <= 5; i++ {
+		s.Checkpoint(snap(0x1000+4*i), nil, nil)
+		got, ok := s.Restore()
+		if !ok || got.PC != 0x1000+4*i {
+			t.Fatalf("checkpoint %d: restore pc %#x", i, got.PC)
+		}
+	}
+}
+
+func TestOnCommitCalledExactlyOnce(t *testing.T) {
+	s, _, _ := newStore(1)
+	s.Init(snap(0))
+	n := 0
+	s.Checkpoint(snap(4), []Line{{Addr: 0x3000, Data: 1}}, func() { n++ })
+	if n != 1 {
+		t.Errorf("onCommit called %d times, want 1", n)
+	}
+}
+
+func TestCapacityPanic(t *testing.T) {
+	s, _, _ := newStore(1)
+	s.Init(snap(0))
+	defer func() {
+		if recover() == nil {
+			t.Error("over-capacity checkpoint did not panic")
+		}
+	}()
+	s.Checkpoint(snap(4), []Line{{Addr: 0, Data: 0}, {Addr: 4, Data: 0}}, nil)
+}
+
+// TestCrashConsistencyAtEveryCycle is the incorruptibility property
+// (paper Section 4.1): a power failure at ANY cycle during a checkpoint must
+// leave the store restoring either the complete old checkpoint (with old NVM
+// home values) or the complete new one (with the redo guaranteed to finish
+// during Restore). It simulates the failure at every possible cycle.
+func TestCrashConsistencyAtEveryCycle(t *testing.T) {
+	const homeAddr = 0x2000
+	const oldVal, newVal = 0x0501D01D, 0x05E30E30
+
+	// Measure the failure-free checkpoint duration first.
+	probe, _, probeClk := newStore(2)
+	probe.Init(snap(0x100))
+	probe.Checkpoint(snap(0x200), []Line{{Addr: homeAddr, Data: newVal}, {Addr: homeAddr + 4, Data: 2}}, nil)
+	total := probeClk.Cycle
+
+	for fail := uint64(1); fail <= total; fail++ {
+		clk := &sim.TestClock{FailAt: fail}
+		var c metrics.Counters
+		nvm := mem.NewNVM(mem.NewSpace(), mem.DefaultCostModel())
+		nvm.Attach(clk, &c)
+		st := NewStore(nvm, testBase, 2)
+		st.Init(snap(0x100))
+		nvm.WriteRaw(homeAddr, 4, oldVal)
+		nvm.WriteRaw(homeAddr+4, 4, 0xB01D0)
+
+		committed := false
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(sim.PowerFail); !ok {
+						panic(r)
+					}
+				}
+			}()
+			st.Checkpoint(snap(0x200), []Line{{Addr: homeAddr, Data: newVal}, {Addr: homeAddr + 4, Data: 2}}, func() { committed = true })
+		}()
+
+		// Reboot: restore must succeed and be internally consistent.
+		got, ok := st.Restore()
+		if !ok {
+			t.Fatalf("fail@%d: no restorable checkpoint", fail)
+		}
+		switch got.PC {
+		case 0x100: // old checkpoint survived
+			if committed {
+				t.Fatalf("fail@%d: commit observed but old checkpoint restored", fail)
+			}
+			if v := nvm.ReadRaw(homeAddr, 4); v != oldVal {
+				t.Fatalf("fail@%d: home NVM %#x modified before commit", fail, v)
+			}
+		case 0x200: // new checkpoint won; redo must be complete after Restore
+			if v := nvm.ReadRaw(homeAddr, 4); v != newVal {
+				t.Fatalf("fail@%d: committed checkpoint but home = %#x", fail, v)
+			}
+			if v := nvm.ReadRaw(homeAddr+4, 4); v != 2 {
+				t.Fatalf("fail@%d: second line not applied: %#x", fail, v)
+			}
+		default:
+			t.Fatalf("fail@%d: restored unexpected pc %#x", fail, got.PC)
+		}
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	s, _, _ := newStore(8)
+	want := uint32(2 * (offLines + 16) * 4)
+	if s.SizeBytes() != want {
+		t.Errorf("SizeBytes = %d, want %d", s.SizeBytes(), want)
+	}
+}

@@ -1,0 +1,386 @@
+// Package core implements the paper's primary contribution: the NACHO data
+// cache controller (Sections 3 and 4). The controller is a volatile
+// write-back data cache in front of non-volatile main memory that doubles as
+// the WAR detector: two extra bits per cache line — read-dominated (rd) and
+// possible-WAR (pw) — classify every dirty write-back as *safe*
+// (write-dominated, written straight to NVM) or *unsafe* (possibly
+// read-dominated, requiring a checkpoint first). Stack tracking
+// (Section 4.2.4) additionally drops dirty lines belonging to deallocated
+// stack frames instead of writing them back.
+//
+// The same controller also realizes the paper's two NACHO ablation systems
+// (Section 6.1.2): Naive NACHO (no WAR detector: every dirty eviction
+// checkpoints; no stack tracking) and Oracle NACHO (a perfect exact-address
+// WAR detector in place of the cache bits). Table 3's component breakdown
+// (PW-only / ST-only) falls out of the same two switches.
+package core
+
+import (
+	"nacho/internal/cache"
+	"nacho/internal/checkpoint"
+	"nacho/internal/mem"
+	"nacho/internal/metrics"
+	"nacho/internal/sim"
+	"nacho/internal/track"
+	"nacho/internal/verify"
+)
+
+// WARMode selects how the controller decides whether a dirty write-back is
+// safe.
+type WARMode int
+
+// WAR detection modes.
+const (
+	// WARNone is Naive NACHO: every dirty eviction is treated as unsafe.
+	WARNone WARMode = iota
+	// WARCacheBits is NACHO: the pw/rd cache-line bits of Algorithm 1.
+	WARCacheBits
+	// WARExact is Oracle NACHO: a perfect exact-address dominance tracker.
+	WARExact
+)
+
+// String names the WAR detection mode.
+func (m WARMode) String() string {
+	switch m {
+	case WARNone:
+		return "none"
+	case WARCacheBits:
+		return "cache-bits"
+	case WARExact:
+		return "exact"
+	}
+	return "unknown"
+}
+
+// Options configures a controller instance.
+type Options struct {
+	CacheSize     int // data capacity in bytes
+	Ways          int // associativity
+	WARMode       WARMode
+	StackTracking bool
+	// StackTop is the initial stack pointer (stack grows down from here).
+	StackTop uint32
+	// CheckpointBase is the NVM address of the double-buffered checkpoint
+	// area; it must not overlap program text, data, or stack.
+	CheckpointBase uint32
+	Cost           mem.CostModel
+
+	// DirtyThreshold, when non-zero, enables the adaptive checkpointing
+	// policy sketched in paper Section 8: the controller proactively
+	// checkpoints as soon as more than DirtyThreshold lines are dirty,
+	// bounding the energy any single future checkpoint can need.
+	DirtyThreshold int
+
+	// EnergyPrediction models a platform that can guarantee enough banked
+	// energy to finish a checkpoint (Section 8, "Energy Prediction"):
+	// checkpoints run single-buffered, halving their NVM writes. The
+	// emulator defers power failures across such checkpoints, the same
+	// guarantee the paper's hardware assumption provides.
+	EnergyPrediction bool
+}
+
+type accessType int
+
+const (
+	accessRead accessType = iota
+	accessWrite
+)
+
+// Controller is the NACHO memory system; it implements sim.System.
+type Controller struct {
+	name  string
+	opts  Options
+	cache *cache.Cache
+	nvm   *mem.NVM
+	ckpt  *checkpoint.Store
+
+	clk  sim.Clock
+	regs sim.RegSource
+	c    *metrics.Counters
+	obs  *verify.Verifier
+
+	tracker    *track.Tracker // exact mode only
+	sp         uint32
+	spMin      uint32
+	dirtyCount int    // maintained only when DirtyThreshold > 0
+	lastCommit uint64 // cycle of the previous checkpoint commit
+}
+
+// New builds a controller over the given NVM space. name is the system label
+// used in experiment output.
+func New(name string, nvm *mem.NVM, opts Options) (*Controller, error) {
+	ch, err := cache.New(opts.CacheSize, opts.Ways)
+	if err != nil {
+		return nil, err
+	}
+	k := &Controller{
+		name:  name,
+		opts:  opts,
+		cache: ch,
+		nvm:   nvm,
+		ckpt:  checkpoint.NewStore(nvm, opts.CheckpointBase, ch.NumLines()),
+		sp:    opts.StackTop,
+		spMin: opts.StackTop,
+	}
+	if opts.WARMode == WARExact {
+		k.tracker = track.New()
+	}
+	return k, nil
+}
+
+// Name implements sim.System.
+func (k *Controller) Name() string { return k.name }
+
+// Mem implements sim.System.
+func (k *Controller) Mem() sim.MemReaderWriter { return k.nvm }
+
+// Attach implements sim.System; it also seeds the boot checkpoint.
+func (k *Controller) Attach(clk sim.Clock, regs sim.RegSource, c *metrics.Counters) {
+	k.clk, k.regs, k.c = clk, regs, c
+	k.nvm.Attach(clk, c)
+	k.ckpt.Init(regs.RegSnapshot())
+}
+
+// SetVerifier wires the optional correctness verifier (nil disables checks).
+func (k *Controller) SetVerifier(v *verify.Verifier) { k.obs = v }
+
+// Cache exposes the underlying cache for white-box tests.
+func (k *Controller) Cache() *cache.Cache { return k.cache }
+
+// Load implements sim.System.
+func (k *Controller) Load(addr uint32, size int) uint32 {
+	line := k.access(addr, accessRead, size)
+	// Exact-mode tracking observes the access *after* the cache handled it:
+	// if the miss checkpointed, the interval reset and the in-flight read
+	// belongs to the new interval (it re-executes after a rollback to that
+	// checkpoint).
+	if k.tracker != nil {
+		k.tracker.ObserveRead(addr, size)
+	}
+	k.clk.Advance(k.opts.Cost.HitCycles)
+	return line.ReadData(addr, size)
+}
+
+// Store implements sim.System.
+func (k *Controller) Store(addr uint32, size int, val uint32) {
+	line := k.access(addr, accessWrite, size)
+	if k.tracker != nil {
+		k.tracker.ObserveWrite(addr, size)
+	}
+	k.clk.Advance(k.opts.Cost.HitCycles)
+	if k.opts.DirtyThreshold > 0 && !line.Dirty {
+		k.dirtyCount++
+		if k.dirtyCount > k.opts.DirtyThreshold {
+			// Adaptive policy: flush before the dirty set grows beyond the
+			// configured energy budget. The current line is written after
+			// the flush, so it stays dirty in the new interval.
+			line.WriteData(addr, size, val)
+			line.Dirty = true
+			k.checkpoint(false)
+			k.c.AdaptiveCkpts++
+			return
+		}
+	}
+	line.WriteData(addr, size, val)
+	line.Dirty = true
+}
+
+// access is Algorithm 1's MemoryAccess procedure.
+func (k *Controller) access(addr uint32, t accessType, size int) *cache.Line {
+	line := k.cache.Probe(addr)
+	if line == nil {
+		k.c.CacheMisses++
+		return k.miss(addr, t, size)
+	}
+	k.c.CacheHits++
+	if k.opts.WARMode == WARCacheBits && !line.PW && !line.RD && !line.Dirty {
+		// First touch of this line since the last checkpoint.
+		k.updateLine(line, addr, t, size)
+	}
+	k.cache.Touch(line)
+	return line
+}
+
+// miss is Algorithm 1's CacheMiss procedure.
+func (k *Controller) miss(addr uint32, t accessType, size int) *cache.Line {
+	line := k.cache.Victim(addr)
+	if line.Valid && line.Dirty {
+		victimAddr := line.Addr()
+		switch {
+		case k.inUnusedStack(victimAddr):
+			// Dead stack frame: discard without write-back. Only the dirty
+			// bit clears — the line's rd must survive into updateLine's
+			// was-read-dominated so the set's possible-WAR history is
+			// preserved (dropping it would let a later write-miss to a
+			// previously-read address in this set be misclassified as
+			// write-dominated: a false negative).
+			k.c.DroppedStackLines++
+			line.Dirty = false
+			k.noteClean()
+		case k.unsafeWriteBack(line):
+			// Read-dominated write-back: checkpoint flushes every dirty
+			// line (including this one) and clears all WAR bits.
+			k.c.UnsafeEvictions++
+			k.checkpoint(false)
+		default:
+			// Write-dominated: safe to evict straight to NVM.
+			k.c.SafeEvictions++
+			k.c.Evictions++
+			k.nvm.Write(victimAddr, 4, line.Data)
+			k.obs.NVMWriteBack(victimAddr, 4)
+			line.Dirty = false
+			k.noteClean()
+		}
+	}
+	if k.opts.WARMode == WARCacheBits {
+		// Uses the victim's *old* rd as was-read-dominated, setting pw if a
+		// read-dominated entry is being replaced (Section 4.2.2).
+		k.updateLine(line, addr, t, size)
+	}
+	k.cache.Install(line, addr)
+	line.Dirty = false
+	// A read miss, or a write narrower than the line, fetches the line from
+	// NVM (the fill the paper's size-4 rule in UpdateLine accounts for).
+	if t == accessRead || size < cache.LineSize {
+		line.Data = k.nvm.Read(addr&^3, 4)
+	} else {
+		line.Data = 0
+	}
+	return line
+}
+
+// updateLine is Algorithm 1's UpdateLine procedure (cache-bits mode only).
+func (k *Controller) updateLine(line *cache.Line, addr uint32, t accessType, size int) {
+	wasRD := line.RD
+	if t == accessRead {
+		line.RD = true
+	} else {
+		// Consider the pw bits of every line in the *destination* set
+		// (Section 4.2.3: with n ways the read history may live in any of
+		// the n lines).
+		possibleWAR := false
+		for i := range k.cache.Set(addr) {
+			possibleWAR = possibleWAR || k.cache.Set(addr)[i].PW
+		}
+		if !possibleWAR && size == cache.LineSize {
+			line.RD = false // write-dominated
+		} else {
+			line.RD = true // conservative: sub-line write fills from NVM
+		}
+	}
+	if wasRD {
+		// Set last, so the current transition does not observe it.
+		line.PW = true
+	}
+}
+
+// unsafeWriteBack decides whether writing the dirty line back to NVM could be
+// a WAR violation, per the configured detection mode.
+func (k *Controller) unsafeWriteBack(line *cache.Line) bool {
+	switch k.opts.WARMode {
+	case WARCacheBits:
+		return line.RD
+	case WARExact:
+		return k.tracker.ReadDominated(line.Addr(), 4)
+	default: // WARNone — Naive NACHO
+		return true
+	}
+}
+
+// noteClean maintains the adaptive policy's dirty-line count when a line
+// becomes clean outside a checkpoint.
+func (k *Controller) noteClean() {
+	if k.opts.DirtyThreshold > 0 && k.dirtyCount > 0 {
+		k.dirtyCount--
+	}
+}
+
+// inUnusedStack is Algorithm 1's InUnusedStack: the address lies in stack
+// memory deallocated since the last checkpoint (between sp_min and the
+// current sp; the stack grows downward).
+func (k *Controller) inUnusedStack(addr uint32) bool {
+	return k.opts.StackTracking && addr >= k.spMin && addr < k.sp
+}
+
+// checkpoint is Algorithm 1's Checkpoint procedure: double-buffered flush of
+// all live dirty lines plus the register file, then clear every WAR bit.
+func (k *Controller) checkpoint(forced bool) {
+	var lines []checkpoint.Line
+	k.cache.ForEach(func(l *cache.Line) {
+		if l.Valid && l.Dirty {
+			if k.inUnusedStack(l.Addr()) {
+				k.c.DroppedStackLines++
+				return
+			}
+			lines = append(lines, checkpoint.Line{Addr: l.Addr(), Data: l.Data})
+		}
+	})
+	commit := k.ckpt.Checkpoint
+	if k.opts.EnergyPrediction {
+		commit = k.ckpt.CheckpointSingleBuffered
+		if er, ok := k.clk.(sim.EnergyReserve); ok {
+			// The platform guarantees energy for the whole sequence; a
+			// failure instant inside it fires right after completion.
+			defer er.DeferFailures()()
+		}
+	}
+	commit(k.regs.RegSnapshot(), lines, func() {
+		// At the commit instant this checkpoint becomes the reboot target:
+		// account it and move the verifier's rollback point, even if the
+		// redo phase is cut short by a power failure.
+		k.c.RecordInterval(k.clk.Now() - k.lastCommit)
+		k.lastCommit = k.clk.Now()
+		k.c.Checkpoints++
+		k.c.CheckpointLines += uint64(len(lines))
+		if n := uint64(len(lines)); n > k.c.MaxCheckpointLines {
+			k.c.MaxCheckpointLines = n
+		}
+		if forced {
+			k.c.ForcedCkpts++
+		}
+		k.obs.IntervalBoundary()
+	})
+	k.cache.ForEach(func(l *cache.Line) {
+		l.Dirty, l.RD, l.PW = false, false, false
+	})
+	if k.tracker != nil {
+		k.tracker.Reset()
+	}
+	k.spMin = k.sp
+	k.dirtyCount = 0
+}
+
+// ForceCheckpoint implements sim.System (periodic forward-progress
+// checkpoints during intermittent runs).
+func (k *Controller) ForceCheckpoint() { k.checkpoint(true) }
+
+// NotifySP implements sim.System: stack tracking keeps the minimum stack
+// pointer seen since the last checkpoint.
+func (k *Controller) NotifySP(sp uint32) {
+	k.sp = sp
+	if sp < k.spMin {
+		k.spMin = sp
+	}
+}
+
+// PowerFailure implements sim.System: all volatile state evaporates.
+func (k *Controller) PowerFailure() {
+	k.cache.InvalidateAll()
+	if k.tracker != nil {
+		k.tracker.Reset()
+	}
+	k.sp, k.spMin = k.opts.StackTop, k.opts.StackTop
+	k.dirtyCount = 0
+}
+
+// Restore implements sim.System: recover the newest committed checkpoint.
+func (k *Controller) Restore() (sim.Snapshot, bool) {
+	snap, ok := k.ckpt.Restore()
+	if !ok {
+		return snap, false
+	}
+	// x2 (sp) is Regs[1] in the snapshot (Regs[0] is x1).
+	k.sp = snap.Regs[1]
+	k.spMin = k.sp
+	return snap, true
+}

@@ -1,0 +1,166 @@
+package core
+
+import "testing"
+
+// TestAlgorithm1TransitionTable is an exhaustive specification test of
+// Algorithm 1: for every reachable pw/rd/dirty configuration of Figure 4 and
+// every access event (hit/miss × read/full-word write/sub-word write), it
+// checks the resulting bit configuration and the write-back action
+// (none / safe eviction / checkpoint) against a transition table derived
+// independently from the paper's pseudocode.
+//
+// States are Figure 4's numbering: pw*4 + rd*2 + dirty. Configuration 4
+// (pw only) is invalid and has no row — TestInvalidState4Unreachable shows
+// it cannot occur.
+func TestAlgorithm1TransitionTable(t *testing.T) {
+	const a, b = 0x1000, 0x1004 // same set of a single-line cache
+
+	// setup drives a fresh controller so that the one cache line holds the
+	// returned address in the given Figure 4 state.
+	setups := map[int]func(r *rig) uint32{
+		0: func(r *rig) uint32 { r.k.Store(a, 4, 1); r.k.ForceCheckpoint(); return a },
+		1: func(r *rig) uint32 { r.k.Store(a, 4, 1); return a },
+		2: func(r *rig) uint32 { r.k.Load(a, 4); return a },
+		3: func(r *rig) uint32 { r.k.Load(a, 4); r.k.Store(a, 4, 1); return a },
+		5: func(r *rig) uint32 { r.k.Load(a, 4); r.k.Store(b, 4, 1); return b },
+		6: func(r *rig) uint32 { r.k.Load(a, 4); r.k.Load(b, 4); return b },
+		7: func(r *rig) uint32 { r.k.Load(a, 4); r.k.Load(b, 4); r.k.Store(b, 1, 1); return b },
+	}
+
+	type event int
+	const (
+		hitRead event = iota
+		hitWrite
+		hitWriteSub
+		missRead
+		missWrite
+		missWriteSub
+	)
+	eventNames := map[event]string{
+		hitRead: "hit-read", hitWrite: "hit-write4", hitWriteSub: "hit-writeb",
+		missRead: "miss-read", missWrite: "miss-write4", missWriteSub: "miss-writeb",
+	}
+
+	type action int
+	const (
+		none action = iota
+		evict
+		checkpoint
+	)
+
+	type expect struct {
+		state  int
+		action action
+	}
+
+	// The transition table, row-by-row from Algorithm 1's pseudocode.
+	table := map[int]map[event]expect{
+		0: { // all clear after a checkpoint: first hit re-classifies
+			hitRead:      {2, none},
+			hitWrite:     {1, none},
+			hitWriteSub:  {3, none},
+			missRead:     {2, none}, // clean replacement, wasRD=false
+			missWrite:    {1, none},
+			missWriteSub: {3, none},
+		},
+		1: { // write-dominated dirty
+			hitRead:      {1, none}, // first access was a write: stays safe
+			hitWrite:     {1, none},
+			hitWriteSub:  {1, none},
+			missRead:     {2, evict}, // safe write-back, then read classifies
+			missWrite:    {1, evict},
+			missWriteSub: {3, evict},
+		},
+		2: { // read-dominated clean
+			hitRead:      {2, none},
+			hitWrite:     {3, none}, // dirty; rd stays: read-dominated WAR pending
+			hitWriteSub:  {3, none},
+			missRead:     {6, none}, // replaced rd entry: pw set (one-bit history)
+			missWrite:    {5, none}, // pw checked before being set: write-dominated
+			missWriteSub: {7, none},
+		},
+		3: { // read-dominated dirty: any eviction is unsafe
+			hitRead:      {3, none},
+			hitWrite:     {3, none},
+			hitWriteSub:  {3, none},
+			missRead:     {2, checkpoint},
+			missWrite:    {1, checkpoint}, // pw cleared by the checkpoint
+			missWriteSub: {3, checkpoint},
+		},
+		5: { // pw & write-dominated dirty
+			hitRead:      {5, none},
+			hitWrite:     {5, none},
+			hitWriteSub:  {5, none},
+			missRead:     {6, evict},
+			missWrite:    {7, evict}, // pw forces read-dominated (Section 4.2.2)
+			missWriteSub: {7, evict},
+		},
+		6: { // pw & read-dominated clean
+			hitRead:      {6, none},
+			hitWrite:     {7, none},
+			hitWriteSub:  {7, none},
+			missRead:     {6, none},
+			missWrite:    {7, none},
+			missWriteSub: {7, none},
+		},
+		7: { // pw & read-dominated dirty
+			hitRead:      {7, none},
+			hitWrite:     {7, none},
+			hitWriteSub:  {7, none},
+			missRead:     {2, checkpoint},
+			missWrite:    {1, checkpoint},
+			missWriteSub: {3, checkpoint},
+		},
+	}
+
+	for state, rows := range table {
+		for ev, want := range rows {
+			state, ev, want := state, ev, want
+			t.Run(eventNames[ev]+"/from-state", func(t *testing.T) {
+				r := newRig(t, 4, 1, WARCacheBits, false)
+				cur := setups[state](r)
+				if got := r.bits(cur); got != state {
+					t.Fatalf("setup for state %d produced %d", state, got)
+				}
+				ckptsBefore := r.c.Checkpoints
+				evictsBefore := r.c.SafeEvictions
+
+				target := cur
+				if ev >= missRead {
+					target = a + b - cur // the other same-set address
+				}
+				switch ev {
+				case hitRead, missRead:
+					r.k.Load(target, 4)
+				case hitWrite, missWrite:
+					r.k.Store(target, 4, 0x42)
+				case hitWriteSub, missWriteSub:
+					r.k.Store(target, 1, 0x42)
+				}
+
+				if got := r.bits(target); got != want.state {
+					t.Errorf("state %d + %s: reached state %d, want %d",
+						state, eventNames[ev], got, want.state)
+				}
+				gotCkpt := r.c.Checkpoints - ckptsBefore
+				gotEvict := r.c.SafeEvictions - evictsBefore
+				switch want.action {
+				case none:
+					if gotCkpt != 0 || gotEvict != 0 {
+						t.Errorf("state %d + %s: unexpected action (ckpt=%d evict=%d)",
+							state, eventNames[ev], gotCkpt, gotEvict)
+					}
+				case evict:
+					if gotCkpt != 0 || gotEvict != 1 {
+						t.Errorf("state %d + %s: want safe eviction, got ckpt=%d evict=%d",
+							state, eventNames[ev], gotCkpt, gotEvict)
+					}
+				case checkpoint:
+					if gotCkpt != 1 {
+						t.Errorf("state %d + %s: want checkpoint, got %d", state, eventNames[ev], gotCkpt)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,376 @@
+// Package emu implements the RV32IM processor emulator: the role ICEmu plays
+// in the paper (Section 5.1). It executes programs instruction by
+// instruction against a pluggable memory system (sim.System), owns the
+// simulation clock and the power-failure schedule, duplicates every data
+// access into the correctness verifier, and runs the reboot/restore path
+// after each power failure.
+//
+// Cost model (Section 5.2): every instruction retires in one base cycle —
+// the in-order single-issue E21-style pipeline — and data accesses add the
+// cache/NVM latency charged inside the memory system. Instruction fetch is
+// charged identically (zero extra) for every system, so normalized
+// comparisons between systems are unaffected.
+package emu
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"nacho/internal/isa"
+	"nacho/internal/mem"
+	"nacho/internal/metrics"
+	"nacho/internal/power"
+	"nacho/internal/sim"
+	"nacho/internal/verify"
+)
+
+// Memory-mapped I/O registers. Stores to these bypass the memory system.
+const (
+	MMIOBase    = 0x000F_0000
+	ExitAddr    = MMIOBase + 0x0 // store: halt; value is the exit status
+	ResultAddr  = MMIOBase + 0x4 // store: report a result word (golden check)
+	PutcharAddr = MMIOBase + 0x8 // store: append low byte to the output
+)
+
+// Config tunes one emulation run.
+type Config struct {
+	// Schedule injects power failures; power.None{} runs failure-free.
+	Schedule power.Schedule
+	// ForcedCheckpointPeriod, when non-zero, creates a checkpoint every this
+	// many cycles after each boot (the paper's n/2 forward-progress rule).
+	ForcedCheckpointPeriod uint64
+	// ForcedCheckpointMargin starts each forced checkpoint this many cycles
+	// early so it *completes* inside the on-window when the failure schedule
+	// is periodic and known (the Table 2 setup): a checkpoint that collides
+	// with the failure instant would otherwise never commit and a
+	// checkpoint-free workload would lose half of every window. Defaults to
+	// 4096 cycles (a generous bound on one checkpoint), clamped to a quarter
+	// of the period.
+	ForcedCheckpointMargin uint64
+	// MaxInstructions aborts runaway programs; 0 means a generous default.
+	MaxInstructions uint64
+	// Verifier, when non-nil, receives every CPU access (shadow memory) and
+	// power event. Systems additionally report write-backs to it.
+	Verifier *verify.Verifier
+	// Trace, when non-nil, receives one line per retired instruction
+	// (cycle, pc, disassembly) plus reboot markers — the debugging view
+	// ICEmu's plugins provide in the paper's setup.
+	Trace io.Writer
+}
+
+const defaultMaxInstructions = 2_000_000_000
+
+// Result summarizes a completed run.
+type Result struct {
+	ExitCode uint32
+	Result   uint32 // last value stored to ResultAddr
+	Results  []uint32
+	Output   []byte // bytes stored to PutcharAddr
+	Counters metrics.Counters
+}
+
+// Machine is one emulated processor wired to a memory system. It implements
+// sim.Clock and sim.RegSource for that system.
+type Machine struct {
+	regs [32]uint32
+	pc   uint32
+
+	text      []isa.Instr
+	textBase  uint32
+	entry     uint32
+	initialSP uint32
+
+	sys   sim.System
+	sched power.Schedule
+	ver   *verify.Verifier
+	cfg   Config
+
+	cycle       uint64
+	nextFailure uint64
+	failEnabled bool
+	nextForced  uint64
+
+	c metrics.Counters
+
+	halted     bool
+	stackFault bool
+	exitCode   uint32
+	results    []uint32
+	output     []byte
+}
+
+// errPowerFail converts the PowerFail panic into control flow inside Run.
+var errPowerFail = errors.New("power failure")
+
+// New creates a machine executing the decoded text segment at textBase,
+// starting at entry with the stack pointer at initialSP. The system is
+// attached (clock, registers, counters) and its boot checkpoint initialized.
+func New(sys sim.System, text []isa.Instr, textBase, entry, initialSP uint32, cfg Config) *Machine {
+	if cfg.Schedule == nil {
+		cfg.Schedule = power.None{}
+	}
+	if cfg.MaxInstructions == 0 {
+		cfg.MaxInstructions = defaultMaxInstructions
+	}
+	if cfg.ForcedCheckpointPeriod > 0 {
+		if cfg.ForcedCheckpointMargin == 0 {
+			cfg.ForcedCheckpointMargin = 4096
+		}
+		if max := cfg.ForcedCheckpointPeriod / 4; cfg.ForcedCheckpointMargin > max {
+			cfg.ForcedCheckpointMargin = max
+		}
+	}
+	m := &Machine{
+		text:      text,
+		textBase:  textBase,
+		entry:     entry,
+		initialSP: initialSP,
+		sys:       sys,
+		sched:     cfg.Schedule,
+		ver:       cfg.Verifier,
+		cfg:       cfg,
+	}
+	m.resetToEntry()
+	m.failEnabled = true
+	m.nextFailure = m.sched.NextFailureAfter(0)
+	m.nextForced = cfg.ForcedCheckpointPeriod
+	sys.Attach(m, m, &m.c)
+	return m
+}
+
+// DecodeText decodes an assembled text segment into instructions.
+func DecodeText(data []byte) ([]isa.Instr, error) {
+	if len(data)%4 != 0 {
+		return nil, fmt.Errorf("emu: text size %d is not word-aligned", len(data))
+	}
+	out := make([]isa.Instr, len(data)/4)
+	for i := range out {
+		w := uint32(data[4*i]) | uint32(data[4*i+1])<<8 | uint32(data[4*i+2])<<16 | uint32(data[4*i+3])<<24
+		in, err := isa.Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("emu: text word %d: %w", i, err)
+		}
+		out[i] = in
+	}
+	return out, nil
+}
+
+// Now implements sim.Clock.
+func (m *Machine) Now() uint64 { return m.cycle }
+
+// Advance implements sim.Clock: it charges cycles and raises PowerFail at
+// the scheduled failure instant.
+func (m *Machine) Advance(n uint64) {
+	target := m.cycle + n
+	if m.failEnabled && m.nextFailure <= target {
+		m.cycle = m.nextFailure
+		panic(sim.PowerFail{})
+	}
+	m.cycle = target
+}
+
+// DeferFailures implements sim.EnergyReserve: power failures are held back
+// until the returned release runs; a failure whose instant passes inside the
+// window fires at release (the reserve is exhausted).
+func (m *Machine) DeferFailures() func() {
+	if !m.failEnabled {
+		return func() {}
+	}
+	m.failEnabled = false
+	return func() {
+		m.failEnabled = true
+		if m.nextFailure <= m.cycle {
+			panic(sim.PowerFail{})
+		}
+	}
+}
+
+// RegSnapshot implements sim.RegSource: the live registers plus the PC of
+// the in-flight instruction — exactly the state to resume from, since
+// register write-back happens after all memory effects.
+func (m *Machine) RegSnapshot() sim.Snapshot {
+	var s sim.Snapshot
+	copy(s.Regs[:], m.regs[1:])
+	s.PC = m.pc
+	return s
+}
+
+func (m *Machine) resetToEntry() {
+	m.regs = [32]uint32{}
+	m.regs[isa.SP] = m.initialSP
+	m.pc = m.entry
+	m.sys.NotifySP(m.initialSP)
+}
+
+func (m *Machine) applySnapshot(s sim.Snapshot) {
+	m.regs[0] = 0
+	copy(m.regs[1:], s.Regs[:])
+	m.pc = s.PC
+	m.sys.NotifySP(m.regs[isa.SP])
+}
+
+// Run executes until the program halts (a store to ExitAddr or an EBREAK),
+// handling power failures along the way.
+func (m *Machine) Run() (Result, error) {
+	var runErr error
+	for !m.halted && runErr == nil {
+		err := m.runSlice()
+		switch {
+		case err == nil:
+			// halted
+		case errors.Is(err, errPowerFail):
+			m.reboot()
+		default:
+			runErr = err
+		}
+	}
+	res := Result{
+		ExitCode: m.exitCode,
+		Results:  m.results,
+		Output:   m.output,
+		Counters: m.c,
+	}
+	if len(m.results) > 0 {
+		res.Result = m.results[len(m.results)-1]
+	}
+	res.Counters.Cycles = m.cycle
+	if runErr != nil {
+		return res, runErr
+	}
+	if m.ver != nil {
+		return res, m.ver.Err()
+	}
+	return res, nil
+}
+
+// runSlice executes instructions until halt or the next power failure.
+func (m *Machine) runSlice() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(sim.PowerFail); ok {
+				err = errPowerFail
+				return
+			}
+			panic(r)
+		}
+	}()
+	for !m.halted {
+		if m.c.Instructions >= m.cfg.MaxInstructions {
+			return fmt.Errorf("emu: instruction limit %d exceeded at pc=0x%08x", m.cfg.MaxInstructions, m.pc)
+		}
+		if m.cfg.ForcedCheckpointPeriod > 0 && m.cycle+m.cfg.ForcedCheckpointMargin >= m.nextForced {
+			m.sys.ForceCheckpoint()
+			for m.nextForced <= m.cycle+m.cfg.ForcedCheckpointMargin {
+				m.nextForced += m.cfg.ForcedCheckpointPeriod
+			}
+		}
+		if e := m.step(); e != nil {
+			return e
+		}
+		if m.stackFault {
+			return fmt.Errorf("emu: stack pointer 0x%08x left the stack region at pc=0x%08x", m.regs[isa.SP], m.pc)
+		}
+	}
+	return nil
+}
+
+// traceInstr emits one trace line for the in-flight instruction.
+func (m *Machine) traceInstr(in isa.Instr) {
+	fmt.Fprintf(m.cfg.Trace, "%10d  %08x  %v\n", m.cycle, m.pc, in)
+}
+
+// reboot runs the power-failure and restore path. Failures are disabled
+// while restoring: the device reboots only once its storage capacitor holds
+// enough energy for the restore sequence (the paper's forward-progress
+// assumption).
+func (m *Machine) reboot() {
+	if m.cfg.Trace != nil {
+		fmt.Fprintf(m.cfg.Trace, "%10d  -- power failure, rebooting --\n", m.cycle)
+	}
+	m.c.PowerFailures++
+	m.failEnabled = false
+	m.sys.PowerFailure()
+	m.ver.PowerFailure()
+	start := m.cycle
+	if snap, ok := m.sys.Restore(); ok {
+		m.applySnapshot(snap)
+	} else {
+		m.resetToEntry()
+	}
+	m.c.RestoreCycles += m.cycle - start
+	m.failEnabled = true
+	m.nextFailure = m.sched.NextFailureAfter(m.cycle)
+	if m.cfg.ForcedCheckpointPeriod > 0 {
+		m.nextForced = m.cycle + m.cfg.ForcedCheckpointPeriod
+	}
+}
+
+func (m *Machine) fetch() (isa.Instr, error) {
+	off := m.pc - m.textBase
+	if m.pc%4 != 0 || off/4 >= uint32(len(m.text)) {
+		return isa.Instr{}, fmt.Errorf("emu: pc 0x%08x outside text segment", m.pc)
+	}
+	return m.text[off/4], nil
+}
+
+// stackGuard is how far below the initial stack pointer the stack may grow
+// before the emulator reports an overflow (a program bug: the memory map
+// reserves this band between .data and the stack).
+const stackGuard = 0x8000
+
+func (m *Machine) setReg(r isa.Reg, v uint32) {
+	if r == isa.Zero {
+		return
+	}
+	m.regs[r] = v
+	if r == isa.SP {
+		if v < m.initialSP-stackGuard || v > m.initialSP {
+			m.stackFault = true
+		}
+		m.sys.NotifySP(v)
+	}
+}
+
+// load issues a data read through the memory system (or MMIO) and feeds the
+// shadow verifier with the raw zero-extended value.
+func (m *Machine) load(addr uint32, size int) (uint32, error) {
+	if err := mem.CheckAligned(addr, size); err != nil {
+		return 0, fmt.Errorf("emu: pc 0x%08x: %w", m.pc, err)
+	}
+	if addr >= MMIOBase && addr < MMIOBase+0x1000 {
+		m.Advance(1)
+		return 0, nil
+	}
+	v := m.sys.Load(addr, size)
+	m.ver.CPURead(addr, size, v)
+	return v, nil
+}
+
+func (m *Machine) store(addr uint32, size int, val uint32) error {
+	if err := mem.CheckAligned(addr, size); err != nil {
+		return fmt.Errorf("emu: pc 0x%08x: %w", m.pc, err)
+	}
+	if addr >= MMIOBase && addr < MMIOBase+0x1000 {
+		m.Advance(1)
+		switch addr {
+		case ExitAddr:
+			m.halted = true
+			m.exitCode = val
+		case ResultAddr:
+			m.results = append(m.results, val)
+		case PutcharAddr:
+			m.output = append(m.output, byte(val))
+		}
+		return nil
+	}
+	switch size {
+	case 1:
+		val &= 0xFF
+	case 2:
+		val &= 0xFFFF
+	}
+	m.sys.Store(addr, size, val)
+	m.ver.CPUWrite(addr, size, val)
+	return nil
+}

@@ -1,0 +1,29 @@
+package energy
+
+import (
+	"testing"
+
+	"nacho/internal/metrics"
+)
+
+func TestEstimateBreakdown(t *testing.T) {
+	m := Model{InstructionPJ: 1, CacheAccessPJ: 2, NVMReadPJByte: 3, NVMWritePJByte: 4}
+	c := metrics.Counters{Instructions: 10, CacheHits: 3, CacheMisses: 2, NVMReadBytes: 5, NVMWriteBytes: 7}
+	b := m.Estimate(c)
+	if b.CorePJ != 10 || b.CachePJ != 10 || b.NVMReadPJ != 15 || b.NVMWritePJ != 28 {
+		t.Errorf("breakdown = %+v", b)
+	}
+	if b.TotalPJ() != 63 {
+		t.Errorf("total = %f", b.TotalPJ())
+	}
+	if b.TotalUJ() != 63e-6 {
+		t.Errorf("uJ = %g", b.TotalUJ())
+	}
+}
+
+func TestDefaultModelOrdering(t *testing.T) {
+	m := DefaultModel()
+	if !(m.NVMWritePJByte > m.NVMReadPJByte && m.NVMReadPJByte > m.CacheAccessPJ) {
+		t.Errorf("NVM/SRAM cost ordering violated: %+v", m)
+	}
+}

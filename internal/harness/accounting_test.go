@@ -1,0 +1,60 @@
+package harness_test
+
+import (
+	"testing"
+
+	"nacho/internal/harness"
+	"nacho/internal/program"
+	"nacho/internal/systems"
+)
+
+// TestCycleAccountingIdentities pins the cost model exactly: for the
+// cacheless systems every cycle is attributable, so the counters must
+// satisfy closed-form identities. Any double-charging or missed charge in
+// the memory systems breaks these.
+func TestCycleAccountingIdentities(t *testing.T) {
+	p, _ := program.ByName("crc")
+	img, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = img
+
+	// Volatile: cycles = instructions + 2 per SRAM access + 1 per MMIO op.
+	res, err := harness.Run(p, systems.KindVolatile, harness.DefaultRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mmio := uint64(len(res.Results)) + 1 + uint64(len(res.Output))
+	want := res.Counters.Instructions + 2*res.Counters.CacheHits + mmio
+	if res.Counters.Cycles != want {
+		t.Errorf("volatile: cycles=%d, identity gives %d", res.Counters.Cycles, want)
+	}
+
+	// Clank: cycles = instructions + 6 per NVM access + 1 per MMIO op
+	// (checkpoint traffic is NVM accesses too, so it is already included).
+	res, err = harness.Run(p, systems.KindClank, harness.DefaultRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mmio = uint64(len(res.Results)) + 1 + uint64(len(res.Output))
+	want = res.Counters.Instructions + 6*(res.Counters.NVMReads+res.Counters.NVMWrites) + mmio
+	if res.Counters.Cycles != want {
+		t.Errorf("clank: cycles=%d, identity gives %d", res.Counters.Cycles, want)
+	}
+
+	// NACHO: cycles = instructions + 2 per cache access + 6 per NVM access
+	// + 1 per MMIO op (every fill, write-back and checkpoint word is an NVM
+	// access).
+	res, err = harness.Run(p, systems.KindNACHO, harness.DefaultRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mmio = uint64(len(res.Results)) + 1 + uint64(len(res.Output))
+	want = res.Counters.Instructions +
+		2*(res.Counters.CacheHits+res.Counters.CacheMisses) +
+		6*(res.Counters.NVMReads+res.Counters.NVMWrites) + mmio
+	if res.Counters.Cycles != want {
+		t.Errorf("nacho: cycles=%d, identity gives %d", res.Counters.Cycles, want)
+	}
+}

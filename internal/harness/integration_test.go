@@ -1,0 +1,130 @@
+package harness_test
+
+import (
+	"testing"
+
+	"nacho/internal/harness"
+	"nacho/internal/power"
+	"nacho/internal/program"
+	"nacho/internal/systems"
+)
+
+// TestAllBenchmarksAllSystems is the core integration matrix: every
+// benchmark under every system, failure-free, with shadow memory, exact WAR
+// checking, and the reference checksum all enforced.
+func TestAllBenchmarksAllSystems(t *testing.T) {
+	for _, p := range program.All() {
+		for _, kind := range systems.AllKinds() {
+			p, kind := p, kind
+			t.Run(p.Name+"/"+string(kind), func(t *testing.T) {
+				t.Parallel()
+				if _, err := harness.Run(p, kind, harness.DefaultRunConfig()); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestSmallCacheAllSystems re-runs the matrix with the paper's small 256 B
+// configuration, where evictions (and therefore WAR decisions) are frequent.
+func TestSmallCacheAllSystems(t *testing.T) {
+	for _, p := range program.All() {
+		for _, kind := range systems.AllKinds() {
+			p, kind := p, kind
+			t.Run(p.Name+"/"+string(kind), func(t *testing.T) {
+				t.Parallel()
+				cfg := harness.DefaultRunConfig()
+				cfg.CacheSize = 256
+				if _, err := harness.Run(p, kind, cfg); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestIntermittentExecution injects periodic power failures (with the
+// paper's n/2 forward-progress checkpoint rule) and checks that every
+// system still computes the reference result. The volatile baseline is
+// excluded — it cannot survive power failures by design.
+func TestIntermittentExecution(t *testing.T) {
+	kinds := []systems.Kind{
+		systems.KindClank, systems.KindPROWL, systems.KindReplayCache,
+		systems.KindNaiveNACHO, systems.KindNACHO, systems.KindOracleNACHO,
+		systems.KindWriteThrough,
+	}
+	for _, p := range program.All() {
+		for _, kind := range kinds {
+			p, kind := p, kind
+			t.Run(p.Name+"/"+string(kind), func(t *testing.T) {
+				t.Parallel()
+				cfg := harness.DefaultRunConfig()
+				const onDuration = 50_000 // 1 ms at 50 MHz
+				cfg.Schedule = power.Periodic{Period: onDuration}
+				cfg.ForcedCheckpointPeriod = onDuration / 2
+				res, err := harness.Run(p, kind, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Counters.PowerFailures == 0 {
+					t.Fatal("expected at least one power failure")
+				}
+			})
+		}
+	}
+}
+
+// TestExtensionsUnderFailures runs the Section 8 extension configurations
+// (adaptive checkpointing, energy prediction) under periodic power failures:
+// correctness must be preserved — energy prediction in particular relies on
+// the deferred-failure guarantee window.
+func TestExtensionsUnderFailures(t *testing.T) {
+	for _, p := range program.All() {
+		p := p
+		t.Run(p.Name+"/adaptive", func(t *testing.T) {
+			t.Parallel()
+			cfg := harness.DefaultRunConfig()
+			cfg.DirtyThreshold = 16
+			cfg.Schedule = power.Periodic{Period: 50_000}
+			cfg.ForcedCheckpointPeriod = 25_000
+			if _, err := harness.Run(p, systems.KindNACHO, cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+		t.Run(p.Name+"/energy-prediction", func(t *testing.T) {
+			t.Parallel()
+			cfg := harness.DefaultRunConfig()
+			cfg.EnergyPrediction = true
+			cfg.Schedule = power.NewUniform(5_000, 80_000, 7)
+			cfg.ForcedCheckpointPeriod = 2_500
+			res, err := harness.Run(p, systems.KindNACHO, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Counters.PowerFailures == 0 {
+				t.Fatal("expected power failures")
+			}
+		})
+	}
+}
+
+// TestRandomFailures stresses recovery with seeded random on-durations so
+// failures land at arbitrary points, including inside checkpoints.
+func TestRandomFailures(t *testing.T) {
+	kinds := []systems.Kind{systems.KindNACHO, systems.KindClank, systems.KindReplayCache}
+	for _, p := range program.All() {
+		for _, kind := range kinds {
+			p, kind := p, kind
+			t.Run(p.Name+"/"+string(kind), func(t *testing.T) {
+				t.Parallel()
+				cfg := harness.DefaultRunConfig()
+				cfg.Schedule = power.NewUniform(5_000, 80_000, 42)
+				cfg.ForcedCheckpointPeriod = 2_500
+				if _, err := harness.Run(p, kind, cfg); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}

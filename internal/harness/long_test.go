@@ -1,0 +1,43 @@
+package harness_test
+
+import (
+	"testing"
+
+	"nacho/internal/harness"
+	"nacho/internal/power"
+	"nacho/internal/program"
+	"nacho/internal/systems"
+)
+
+// TestLongVariants verifies every scaled-up benchmark end to end under NACHO
+// (golden checksum, shadow memory, WAR detection), including one intermittent
+// run. Skipped with -short: the long variants simulate 50-200 ms each.
+func TestLongVariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long variants skipped with -short")
+	}
+	for _, name := range program.LongNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			p, _ := program.ByName(name)
+			if _, err := harness.Run(p, systems.KindNACHO, harness.DefaultRunConfig()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	t.Run("crc-long/intermittent", func(t *testing.T) {
+		t.Parallel()
+		p, _ := program.ByName("crc-long")
+		cfg := harness.DefaultRunConfig()
+		cfg.Schedule = power.Periodic{Period: 2_500_000} // 50 ms on-duration
+		cfg.ForcedCheckpointPeriod = 1_250_000
+		res, err := harness.Run(p, systems.KindNACHO, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Counters.PowerFailures == 0 {
+			t.Error("expected failures over a 200 ms run at 50 ms on-duration")
+		}
+	})
+}

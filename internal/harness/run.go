@@ -1,0 +1,125 @@
+// Package harness runs benchmarks under systems and regenerates the paper's
+// tables and figures (Section 6.2). It is the engine behind cmd/nachobench,
+// the integration tests, and the root bench_test.go.
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"nacho/internal/emu"
+	"nacho/internal/mem"
+	"nacho/internal/power"
+	"nacho/internal/program"
+	"nacho/internal/systems"
+	"nacho/internal/verify"
+)
+
+// RunConfig parameterizes one benchmark execution.
+type RunConfig struct {
+	CacheSize int // bytes; ignored by cacheless systems
+	Ways      int
+	Schedule  power.Schedule // nil = always-on
+	// ForcedCheckpointPeriod in cycles (0 = none); the paper uses half the
+	// power-failure on-duration.
+	ForcedCheckpointPeriod uint64
+	// Verify enables shadow memory + exact WAR checking, and asserts the
+	// program reports its reference checksum.
+	Verify bool
+	// MaxInstructions overrides the emulator's runaway guard (0 = default).
+	MaxInstructions uint64
+	Cost            mem.CostModel
+
+	// DirtyThreshold and EnergyPrediction enable the Section 8 extension
+	// policies on NACHO-family systems (see systems.Config).
+	DirtyThreshold   int
+	EnergyPrediction bool
+
+	// Trace receives a per-instruction execution trace when non-nil.
+	Trace io.Writer
+	// ForcedCheckpointMargin is passed to the emulator (see emu.Config).
+	ForcedCheckpointMargin uint64
+}
+
+// DefaultRunConfig is the paper's headline configuration: a 2-way 512 B
+// cache with the Section 5.2 cost model, verification on.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{CacheSize: 512, Ways: 2, Verify: true, Cost: mem.DefaultCostModel()}
+}
+
+// Run executes one benchmark under one system and returns the emulator
+// result. With cfg.Verify set it fails on any shadow/WAR violation or on a
+// checksum mismatch against the Go reference implementation.
+func Run(p *program.Program, kind systems.Kind, cfg RunConfig) (emu.Result, error) {
+	img, err := p.Build()
+	if err != nil {
+		return emu.Result{}, err
+	}
+	return RunImage(img, kind, cfg, true)
+}
+
+// RunImage executes an assembled image (a built-in benchmark or a caller-
+// supplied program) under one system. checkGolden additionally compares the
+// program's reported result word against the image's expected checksum.
+func RunImage(img *program.Image, kind systems.Kind, cfg RunConfig, checkGolden bool) (emu.Result, error) {
+	if cfg.Cost == (mem.CostModel{}) {
+		cfg.Cost = mem.DefaultCostModel()
+	}
+
+	space := mem.NewSpace()
+	for _, seg := range img.Segments {
+		end := seg.Addr + uint32(len(seg.Data))
+		// The image must stay clear of the stack guard band and the
+		// checkpoint area (see program's memory map).
+		if seg.Addr < program.StackTop && end > program.StackTop-0x8000 {
+			return emu.Result{}, fmt.Errorf("%s: segment [%#x,%#x) overlaps the stack region", img.Program.Name, seg.Addr, end)
+		}
+		if end > program.CheckpointBase && seg.Addr < program.CheckpointBase+0x10000 {
+			return emu.Result{}, fmt.Errorf("%s: segment [%#x,%#x) overlaps the checkpoint area", img.Program.Name, seg.Addr, end)
+		}
+		space.LoadBytes(seg.Addr, seg.Data)
+	}
+
+	sys, err := systems.Build(kind, space, systems.Config{
+		CacheSize:        cfg.CacheSize,
+		Ways:             cfg.Ways,
+		StackTop:         program.StackTop,
+		CheckpointBase:   program.CheckpointBase,
+		Cost:             cfg.Cost,
+		DirtyThreshold:   cfg.DirtyThreshold,
+		EnergyPrediction: cfg.EnergyPrediction,
+	})
+	if err != nil {
+		return emu.Result{}, err
+	}
+
+	var ver *verify.Verifier
+	if cfg.Verify {
+		ver = verify.New(space, systems.VerifyConfigFor(kind))
+		systems.AttachVerifier(sys, ver)
+	}
+
+	machine := emu.New(sys, img.Text, program.TextBase, img.Entry, program.StackTop, emu.Config{
+		Schedule:               cfg.Schedule,
+		ForcedCheckpointPeriod: cfg.ForcedCheckpointPeriod,
+		ForcedCheckpointMargin: cfg.ForcedCheckpointMargin,
+		MaxInstructions:        cfg.MaxInstructions,
+		Verifier:               ver,
+		Trace:                  cfg.Trace,
+	})
+	res, err := machine.Run()
+	name := img.Program.Name
+	if err != nil {
+		return res, fmt.Errorf("%s on %s: %w", name, kind, err)
+	}
+	if cfg.Verify && checkGolden {
+		if res.ExitCode != 0 {
+			return res, fmt.Errorf("%s on %s: exit code %d", name, kind, res.ExitCode)
+		}
+		if res.Result != img.Expected {
+			return res, fmt.Errorf("%s on %s: result 0x%08x, reference 0x%08x",
+				name, kind, res.Result, img.Expected)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,186 @@
+package harness_test
+
+import (
+	"fmt"
+	"testing"
+
+	"nacho/internal/harness"
+	"nacho/internal/power"
+	"nacho/internal/program"
+	"nacho/internal/systems"
+)
+
+// sweepProgram is a compact workload mixing every consistency hazard: WARs on
+// a .data word, image-initialized data updated in place, recursion with dead
+// stack frames, and sub-word accesses. It reports an order-sensitive
+// checksum.
+const sweepProgram = `
+	.data
+	.balign 4
+vals:	.word 5, 3, 9, 1, 7, 2, 8, 4
+acc:	.word 0
+bytes:	.byte 1, 2, 3, 4
+	.text
+# sum(a1 = index): recursive sum of vals[0..a1], with a frame per level.
+sum:
+	addi sp, sp, -8
+	sw   ra, 4(sp)
+	sw   a1, 0(sp)
+	beqz a1, sum_base
+	addi a1, a1, -1
+	call sum
+	lw   a1, 0(sp)
+	slli t0, a1, 2
+	la   t1, vals
+	add  t1, t1, t0
+	lw   t1, (t1)
+	add  a0, a0, t1
+	j    sum_ret
+sum_base:
+	la   t1, vals
+	lw   t1, (t1)
+	add  a0, a0, t1
+sum_ret:
+	lw   ra, 4(sp)
+	addi sp, sp, 8
+	ret
+
+_start:
+	li   s4, 0
+	li   s5, 6                  # outer iterations
+outer:
+	# In-place update of image-initialized data (WARs).
+	la   a2, vals
+	li   t2, 0
+bump:
+	slli t0, t2, 2
+	add  t0, a2, t0
+	lw   t1, (t0)
+	addi t1, t1, 1
+	sw   t1, (t0)
+	addi t2, t2, 1
+	li   t0, 8
+	bne  t2, t0, bump
+	# Recursive sum into a register, accumulated through a .data word.
+	li   a0, 0
+	li   a1, 7
+	call sum
+	la   t0, acc
+	lw   t1, (t0)
+	add  t1, t1, a0
+	sw   t1, (t0)
+	# Sub-word traffic on image-initialized bytes.
+	la   t0, bytes
+	lbu  t1, 1(t0)
+	addi t1, t1, 1
+	sb   t1, 1(t0)
+	# Fold into the running checksum.
+	la   t0, acc
+	lw   t1, (t0)
+	xor  s4, s4, t1
+	slli t1, s4, 13
+	xor  s4, s4, t1
+	srli t1, s4, 17
+	xor  s4, s4, t1
+	slli t1, s4, 5
+	xor  s4, s4, t1
+	addi s5, s5, -1
+	bnez s5, outer
+
+	mv   a0, s4
+	li   t0, 0x000F0004
+	sw   a0, (t0)
+	li   t0, 0x000F0000
+	sw   zero, (t0)
+`
+
+// TestIncorruptibilitySweep is the total-incorruptibility property (paper
+// Section 4.1): for every recovery-capable system, inject a power failure at
+// EVERY individual cycle of the sweep program — including inside
+// checkpoints, evictions and restores — and require the correct final
+// checksum plus clean shadow/WAR verification every time.
+func TestIncorruptibilitySweep(t *testing.T) {
+	img, err := program.FromSource("sweep", sweepProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference result and cycle count per system, failure-free.
+	kinds := []systems.Kind{
+		systems.KindClank, systems.KindPROWL, systems.KindNaiveNACHO,
+		systems.KindNACHO, systems.KindOracleNACHO, systems.KindWriteThrough,
+	}
+	cfgFor := func(sched power.Schedule) harness.RunConfig {
+		cfg := harness.DefaultRunConfig()
+		cfg.CacheSize = 64 // small cache: evictions and checkpoints galore
+		cfg.Schedule = sched
+		return cfg
+	}
+	for _, kind := range kinds {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			t.Parallel()
+			base, err := harness.RunImage(img, kind, cfgFor(nil), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := base.Result
+			total := base.Counters.Cycles
+			if total < 500 {
+				t.Fatalf("sweep program too short: %d cycles", total)
+			}
+			// Stride 1 would be ~20k runs; stride 3 still lands inside every
+			// checkpoint (they are hundreds of cycles long).
+			for k := uint64(1); k < total; k += 3 {
+				res, err := harness.RunImage(img, kind, cfgFor(power.NewAt(k)), false)
+				if err != nil {
+					t.Fatalf("failure@%d: %v", k, err)
+				}
+				if res.Result != want {
+					t.Fatalf("failure@%d: result %#x, want %#x", k, res.Result, want)
+				}
+				if res.Counters.PowerFailures != 1 {
+					t.Fatalf("failure@%d: %d failures recorded", k, res.Counters.PowerFailures)
+				}
+			}
+		})
+	}
+}
+
+// TestDoubleFailureSweep places failure PAIRS so the second failure lands
+// during recovery-adjacent execution shortly after the first.
+func TestDoubleFailureSweep(t *testing.T) {
+	img, err := program.FromSource("sweep", sweepProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []systems.Kind{systems.KindNACHO, systems.KindClank} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			t.Parallel()
+			cfg := harness.DefaultRunConfig()
+			cfg.CacheSize = 64
+			base, err := harness.RunImage(img, kind, cfg, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := base.Result
+			total := base.Counters.Cycles
+			for k := uint64(10); k < total; k += 29 {
+				for _, gap := range []uint64{7, 211} {
+					cfg := harness.DefaultRunConfig()
+					cfg.CacheSize = 64
+					cfg.Schedule = power.NewAt(k, k+gap)
+					res, err := harness.RunImage(img, kind, cfg, false)
+					if err != nil {
+						t.Fatalf("failures@%d,%d: %v", k, k+gap, err)
+					}
+					if res.Result != want {
+						t.Fatalf("failures@%d,%d: result %#x, want %#x (%s)",
+							k, k+gap, res.Result, want, fmt.Sprint(kind))
+					}
+				}
+			}
+		})
+	}
+}

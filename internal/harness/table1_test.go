@@ -1,0 +1,61 @@
+package harness_test
+
+import (
+	"testing"
+
+	"nacho/internal/harness"
+	"nacho/internal/program"
+	"nacho/internal/systems"
+)
+
+// TestTable1FeatureBitsBehavioural ties the paper's Table 1 feature matrix
+// to observable behaviour: each testable feature bit is checked against the
+// corresponding system's counters on a common workload.
+func TestTable1FeatureBitsBehavioural(t *testing.T) {
+	p, _ := program.ByName("coremark")
+	run := func(kind systems.Kind) (c struct {
+		hits, ckpts, nvmBytes uint64
+	}) {
+		res, err := harness.Run(p, kind, harness.DefaultRunConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.hits = res.Counters.CacheHits
+		c.ckpts = res.Counters.Checkpoints
+		c.nvmBytes = res.Counters.NVMBytes()
+		return c
+	}
+
+	clank := run(systems.KindClank)
+	prowl := run(systems.KindPROWL)
+	rc := run(systems.KindReplayCache)
+	nacho := run(systems.KindNACHO)
+
+	// "supports data cache": everyone but Clank serves hits from a cache.
+	if clank.hits != 0 {
+		t.Error("clank reported cache hits (it is cacheless)")
+	}
+	for name, c := range map[string]uint64{"prowl": prowl.hits, "replaycache": rc.hits, "nacho": nacho.hits} {
+		if c == 0 {
+			t.Errorf("%s reported no cache hits", name)
+		}
+	}
+
+	// "low checkpoint count": the cache-based systems need far fewer
+	// checkpoints than Clank; ReplayCache none at all without failures.
+	if prowl.ckpts*2 > clank.ckpts || nacho.ckpts*2 > clank.ckpts {
+		t.Errorf("checkpoint counts not clearly below Clank: clank=%d prowl=%d nacho=%d",
+			clank.ckpts, prowl.ckpts, nacho.ckpts)
+	}
+	if rc.ckpts != 0 {
+		t.Errorf("replaycache created %d checkpoints without power failures", rc.ckpts)
+	}
+
+	// "low NVM reads/writes": every cache-based system moves far fewer NVM
+	// bytes than Clank on this workload.
+	for name, b := range map[string]uint64{"prowl": prowl.nvmBytes, "replaycache": rc.nvmBytes, "nacho": nacho.nvmBytes} {
+		if b*2 > clank.nvmBytes {
+			t.Errorf("%s NVM bytes (%d) not clearly below clank (%d)", name, b, clank.nvmBytes)
+		}
+	}
+}

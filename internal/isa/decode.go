@@ -1,0 +1,155 @@
+package isa
+
+import "fmt"
+
+// Major opcodes of the RV32 base encoding (bits 6:0).
+const (
+	opcLUI    = 0x37
+	opcAUIPC  = 0x17
+	opcJAL    = 0x6F
+	opcJALR   = 0x67
+	opcBranch = 0x63
+	opcLoad   = 0x03
+	opcStore  = 0x23
+	opcOpImm  = 0x13
+	opcOp     = 0x33
+	opcFence  = 0x0F
+	opcSystem = 0x73
+)
+
+// DecodeError describes a machine word that is not a valid RV32IM instruction.
+type DecodeError struct {
+	Word uint32
+}
+
+// Error implements the error interface.
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("isa: cannot decode instruction word 0x%08x", e.Word)
+}
+
+func signExtend(v uint32, bits uint) int32 {
+	shift := 32 - bits
+	return int32(v<<shift) >> shift
+}
+
+func immI(w uint32) int32 { return signExtend(w>>20, 12) }
+
+func immS(w uint32) int32 {
+	v := (w>>7)&0x1F | (w>>25)<<5
+	return signExtend(v, 12)
+}
+
+func immB(w uint32) int32 {
+	v := (w>>8)&0xF<<1 | (w>>25)&0x3F<<5 | (w>>7)&1<<11 | (w>>31)<<12
+	return signExtend(v, 13)
+}
+
+func immU(w uint32) int32 { return int32(w & 0xFFFFF000) }
+
+func immJ(w uint32) int32 {
+	v := (w>>21)&0x3FF<<1 | (w>>20)&1<<11 | (w>>12)&0xFF<<12 | (w>>31)<<20
+	return signExtend(v, 21)
+}
+
+// Decode translates a 32-bit machine word into a decoded instruction.
+// It returns a *DecodeError for encodings outside RV32IM.
+func Decode(w uint32) (Instr, error) {
+	rd := Reg(w >> 7 & 0x1F)
+	rs1 := Reg(w >> 15 & 0x1F)
+	rs2 := Reg(w >> 20 & 0x1F)
+	funct3 := w >> 12 & 7
+	funct7 := w >> 25
+
+	switch w & 0x7F {
+	case opcLUI:
+		return Instr{Op: LUI, Rd: rd, Imm: immU(w)}, nil
+	case opcAUIPC:
+		return Instr{Op: AUIPC, Rd: rd, Imm: immU(w)}, nil
+	case opcJAL:
+		return Instr{Op: JAL, Rd: rd, Imm: immJ(w)}, nil
+	case opcJALR:
+		if funct3 != 0 {
+			return Instr{}, &DecodeError{w}
+		}
+		return Instr{Op: JALR, Rd: rd, Rs1: rs1, Imm: immI(w)}, nil
+	case opcBranch:
+		ops := map[uint32]Op{0: BEQ, 1: BNE, 4: BLT, 5: BGE, 6: BLTU, 7: BGEU}
+		op, ok := ops[funct3]
+		if !ok {
+			return Instr{}, &DecodeError{w}
+		}
+		return Instr{Op: op, Rs1: rs1, Rs2: rs2, Imm: immB(w)}, nil
+	case opcLoad:
+		ops := map[uint32]Op{0: LB, 1: LH, 2: LW, 4: LBU, 5: LHU}
+		op, ok := ops[funct3]
+		if !ok {
+			return Instr{}, &DecodeError{w}
+		}
+		return Instr{Op: op, Rd: rd, Rs1: rs1, Imm: immI(w)}, nil
+	case opcStore:
+		ops := map[uint32]Op{0: SB, 1: SH, 2: SW}
+		op, ok := ops[funct3]
+		if !ok {
+			return Instr{}, &DecodeError{w}
+		}
+		return Instr{Op: op, Rs1: rs1, Rs2: rs2, Imm: immS(w)}, nil
+	case opcOpImm:
+		switch funct3 {
+		case 0:
+			return Instr{Op: ADDI, Rd: rd, Rs1: rs1, Imm: immI(w)}, nil
+		case 2:
+			return Instr{Op: SLTI, Rd: rd, Rs1: rs1, Imm: immI(w)}, nil
+		case 3:
+			return Instr{Op: SLTIU, Rd: rd, Rs1: rs1, Imm: immI(w)}, nil
+		case 4:
+			return Instr{Op: XORI, Rd: rd, Rs1: rs1, Imm: immI(w)}, nil
+		case 6:
+			return Instr{Op: ORI, Rd: rd, Rs1: rs1, Imm: immI(w)}, nil
+		case 7:
+			return Instr{Op: ANDI, Rd: rd, Rs1: rs1, Imm: immI(w)}, nil
+		case 1:
+			if funct7 != 0 {
+				return Instr{}, &DecodeError{w}
+			}
+			return Instr{Op: SLLI, Rd: rd, Rs1: rs1, Imm: int32(rs2)}, nil
+		case 5:
+			switch funct7 {
+			case 0:
+				return Instr{Op: SRLI, Rd: rd, Rs1: rs1, Imm: int32(rs2)}, nil
+			case 0x20:
+				return Instr{Op: SRAI, Rd: rd, Rs1: rs1, Imm: int32(rs2)}, nil
+			}
+			return Instr{}, &DecodeError{w}
+		}
+		return Instr{}, &DecodeError{w}
+	case opcOp:
+		switch funct7 {
+		case 0:
+			ops := map[uint32]Op{0: ADD, 1: SLL, 2: SLT, 3: SLTU, 4: XOR, 5: SRL, 6: OR, 7: AND}
+			return Instr{Op: ops[funct3], Rd: rd, Rs1: rs1, Rs2: rs2}, nil
+		case 0x20:
+			switch funct3 {
+			case 0:
+				return Instr{Op: SUB, Rd: rd, Rs1: rs1, Rs2: rs2}, nil
+			case 5:
+				return Instr{Op: SRA, Rd: rd, Rs1: rs1, Rs2: rs2}, nil
+			}
+			return Instr{}, &DecodeError{w}
+		case 1:
+			ops := map[uint32]Op{0: MUL, 1: MULH, 2: MULHSU, 3: MULHU, 4: DIV, 5: DIVU, 6: REM, 7: REMU}
+			return Instr{Op: ops[funct3], Rd: rd, Rs1: rs1, Rs2: rs2}, nil
+		}
+		return Instr{}, &DecodeError{w}
+	case opcFence:
+		return Instr{Op: FENCE}, nil
+	case opcSystem:
+		switch w >> 7 {
+		case 0:
+			return Instr{Op: ECALL}, nil
+		case 1 << 13: // imm=1 in bits 31:20
+			return Instr{Op: EBREAK}, nil
+		}
+		return Instr{}, &DecodeError{w}
+	}
+	return Instr{}, &DecodeError{w}
+}

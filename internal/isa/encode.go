@@ -1,0 +1,123 @@
+package isa
+
+import "fmt"
+
+// EncodeError describes an instruction that cannot be represented in RV32IM
+// machine code, e.g. an out-of-range immediate.
+type EncodeError struct {
+	In     Instr
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *EncodeError) Error() string {
+	return fmt.Sprintf("isa: cannot encode %v: %s", e.In, e.Reason)
+}
+
+func fitsSigned(v int32, bits uint) bool {
+	min := -(int32(1) << (bits - 1))
+	max := int32(1)<<(bits-1) - 1
+	return v >= min && v <= max
+}
+
+func encR(opc, funct3, funct7 uint32, rd, rs1, rs2 Reg) uint32 {
+	return opc | uint32(rd)<<7 | funct3<<12 | uint32(rs1)<<15 | uint32(rs2)<<20 | funct7<<25
+}
+
+func encI(opc, funct3 uint32, rd, rs1 Reg, imm int32) uint32 {
+	return opc | uint32(rd)<<7 | funct3<<12 | uint32(rs1)<<15 | uint32(imm)&0xFFF<<20
+}
+
+func encS(opc, funct3 uint32, rs1, rs2 Reg, imm int32) uint32 {
+	u := uint32(imm)
+	return opc | u&0x1F<<7 | funct3<<12 | uint32(rs1)<<15 | uint32(rs2)<<20 | u>>5&0x7F<<25
+}
+
+func encB(opc, funct3 uint32, rs1, rs2 Reg, imm int32) uint32 {
+	u := uint32(imm)
+	return opc | u>>11&1<<7 | u>>1&0xF<<8 | funct3<<12 | uint32(rs1)<<15 |
+		uint32(rs2)<<20 | u>>5&0x3F<<25 | u>>12&1<<31
+}
+
+func encU(opc uint32, rd Reg, imm int32) uint32 {
+	return opc | uint32(rd)<<7 | uint32(imm)&0xFFFFF000
+}
+
+func encJ(opc uint32, rd Reg, imm int32) uint32 {
+	u := uint32(imm)
+	return opc | uint32(rd)<<7 | u>>12&0xFF<<12 | u>>11&1<<20 | u>>1&0x3FF<<21 | u>>20&1<<31
+}
+
+var branchFunct3 = map[Op]uint32{BEQ: 0, BNE: 1, BLT: 4, BGE: 5, BLTU: 6, BGEU: 7}
+var loadFunct3 = map[Op]uint32{LB: 0, LH: 1, LW: 2, LBU: 4, LHU: 5}
+var storeFunct3 = map[Op]uint32{SB: 0, SH: 1, SW: 2}
+var opImmFunct3 = map[Op]uint32{ADDI: 0, SLTI: 2, SLTIU: 3, XORI: 4, ORI: 6, ANDI: 7}
+var opRegFunct = map[Op][2]uint32{ // funct3, funct7
+	ADD: {0, 0}, SUB: {0, 0x20}, SLL: {1, 0}, SLT: {2, 0}, SLTU: {3, 0},
+	XOR: {4, 0}, SRL: {5, 0}, SRA: {5, 0x20}, OR: {6, 0}, AND: {7, 0},
+	MUL: {0, 1}, MULH: {1, 1}, MULHSU: {2, 1}, MULHU: {3, 1},
+	DIV: {4, 1}, DIVU: {5, 1}, REM: {6, 1}, REMU: {7, 1},
+}
+
+// Encode translates a decoded instruction back into its 32-bit machine word.
+func Encode(in Instr) (uint32, error) {
+	switch {
+	case in.Op == LUI:
+		return encU(opcLUI, in.Rd, in.Imm), nil
+	case in.Op == AUIPC:
+		return encU(opcAUIPC, in.Rd, in.Imm), nil
+	case in.Op == JAL:
+		if !fitsSigned(in.Imm, 21) || in.Imm&1 != 0 {
+			return 0, &EncodeError{in, "jump offset out of range or misaligned"}
+		}
+		return encJ(opcJAL, in.Rd, in.Imm), nil
+	case in.Op == JALR:
+		if !fitsSigned(in.Imm, 12) {
+			return 0, &EncodeError{in, "immediate out of range"}
+		}
+		return encI(opcJALR, 0, in.Rd, in.Rs1, in.Imm), nil
+	case in.Op.IsBranch():
+		if !fitsSigned(in.Imm, 13) || in.Imm&1 != 0 {
+			return 0, &EncodeError{in, "branch offset out of range or misaligned"}
+		}
+		return encB(opcBranch, branchFunct3[in.Op], in.Rs1, in.Rs2, in.Imm), nil
+	case in.Op.IsLoad():
+		if !fitsSigned(in.Imm, 12) {
+			return 0, &EncodeError{in, "immediate out of range"}
+		}
+		return encI(opcLoad, loadFunct3[in.Op], in.Rd, in.Rs1, in.Imm), nil
+	case in.Op.IsStore():
+		if !fitsSigned(in.Imm, 12) {
+			return 0, &EncodeError{in, "immediate out of range"}
+		}
+		return encS(opcStore, storeFunct3[in.Op], in.Rs1, in.Rs2, in.Imm), nil
+	case in.Op >= ADDI && in.Op <= ANDI:
+		if !fitsSigned(in.Imm, 12) {
+			return 0, &EncodeError{in, "immediate out of range"}
+		}
+		return encI(opcOpImm, opImmFunct3[in.Op], in.Rd, in.Rs1, in.Imm), nil
+	case in.Op == SLLI, in.Op == SRLI, in.Op == SRAI:
+		if in.Imm < 0 || in.Imm > 31 {
+			return 0, &EncodeError{in, "shift amount out of range"}
+		}
+		funct3 := uint32(1)
+		funct7 := uint32(0)
+		if in.Op != SLLI {
+			funct3 = 5
+		}
+		if in.Op == SRAI {
+			funct7 = 0x20
+		}
+		return encR(opcOpImm, funct3, funct7, in.Rd, in.Rs1, Reg(in.Imm)), nil
+	case in.Op >= ADD && in.Op <= AND || in.Op >= MUL && in.Op <= REMU:
+		f := opRegFunct[in.Op]
+		return encR(opcOp, f[0], f[1], in.Rd, in.Rs1, in.Rs2), nil
+	case in.Op == FENCE:
+		return opcFence, nil
+	case in.Op == ECALL:
+		return opcSystem, nil
+	case in.Op == EBREAK:
+		return opcSystem | 1<<20, nil
+	}
+	return 0, &EncodeError{in, "unknown operation"}
+}

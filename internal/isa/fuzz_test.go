@@ -1,0 +1,30 @@
+package isa
+
+import "testing"
+
+// FuzzDecode checks decode never panics and that every successfully decoded
+// word (except FENCE's ignored hint fields) re-encodes to itself.
+func FuzzDecode(f *testing.F) {
+	for _, v := range knownVectors {
+		f.Add(v.word)
+	}
+	f.Add(uint32(0))
+	f.Add(^uint32(0))
+	f.Fuzz(func(t *testing.T, w uint32) {
+		in, err := Decode(w)
+		if err != nil {
+			return
+		}
+		_ = in.String()
+		if in.Op == FENCE {
+			return
+		}
+		back, err := Encode(in)
+		if err != nil {
+			t.Fatalf("re-encode of decoded 0x%08x (%v): %v", w, in, err)
+		}
+		if back != w {
+			t.Fatalf("0x%08x decoded to %v, re-encoded to 0x%08x", w, in, back)
+		}
+	})
+}

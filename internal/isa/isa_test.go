@@ -1,0 +1,203 @@
+package isa
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Known machine-code vectors cross-checked against the RISC-V spec and
+// standard assembler output.
+var knownVectors = []struct {
+	word uint32
+	asm  string
+	in   Instr
+}{
+	{0x00000013, "nop", Instr{Op: ADDI, Rd: Zero, Rs1: Zero, Imm: 0}},
+	{0x00310093, "addi ra, sp, 3", Instr{Op: ADDI, Rd: RA, Rs1: SP, Imm: 3}},
+	{0x00008067, "ret", Instr{Op: JALR, Rd: Zero, Rs1: RA, Imm: 0}},
+	{0x00000073, "ecall", Instr{Op: ECALL}},
+	{0x00100073, "ebreak", Instr{Op: EBREAK}},
+	{0x12345537, "lui a0, 0x12345", Instr{Op: LUI, Rd: A0, Imm: 0x12345 << 12}},
+	{0x00C58533, "add a0, a1, a2", Instr{Op: ADD, Rd: A0, Rs1: A1, Rs2: A2}},
+	{0xFE000EE3, "beq zero, zero, -4", Instr{Op: BEQ, Rs1: Zero, Rs2: Zero, Imm: -4}},
+	{0x0000A503, "lw a0, 0(ra)", Instr{Op: LW, Rd: A0, Rs1: RA, Imm: 0}},
+	{0xFEA12E23, "sw a0, -4(sp)", Instr{Op: SW, Rs1: SP, Rs2: A0, Imm: -4}},
+	{0x02C5D533, "divu a0, a1, a2", Instr{Op: DIVU, Rd: A0, Rs1: A1, Rs2: A2}},
+	{0x0045D493, "srli s1, a1, 4", Instr{Op: SRLI, Rd: S1, Rs1: A1, Imm: 4}},
+	{0x4045D493, "srai s1, a1, 4", Instr{Op: SRAI, Rd: S1, Rs1: A1, Imm: 4}},
+	{0x008000EF, "jal ra, 8", Instr{Op: JAL, Rd: RA, Imm: 8}},
+	{0x00001517, "auipc a0, 1", Instr{Op: AUIPC, Rd: A0, Imm: 1 << 12}},
+}
+
+func TestDecodeKnownVectors(t *testing.T) {
+	for _, v := range knownVectors {
+		got, err := Decode(v.word)
+		if err != nil {
+			t.Errorf("%s: decode(0x%08x): %v", v.asm, v.word, err)
+			continue
+		}
+		if got != v.in {
+			t.Errorf("%s: decode(0x%08x) = %+v, want %+v", v.asm, v.word, got, v.in)
+		}
+	}
+}
+
+func TestEncodeKnownVectors(t *testing.T) {
+	for _, v := range knownVectors {
+		got, err := Encode(v.in)
+		if err != nil {
+			t.Errorf("%s: encode(%+v): %v", v.asm, v.in, err)
+			continue
+		}
+		if got != v.word {
+			t.Errorf("%s: encode(%+v) = 0x%08x, want 0x%08x", v.asm, v.in, got, v.word)
+		}
+	}
+}
+
+func TestDecodeInvalid(t *testing.T) {
+	bad := []uint32{0x00000000, 0xFFFFFFFF, 0x0000707F, 0x0000_1073}
+	for _, w := range bad {
+		if in, err := Decode(w); err == nil {
+			t.Errorf("decode(0x%08x) = %v, want error", w, in)
+		}
+	}
+}
+
+// randomInstr generates a structurally valid RV32IM instruction: only the
+// fields meaningful for the op are populated, immediates stay in range.
+func randomInstr(r *rand.Rand) Instr {
+	ops := []Op{
+		LUI, AUIPC, JAL, JALR, BEQ, BNE, BLT, BGE, BLTU, BGEU,
+		LB, LH, LW, LBU, LHU, SB, SH, SW,
+		ADDI, SLTI, SLTIU, XORI, ORI, ANDI, SLLI, SRLI, SRAI,
+		ADD, SUB, SLL, SLT, SLTU, XOR, SRL, SRA, OR, AND,
+		ECALL, EBREAK,
+		MUL, MULH, MULHSU, MULHU, DIV, DIVU, REM, REMU,
+	}
+	op := ops[r.Intn(len(ops))]
+	reg := func() Reg { return Reg(r.Intn(NumRegs)) }
+	imm12 := func() int32 { return int32(r.Intn(1<<12)) - (1 << 11) }
+	in := Instr{Op: op}
+	switch {
+	case op == LUI || op == AUIPC:
+		in.Rd = reg()
+		in.Imm = int32(uint32(r.Intn(1<<20)) << 12)
+	case op == JAL:
+		in.Rd = reg()
+		in.Imm = (int32(r.Intn(1<<20)) - (1 << 19)) &^ 1
+	case op == JALR:
+		in.Rd, in.Rs1, in.Imm = reg(), reg(), imm12()
+	case op.IsBranch():
+		in.Rs1, in.Rs2 = reg(), reg()
+		in.Imm = (int32(r.Intn(1<<12)) - (1 << 11)) &^ 1
+	case op.IsLoad():
+		in.Rd, in.Rs1, in.Imm = reg(), reg(), imm12()
+	case op.IsStore():
+		in.Rs1, in.Rs2, in.Imm = reg(), reg(), imm12()
+	case op >= ADDI && op <= ANDI:
+		in.Rd, in.Rs1, in.Imm = reg(), reg(), imm12()
+	case op == SLLI || op == SRLI || op == SRAI:
+		in.Rd, in.Rs1, in.Imm = reg(), reg(), int32(r.Intn(32))
+	case op >= ADD && op <= AND || op >= MUL && op <= REMU:
+		in.Rd, in.Rs1, in.Rs2 = reg(), reg(), reg()
+	}
+	return in
+}
+
+// Property: Encode and Decode are inverses over all valid instructions.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cfg := &quick.Config{
+		MaxCount: 20000,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			vals[0] = reflect.ValueOf(randomInstr(r))
+		},
+	}
+	f := func(in Instr) bool {
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("encode(%+v): %v", in, err)
+		}
+		back, err := Decode(w)
+		if err != nil {
+			t.Fatalf("decode(encode(%+v)=0x%08x): %v", in, w, err)
+		}
+		return back == in
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: any word that decodes successfully (except FENCE, whose fm/pred/
+// succ fields are intentionally ignored) re-encodes to the identical word.
+func TestDecodeEncodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	hits := 0
+	for i := 0; i < 400000; i++ {
+		w := r.Uint32()
+		in, err := Decode(w)
+		if err != nil || in.Op == FENCE {
+			continue
+		}
+		hits++
+		back, err := Encode(in)
+		if err != nil {
+			t.Fatalf("re-encode of decoded 0x%08x (%v): %v", w, in, err)
+		}
+		if back != w {
+			t.Fatalf("0x%08x decoded to %v but re-encoded to 0x%08x", w, in, back)
+		}
+	}
+	if hits < 1000 {
+		t.Fatalf("only %d random words decoded; generator too weak", hits)
+	}
+}
+
+func TestRegByName(t *testing.T) {
+	cases := []struct {
+		name string
+		reg  Reg
+		ok   bool
+	}{
+		{"zero", Zero, true}, {"sp", SP, true}, {"fp", S0, true},
+		{"a0", A0, true}, {"t6", T6, true}, {"x0", Zero, true},
+		{"x31", T6, true}, {"x32", 0, false}, {"bogus", 0, false}, {"", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := RegByName(c.name)
+		if ok != c.ok || (ok && got != c.reg) {
+			t.Errorf("RegByName(%q) = %v, %v; want %v, %v", c.name, got, ok, c.reg, c.ok)
+		}
+	}
+}
+
+func TestAccessSize(t *testing.T) {
+	cases := map[Op]int{LB: 1, LBU: 1, SB: 1, LH: 2, LHU: 2, SH: 2, LW: 4, SW: 4, ADD: 0, JAL: 0}
+	for op, want := range cases {
+		if got := op.AccessSize(); got != want {
+			t.Errorf("%v.AccessSize() = %d, want %d", op, got, want)
+		}
+	}
+}
+
+func TestDisassemblyStrings(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: ADDI, Rd: A0, Rs1: SP, Imm: -16}, "addi a0, sp, -16"},
+		{Instr{Op: LW, Rd: A0, Rs1: SP, Imm: 8}, "lw a0, 8(sp)"},
+		{Instr{Op: SW, Rs1: SP, Rs2: A1, Imm: 4}, "sw a1, 4(sp)"},
+		{Instr{Op: BEQ, Rs1: A0, Rs2: A1, Imm: -8}, "beq a0, a1, -8"},
+		{Instr{Op: MUL, Rd: T0, Rs1: T1, Rs2: T2}, "mul t0, t1, t2"},
+		{Instr{Op: EBREAK}, "ebreak"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

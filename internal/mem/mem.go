@@ -1,0 +1,217 @@
+// Package mem implements the physical memory substrate: a sparse 32-bit byte-
+// addressable space, the non-volatile main-memory model with access counting,
+// and the access cost model of paper Section 5.2.
+package mem
+
+import (
+	"fmt"
+
+	"nacho/internal/metrics"
+	"nacho/internal/sim"
+)
+
+// CostModel holds the latency parameters from paper Section 5.2: a 50 MHz
+// core, a 2-cycle data-cache (SRAM) access, and a 6-cycle NVM access
+// (125 ns rounded down).
+type CostModel struct {
+	ClockHz   uint64 // processor frequency
+	HitCycles uint64 // data-cache hit / SRAM access latency
+	NVMCycles uint64 // NVM word access latency
+}
+
+// DefaultCostModel returns the paper's evaluation parameters.
+func DefaultCostModel() CostModel {
+	return CostModel{ClockHz: 50_000_000, HitCycles: 2, NVMCycles: 6}
+}
+
+// CyclesForMillis converts milliseconds of on-time to cycles at the model's
+// clock (used for power-failure schedules, Section 6.1.4).
+func (m CostModel) CyclesForMillis(ms float64) uint64 {
+	return uint64(ms * float64(m.ClockHz) / 1000)
+}
+
+const pageBits = 12 // 4 KiB pages
+const pageSize = 1 << pageBits
+
+// Space is a sparse 32-bit byte-addressable memory. The zero value is an
+// empty space; pages materialize zero-filled on first touch.
+type Space struct {
+	pages map[uint32]*[pageSize]byte
+}
+
+// NewSpace returns an empty memory space.
+func NewSpace() *Space { return &Space{pages: make(map[uint32]*[pageSize]byte)} }
+
+func (s *Space) page(addr uint32) *[pageSize]byte {
+	key := addr >> pageBits
+	p, ok := s.pages[key]
+	if !ok {
+		p = new([pageSize]byte)
+		s.pages[key] = p
+	}
+	return p
+}
+
+// ByteAt returns the byte at addr.
+func (s *Space) ByteAt(addr uint32) byte {
+	return s.page(addr)[addr&(pageSize-1)]
+}
+
+// SetByte sets the byte at addr.
+func (s *Space) SetByte(addr uint32, v byte) {
+	s.page(addr)[addr&(pageSize-1)] = v
+}
+
+// Read returns size bytes (1, 2 or 4) at addr, little-endian, zero-extended.
+// Accesses must be naturally aligned; crossing a page boundary is therefore
+// impossible for aligned accesses but handled correctly anyway.
+func (s *Space) Read(addr uint32, size int) uint32 {
+	var v uint32
+	for i := 0; i < size; i++ {
+		v |= uint32(s.ByteAt(addr+uint32(i))) << (8 * i)
+	}
+	return v
+}
+
+// Write stores the low size bytes (1, 2 or 4) of val at addr, little-endian.
+func (s *Space) Write(addr uint32, size int, val uint32) {
+	for i := 0; i < size; i++ {
+		s.SetByte(addr+uint32(i), byte(val>>(8*i)))
+	}
+}
+
+// LoadBytes copies data into the space starting at addr (program loading).
+func (s *Space) LoadBytes(addr uint32, data []byte) {
+	for i, b := range data {
+		s.SetByte(addr+uint32(i), b)
+	}
+}
+
+// Clone returns a deep copy of the space (used by the shadow-memory verifier
+// to capture pristine initial state).
+func (s *Space) Clone() *Space {
+	c := NewSpace()
+	for k, p := range s.pages {
+		np := new([pageSize]byte)
+		*np = *p
+		c.pages[k] = np
+	}
+	return c
+}
+
+// Equal reports whether two spaces hold identical contents, treating missing
+// pages as zero-filled, and returns the first differing address if not.
+func (s *Space) Equal(o *Space) (uint32, bool) {
+	check := func(a, b *Space) (uint32, bool) {
+		for k, p := range a.pages {
+			q := b.pages[k]
+			for i := range p {
+				var bv byte
+				if q != nil {
+					bv = q[i]
+				}
+				if p[i] != bv {
+					return k<<pageBits | uint32(i), false
+				}
+			}
+		}
+		return 0, true
+	}
+	if addr, ok := check(s, o); !ok {
+		return addr, false
+	}
+	return check(o, s)
+}
+
+// NVM models the non-volatile main memory: a Space whose every access is
+// charged on the simulation clock and tallied in the run counters. Contents
+// survive power failures by construction (nothing clears them).
+type NVM struct {
+	space *Space
+	cost  CostModel
+	clk   sim.Clock
+	c     *metrics.Counters
+}
+
+// NewNVM wraps a space with the paper's NVM latency and accounting. The
+// clock and counters are attached later via Attach (systems are constructed
+// before the emulator exists).
+func NewNVM(space *Space, cost CostModel) *NVM {
+	return &NVM{space: space, cost: cost}
+}
+
+// Attach binds the NVM to a simulation clock and counter set.
+func (n *NVM) Attach(clk sim.Clock, c *metrics.Counters) {
+	n.clk = clk
+	n.c = c
+}
+
+// Read performs a charged NVM read of size bytes.
+func (n *NVM) Read(addr uint32, size int) uint32 {
+	n.c.NVMReads++
+	n.c.NVMReadBytes += uint64(size)
+	n.clk.Advance(n.cost.NVMCycles)
+	return n.space.Read(addr, size)
+}
+
+// Write performs a charged NVM write of size bytes.
+func (n *NVM) Write(addr uint32, size int, val uint32) {
+	n.c.NVMWrites++
+	n.c.NVMWriteBytes += uint64(size)
+	n.clk.Advance(n.cost.NVMCycles)
+	n.space.Write(addr, size, val)
+}
+
+// ReadRaw reads without charging cycles or counters (loader/debug path).
+func (n *NVM) ReadRaw(addr uint32, size int) uint32 { return n.space.Read(addr, size) }
+
+// WriteRaw writes without charging cycles or counters (loader/debug path).
+func (n *NVM) WriteRaw(addr uint32, size int, val uint32) { n.space.Write(addr, size, val) }
+
+// Space exposes the underlying space (verifier comparisons).
+func (n *NVM) Space() *Space { return n.space }
+
+// Cost returns the NVM's cost model.
+func (n *NVM) Cost() CostModel { return n.cost }
+
+// AlignmentError reports a misaligned or invalid-size access; the emulator
+// treats it as a program bug and aborts the run.
+type AlignmentError struct {
+	Addr uint32
+	Size int
+}
+
+// Error implements the error interface.
+func (e *AlignmentError) Error() string {
+	return fmt.Sprintf("mem: misaligned %d-byte access at 0x%08x", e.Size, e.Addr)
+}
+
+// CheckAligned validates natural alignment for a 1/2/4-byte access.
+func CheckAligned(addr uint32, size int) error {
+	switch size {
+	case 1:
+		return nil
+	case 2, 4:
+		if addr%uint32(size) == 0 {
+			return nil
+		}
+	}
+	return &AlignmentError{Addr: addr, Size: size}
+}
+
+// ReadRaw makes Space satisfy sim.MemReaderWriter (volatile baseline).
+func (s *Space) ReadRaw(addr uint32, size int) uint32 { return s.Read(addr, size) }
+
+// WriteRaw makes Space satisfy sim.MemReaderWriter (volatile baseline).
+func (s *Space) WriteRaw(addr uint32, size int, val uint32) { s.Write(addr, size, val) }
+
+// WriteAsync performs an NVM write that is counted but not charged on the
+// clock: ReplayCache's non-blocking cache issues write-backs through a
+// background queue whose timing (port occupancy, stalls) the caller models
+// explicitly (paper Section 6.1.2: "asynchronously write cache lines back to
+// NVM").
+func (n *NVM) WriteAsync(addr uint32, size int, val uint32) {
+	n.c.NVMWrites++
+	n.c.NVMWriteBytes += uint64(size)
+	n.space.Write(addr, size, val)
+}

@@ -1,0 +1,225 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nacho/internal/metrics"
+	"nacho/internal/sim"
+)
+
+func TestSpaceReadWriteSizes(t *testing.T) {
+	s := NewSpace()
+	s.Write(0x100, 4, 0xAABBCCDD)
+	cases := []struct {
+		addr uint32
+		size int
+		want uint32
+	}{
+		{0x100, 4, 0xAABBCCDD},
+		{0x100, 1, 0xDD}, // little-endian
+		{0x101, 1, 0xCC},
+		{0x102, 1, 0xBB},
+		{0x103, 1, 0xAA},
+		{0x100, 2, 0xCCDD},
+		{0x102, 2, 0xAABB},
+	}
+	for _, c := range cases {
+		if got := s.Read(c.addr, c.size); got != c.want {
+			t.Errorf("Read(%#x, %d) = %#x, want %#x", c.addr, c.size, got, c.want)
+		}
+	}
+	// Sub-word write merges.
+	s.Write(0x101, 1, 0x11)
+	if got := s.Read(0x100, 4); got != 0xAABB11DD {
+		t.Errorf("after byte write, word = %#x, want 0xAABB11DD", got)
+	}
+	s.Write(0x102, 2, 0x2233)
+	if got := s.Read(0x100, 4); got != 0x223311DD {
+		t.Errorf("after half write, word = %#x, want 0x223311DD", got)
+	}
+}
+
+func TestSpaceZeroFill(t *testing.T) {
+	s := NewSpace()
+	if got := s.Read(0xFFFF_F000, 4); got != 0 {
+		t.Errorf("untouched memory = %#x, want 0", got)
+	}
+}
+
+func TestSpacePageBoundary(t *testing.T) {
+	s := NewSpace()
+	addr := uint32(pageSize - 2)
+	s.Write(addr, 4, 0x11223344) // crosses page 0 -> 1
+	if got := s.Read(addr, 4); got != 0x11223344 {
+		t.Errorf("cross-page read = %#x, want 0x11223344", got)
+	}
+}
+
+// Property: Space behaves like a flat map of bytes under random accesses.
+func TestSpaceVersusMapModel(t *testing.T) {
+	s := NewSpace()
+	model := map[uint32]byte{}
+	r := rand.New(rand.NewSource(7))
+	sizes := []int{1, 2, 4}
+	for i := 0; i < 50000; i++ {
+		size := sizes[r.Intn(3)]
+		addr := uint32(r.Intn(1 << 16))
+		addr &^= uint32(size - 1)
+		if r.Intn(2) == 0 {
+			v := r.Uint32()
+			s.Write(addr, size, v)
+			for j := 0; j < size; j++ {
+				model[addr+uint32(j)] = byte(v >> (8 * j))
+			}
+		} else {
+			var want uint32
+			for j := 0; j < size; j++ {
+				want |= uint32(model[addr+uint32(j)]) << (8 * j)
+			}
+			if got := s.Read(addr, size); got != want {
+				t.Fatalf("step %d: Read(%#x, %d) = %#x, want %#x", i, addr, size, got, want)
+			}
+		}
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	s := NewSpace()
+	s.Write(0x200, 4, 0xDEADBEEF)
+	c := s.Clone()
+	if addr, ok := s.Equal(c); !ok {
+		t.Fatalf("clone differs at %#x", addr)
+	}
+	c.Write(0x204, 1, 1)
+	addr, ok := s.Equal(c)
+	if ok {
+		t.Fatal("mutated clone reported equal")
+	}
+	if addr != 0x204 {
+		t.Errorf("difference reported at %#x, want 0x204", addr)
+	}
+	// Asymmetric pages: write in one space only.
+	d := NewSpace()
+	d.Write(0x9000_0000, 1, 5)
+	if _, ok := NewSpace().Equal(d); ok {
+		t.Error("spaces with differing pages reported equal")
+	}
+	// A touched-but-zero page still equals an untouched space.
+	e := NewSpace()
+	e.Write(0x9000_0000, 1, 0)
+	if _, ok := NewSpace().Equal(e); !ok {
+		t.Error("zero-filled page should equal untouched space")
+	}
+}
+
+func TestNVMAccountingAndLatency(t *testing.T) {
+	clk := &sim.TestClock{}
+	var c metrics.Counters
+	n := NewNVM(NewSpace(), DefaultCostModel())
+	n.Attach(clk, &c)
+
+	n.Write(0x40, 4, 123)
+	if clk.Cycle != 6 {
+		t.Errorf("write latency = %d cycles, want 6", clk.Cycle)
+	}
+	if got := n.Read(0x40, 4); got != 123 {
+		t.Errorf("read back %d, want 123", got)
+	}
+	if clk.Cycle != 12 {
+		t.Errorf("after read, clock = %d, want 12", clk.Cycle)
+	}
+	n.Write(0x50, 1, 0xFF)
+	if c.NVMWrites != 2 || c.NVMWriteBytes != 5 || c.NVMReads != 1 || c.NVMReadBytes != 4 {
+		t.Errorf("counters = %+v", c)
+	}
+}
+
+func TestNVMAsyncWriteUncharged(t *testing.T) {
+	clk := &sim.TestClock{}
+	var c metrics.Counters
+	n := NewNVM(NewSpace(), DefaultCostModel())
+	n.Attach(clk, &c)
+	n.WriteAsync(0x80, 4, 7)
+	if clk.Cycle != 0 {
+		t.Errorf("async write charged %d cycles, want 0", clk.Cycle)
+	}
+	if c.NVMWrites != 1 || c.NVMWriteBytes != 4 {
+		t.Errorf("async write not counted: %+v", c)
+	}
+	if n.ReadRaw(0x80, 4) != 7 {
+		t.Error("async write value not visible")
+	}
+}
+
+func TestNVMRawUncounted(t *testing.T) {
+	clk := &sim.TestClock{}
+	var c metrics.Counters
+	n := NewNVM(NewSpace(), DefaultCostModel())
+	n.Attach(clk, &c)
+	n.WriteRaw(0x10, 4, 9)
+	if n.ReadRaw(0x10, 4) != 9 {
+		t.Error("raw round-trip failed")
+	}
+	if clk.Cycle != 0 || c.NVMWrites != 0 || c.NVMReads != 0 {
+		t.Error("raw access charged or counted")
+	}
+}
+
+func TestCheckAligned(t *testing.T) {
+	cases := []struct {
+		addr uint32
+		size int
+		ok   bool
+	}{
+		{0, 1, true}, {1, 1, true}, {3, 1, true},
+		{0, 2, true}, {1, 2, false}, {2, 2, true},
+		{0, 4, true}, {2, 4, false}, {4, 4, true},
+		{0, 3, false}, {0, 8, false},
+	}
+	for _, c := range cases {
+		err := CheckAligned(c.addr, c.size)
+		if (err == nil) != c.ok {
+			t.Errorf("CheckAligned(%#x, %d) err=%v, want ok=%v", c.addr, c.size, err, c.ok)
+		}
+	}
+	var ae *AlignmentError
+	if err := CheckAligned(2, 4); err != nil {
+		ae = err.(*AlignmentError)
+		if ae.Addr != 2 || ae.Size != 4 {
+			t.Errorf("alignment error fields: %+v", ae)
+		}
+		if ae.Error() == "" {
+			t.Error("empty error string")
+		}
+	}
+}
+
+func TestCostModelCycles(t *testing.T) {
+	m := DefaultCostModel()
+	if m.ClockHz != 50_000_000 || m.HitCycles != 2 || m.NVMCycles != 6 {
+		t.Errorf("unexpected default cost model: %+v", m)
+	}
+	if got := m.CyclesForMillis(5); got != 250_000 {
+		t.Errorf("CyclesForMillis(5) = %d, want 250000", got)
+	}
+	if got := m.CyclesForMillis(0.5); got != 25_000 {
+		t.Errorf("CyclesForMillis(0.5) = %d, want 25000", got)
+	}
+}
+
+// Property: Clone is always equal to its source.
+func TestCloneEqualQuick(t *testing.T) {
+	f := func(writes []uint32) bool {
+		s := NewSpace()
+		for _, w := range writes {
+			s.Write(w&0xFFFF, 1, w>>16)
+		}
+		_, ok := s.Equal(s.Clone())
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

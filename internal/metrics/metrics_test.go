@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddAccumulatesEveryField(t *testing.T) {
+	a := Counters{
+		Cycles: 1, Instructions: 2, Checkpoints: 3, CheckpointLines: 4,
+		AbortedCkpts: 5, ForcedCkpts: 6, NVMReads: 7, NVMWrites: 8,
+		NVMReadBytes: 9, NVMWriteBytes: 10, CacheHits: 11, CacheMisses: 12,
+		Evictions: 13, SafeEvictions: 14, UnsafeEvictions: 15,
+		DroppedStackLines: 16, Regions: 17, PowerFailures: 18, RestoreCycles: 19,
+	}
+	var sum Counters
+	sum.Add(a)
+	sum.Add(a)
+	if sum.Cycles != 2 || sum.RestoreCycles != 38 || sum.Regions != 34 ||
+		sum.DroppedStackLines != 32 || sum.NVMWriteBytes != 20 {
+		t.Errorf("Add wrong: %+v", sum)
+	}
+}
+
+func TestNVMBytes(t *testing.T) {
+	c := Counters{NVMReadBytes: 100, NVMWriteBytes: 40}
+	if c.NVMBytes() != 140 {
+		t.Errorf("NVMBytes = %d", c.NVMBytes())
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	c := Counters{CacheHits: 3, CacheMisses: 1}
+	if c.HitRate() != 0.75 {
+		t.Errorf("HitRate = %f", c.HitRate())
+	}
+	var zero Counters
+	if zero.HitRate() != 0 {
+		t.Error("empty hit rate should be 0")
+	}
+}
+
+func TestStringIncludesKeyCounters(t *testing.T) {
+	c := Counters{Cycles: 123456, Checkpoints: 42}
+	s := c.String()
+	for _, want := range []string{"cycles", "123456", "checkpoints", "42", "power failures"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRecordIntervalBuckets(t *testing.T) {
+	var c Counters
+	for _, v := range []uint64{0, 999, 1000, 9999, 10_000, 99_999, 100_000, 1 << 40} {
+		c.RecordInterval(v)
+	}
+	want := [4]uint64{2, 2, 2, 2}
+	if c.IntervalHist != want {
+		t.Errorf("hist = %v, want %v", c.IntervalHist, want)
+	}
+	var sum Counters
+	sum.Add(c)
+	sum.Add(c)
+	if sum.IntervalHist != [4]uint64{4, 4, 4, 4} {
+		t.Errorf("Add hist = %v", sum.IntervalHist)
+	}
+}
+
+func TestAvgCheckpointLines(t *testing.T) {
+	c := Counters{Checkpoints: 4, CheckpointLines: 10}
+	if c.AvgCheckpointLines() != 2.5 {
+		t.Errorf("avg = %f", c.AvgCheckpointLines())
+	}
+	var zero Counters
+	if zero.AvgCheckpointLines() != 0 {
+		t.Error("zero checkpoints should average 0")
+	}
+}
+
+func TestMaxCheckpointLinesAdd(t *testing.T) {
+	var sum Counters
+	sum.Add(Counters{MaxCheckpointLines: 3})
+	sum.Add(Counters{MaxCheckpointLines: 9})
+	sum.Add(Counters{MaxCheckpointLines: 5})
+	if sum.MaxCheckpointLines != 9 {
+		t.Errorf("max = %d, want 9", sum.MaxCheckpointLines)
+	}
+}

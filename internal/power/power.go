@@ -1,0 +1,120 @@
+// Package power models energy availability for intermittent execution:
+// schedules that decide at which active cycle the next power failure strikes
+// (paper Section 6.1.4), and helpers for the periodic forward-progress
+// checkpoint the paper inserts at half the on-duration (Section 6.2.4).
+package power
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// NoFailure is the sentinel returned by schedules that never fail.
+const NoFailure = ^uint64(0)
+
+// Schedule decides when power failures occur, measured in *active* cycles
+// (time spent computing; the off/recharge time does not advance the
+// simulation clock — the paper's overhead metric likewise counts only the
+// extra work, not the waiting).
+type Schedule interface {
+	// NextFailureAfter returns the cycle of the first failure strictly after
+	// the given cycle, or NoFailure.
+	NextFailureAfter(cycle uint64) uint64
+}
+
+// None is the always-on power supply used for the failure-free experiments
+// (Figures 5-8).
+type None struct{}
+
+// NextFailureAfter always reports that no failure will occur.
+func (None) NextFailureAfter(uint64) uint64 { return NoFailure }
+
+// Periodic fails every Period active cycles: at Period, 2*Period, ...
+// It reproduces the paper's fixed on-durations of 5/10/50/100 ms.
+type Periodic struct {
+	Period uint64
+}
+
+// NextFailureAfter returns the next multiple of Period after cycle.
+func (p Periodic) NextFailureAfter(cycle uint64) uint64 {
+	if p.Period == 0 {
+		return NoFailure
+	}
+	return (cycle/p.Period + 1) * p.Period
+}
+
+// Uniform draws i.i.d. on-durations uniformly from [Min, Max] cycles using a
+// deterministic seed, modelling the harvested-energy variability described in
+// the paper's introduction. The sequence of failure instants is fixed by the
+// seed, so runs are reproducible.
+type Uniform struct {
+	Min, Max uint64
+	Seed     int64
+
+	rng     *rand.Rand
+	next    uint64
+	lastAsk uint64
+}
+
+// NewUniform creates a seeded random schedule with on-durations in
+// [min, max] cycles.
+func NewUniform(min, max uint64, seed int64) *Uniform {
+	u := &Uniform{Min: min, Max: max, Seed: seed}
+	u.rng = rand.New(rand.NewSource(seed))
+	u.next = u.draw(0)
+	return u
+}
+
+func (u *Uniform) draw(from uint64) uint64 {
+	span := u.Max - u.Min
+	d := u.Min
+	if span > 0 {
+		d += uint64(u.rng.Int63n(int64(span + 1)))
+	}
+	if d == 0 {
+		d = 1
+	}
+	return from + d
+}
+
+// NextFailureAfter returns the next drawn failure instant after cycle,
+// advancing the internal sequence as simulation time passes it. Queries are
+// monotonic within a run; a query for an earlier cycle than the last one
+// means a new run began, and the sequence restarts from the seed — so one
+// schedule value can be reused across runs and always produces the same
+// failure instants (the determinism the experiment harness relies on).
+func (u *Uniform) NextFailureAfter(cycle uint64) uint64 {
+	if cycle < u.lastAsk {
+		u.rng = rand.New(rand.NewSource(u.Seed))
+		u.next = u.draw(0)
+	}
+	u.lastAsk = cycle
+	for u.next <= cycle {
+		u.next = u.draw(u.next)
+	}
+	return u.next
+}
+
+// At fails at exactly the given active-time instants (sorted internally).
+// It is the precision tool of the incorruptibility sweeps: tests place a
+// failure at every individual cycle of a program.
+type At struct {
+	instants []uint64
+}
+
+// NewAt builds a schedule failing at each listed cycle.
+func NewAt(instants ...uint64) At {
+	sorted := make([]uint64, len(instants))
+	copy(sorted, instants)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return At{instants: sorted}
+}
+
+// NextFailureAfter returns the first listed instant strictly after cycle.
+func (a At) NextFailureAfter(cycle uint64) uint64 {
+	i := sort.Search(len(a.instants), func(i int) bool { return a.instants[i] > cycle })
+	if i == len(a.instants) {
+		return NoFailure
+	}
+	return a.instants[i]
+}

@@ -1,0 +1,85 @@
+package power
+
+import "testing"
+
+func TestNone(t *testing.T) {
+	if (None{}).NextFailureAfter(0) != NoFailure {
+		t.Error("None scheduled a failure")
+	}
+}
+
+func TestPeriodic(t *testing.T) {
+	p := Periodic{Period: 100}
+	cases := []struct{ at, want uint64 }{
+		{0, 100}, {1, 100}, {99, 100}, {100, 200}, {101, 200}, {250, 300},
+	}
+	for _, c := range cases {
+		if got := p.NextFailureAfter(c.at); got != c.want {
+			t.Errorf("NextFailureAfter(%d) = %d, want %d", c.at, got, c.want)
+		}
+	}
+	if (Periodic{}).NextFailureAfter(5) != NoFailure {
+		t.Error("zero period should never fail")
+	}
+}
+
+func TestUniformDeterministicAndMonotonic(t *testing.T) {
+	a := NewUniform(10, 50, 42)
+	b := NewUniform(10, 50, 42)
+	var cycle uint64
+	prev := uint64(0)
+	for i := 0; i < 1000; i++ {
+		fa := a.NextFailureAfter(cycle)
+		fb := b.NextFailureAfter(cycle)
+		if fa != fb {
+			t.Fatalf("same seed diverged at step %d: %d vs %d", i, fa, fb)
+		}
+		if fa <= cycle {
+			t.Fatalf("failure %d not after cycle %d", fa, cycle)
+		}
+		if fa < prev {
+			t.Fatalf("failure sequence went backwards: %d after %d", fa, prev)
+		}
+		gap := fa - cycle
+		if cycle == prev && (gap == 0 || fa-prev > 50*1000) {
+			t.Fatalf("implausible gap %d", gap)
+		}
+		prev = fa
+		cycle = fa // simulate consuming the failure
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	u := NewUniform(10, 20, 7)
+	var cycle uint64
+	for i := 0; i < 2000; i++ {
+		next := u.NextFailureAfter(cycle)
+		gap := next - cycle
+		if gap < 1 || gap > 20 {
+			t.Fatalf("gap %d outside (0, 20]", gap)
+		}
+		cycle = next
+	}
+}
+
+func TestUniformZeroSpan(t *testing.T) {
+	u := NewUniform(5, 5, 1)
+	if got := u.NextFailureAfter(0); got != 5 {
+		t.Errorf("fixed-width schedule first failure = %d, want 5", got)
+	}
+}
+
+func TestAtSchedule(t *testing.T) {
+	a := NewAt(30, 10, 20)
+	cases := []struct{ at, want uint64 }{
+		{0, 10}, {9, 10}, {10, 20}, {19, 20}, {20, 30}, {30, NoFailure},
+	}
+	for _, c := range cases {
+		if got := a.NextFailureAfter(c.at); got != c.want {
+			t.Errorf("NextFailureAfter(%d) = %d, want %d", c.at, got, c.want)
+		}
+	}
+	if NewAt().NextFailureAfter(0) != NoFailure {
+		t.Error("empty At schedule fired")
+	}
+}

@@ -1,0 +1,361 @@
+package program
+
+import "fmt"
+
+// ADPCM: the MiBench adpcm workload — an IMA ADPCM encoder and decoder
+// (rawcaudio + rawdaudio) over generated 16-bit samples. The encoder packs
+// 4-bit deltas into an output buffer with read-modify-write byte packing
+// (the C original's outputbuffer static); the decoder then reconstructs the
+// waveform from that stream. Each codec's predictor state (valpred, index)
+// lives in an image-initialized context struct re-loaded and stored once per
+// 64-sample frame; its first access is a read, which seeds the WAR cascade.
+
+var adpcmStepTable = []uint32{
+	7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+	19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+	50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+	130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+	337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+	876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+	2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+	5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+	15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+}
+
+// adpcmIndexTable is indexed by the 4-bit delta (sign included).
+var adpcmIndexTable = []uint32{
+	^uint32(0), ^uint32(0), ^uint32(0), ^uint32(0), 2, 4, 6, 8,
+	^uint32(0), ^uint32(0), ^uint32(0), ^uint32(0), 2, 4, 6, 8,
+}
+
+const (
+	adpcmFrame = 64
+	adpcmSeed  = 0xADCB1234
+)
+
+// ADPCM and ADPCMLong are the adpcm benchmark and its scaled variant.
+var (
+	ADPCM     = register(makeADPCM("adpcm", 128, false))
+	ADPCMLong = register(makeADPCM("adpcm-long", 1536, true))
+)
+
+func makeADPCM(name string, adpcmFrames int, long bool) *Program {
+	adpcmSamples := adpcmFrames * adpcmFrame
+	return &Program{
+		Name:        name,
+		Long:        long,
+		Description: fmt.Sprintf("IMA ADPCM encoder over %d samples in 64-sample frames (MiBench adpcm)", adpcmSamples),
+		Reference: func() uint32 {
+			var valpred int32
+			var index int32
+			var chk uint32
+			out := make([]byte, adpcmSamples/2)
+			sampleIdx := 0
+			x := uint32(adpcmSeed)
+			for f := 0; f < adpcmSamples/adpcmFrame; f++ {
+				vp, idx := valpred, index // frame-local registers
+				for i := 0; i < adpcmFrame; i++ {
+					x = XorShift32(x)
+					val := int32(int16(x))
+					step := int32(adpcmStepTable[idx])
+					diff := val - vp
+					var sign int32
+					if diff < 0 {
+						sign = 8
+						diff = -diff
+					}
+					var delta int32
+					vpdiff := step >> 3
+					if diff >= step {
+						delta = 4
+						diff -= step
+						vpdiff += step
+					}
+					step >>= 1
+					if diff >= step {
+						delta |= 2
+						diff -= step
+						vpdiff += step
+					}
+					step >>= 1
+					if diff >= step {
+						delta |= 1
+						vpdiff += step
+					}
+					if sign != 0 {
+						vp -= vpdiff
+					} else {
+						vp += vpdiff
+					}
+					if vp > 32767 {
+						vp = 32767
+					} else if vp < -32768 {
+						vp = -32768
+					}
+					delta |= sign
+					idx += int32(adpcmIndexTable[delta&0xF])
+					if idx < 0 {
+						idx = 0
+					} else if idx > 88 {
+						idx = 88
+					}
+					if sampleIdx%2 == 0 {
+						out[sampleIdx/2] = byte(delta << 4)
+					} else {
+						out[sampleIdx/2] |= byte(delta)
+					}
+					sampleIdx++
+					chk = XorShift32(chk ^ uint32(delta))
+				}
+				valpred, index = vp, idx // frame-end state store
+			}
+			// Decode pass (rawdaudio): reconstruct the waveform from the
+			// packed deltas with a fresh predictor.
+			var dvp, didx int32
+			var dchk uint32
+			for i := 0; i < adpcmSamples; i++ {
+				nib := out[i/2]
+				if i%2 == 0 {
+					nib >>= 4
+				}
+				delta := int32(nib & 0xF)
+				step := int32(adpcmStepTable[didx])
+				vpdiff := step >> 3
+				if delta&4 != 0 {
+					vpdiff += step
+				}
+				if delta&2 != 0 {
+					vpdiff += step >> 1
+				}
+				if delta&1 != 0 {
+					vpdiff += step >> 2
+				}
+				if delta&8 != 0 {
+					dvp -= vpdiff
+				} else {
+					dvp += vpdiff
+				}
+				if dvp > 32767 {
+					dvp = 32767
+				} else if dvp < -32768 {
+					dvp = -32768
+				}
+				didx += int32(adpcmIndexTable[delta])
+				if didx < 0 {
+					didx = 0
+				} else if didx > 88 {
+					didx = 88
+				}
+				dchk = XorShift32(dchk ^ (uint32(dvp) & 0xFFFF))
+			}
+			return chk + uint32(valpred) + uint32(index) + dchk
+		},
+		source: subst(`
+	.equ ADPCM_FRAMES, {{FRAMES}}
+	.equ ADPCM_FRAME_LEN, 64
+
+	.data
+	.balign 4
+adpcm_steps:
+`+wordTable(adpcmStepTable)+`
+adpcm_idxtab:
+`+wordTable(adpcmIndexTable)+`
+# Codec contexts: valpred, index (image-initialized; read-first seeds).
+adpcm_ctx:	.word 0, 0
+adpcm_ctx2:	.word 0, 0
+adpcm_out:	.space {{OUTBYTES}}
+
+	.text
+_start:
+	la   s0, adpcm_steps
+	la   s1, adpcm_idxtab
+	la   s2, adpcm_ctx
+	la   s9, adpcm_out
+	li   s8, 0                  # packed-sample index
+	li   a0, 0xADCB1234
+	li   s3, ADPCM_FRAMES
+	li   s4, 0                  # checksum
+adpcm_frame:
+	lw   s5, 0(s2)              # vp
+	lw   s6, 4(s2)              # idx
+	li   s7, ADPCM_FRAME_LEN
+adpcm_sample:
+	call rng_next
+	slli t1, a0, 16
+	srai t1, t1, 16             # val = int16(x)
+	slli t2, s6, 2
+	add  t2, s0, t2
+	lw   t2, (t2)               # step
+	sub  t3, t1, s5             # diff = val - vp
+	li   t4, 0                  # sign
+	bgez t3, adpcm_pos
+	li   t4, 8
+	neg  t3, t3
+adpcm_pos:
+	li   t5, 0                  # delta
+	srai t6, t2, 3              # vpdiff = step>>3
+	blt  t3, t2, adpcm_b2
+	li   t5, 4
+	sub  t3, t3, t2
+	add  t6, t6, t2
+adpcm_b2:
+	srai t2, t2, 1
+	blt  t3, t2, adpcm_b1
+	ori  t5, t5, 2
+	sub  t3, t3, t2
+	add  t6, t6, t2
+adpcm_b1:
+	srai t2, t2, 1
+	blt  t3, t2, adpcm_vp
+	ori  t5, t5, 1
+	add  t6, t6, t2
+adpcm_vp:
+	beqz t4, adpcm_add
+	sub  s5, s5, t6
+	j    adpcm_clamp
+adpcm_add:
+	add  s5, s5, t6
+adpcm_clamp:
+	li   t1, 32767
+	ble  s5, t1, adpcm_clo
+	mv   s5, t1
+adpcm_clo:
+	li   t1, -32768
+	bge  s5, t1, adpcm_idx
+	mv   s5, t1
+adpcm_idx:
+	or   t5, t5, t4             # delta |= sign
+	andi t1, t5, 0xF
+	slli t1, t1, 2
+	add  t1, s1, t1
+	lw   t1, (t1)
+	add  s6, s6, t1
+	bgez s6, adpcm_ihi
+	li   s6, 0
+adpcm_ihi:
+	li   t1, 88
+	ble  s6, t1, adpcm_pack
+	mv   s6, t1
+adpcm_pack:
+	# Pack the 4-bit delta (read-modify-write on the output byte, like the
+	# C original's outputbuffer/bufferstep statics).
+	srli t1, s8, 1
+	add  t1, s9, t1
+	andi t3, s8, 1
+	bnez t3, adpcm_packlo
+	slli t4, t5, 4
+	sb   t4, (t1)               # high nibble first
+	j    adpcm_packed
+adpcm_packlo:
+	lbu  t2, (t1)
+	or   t2, t2, t5
+	sb   t2, (t1)
+adpcm_packed:
+	addi s8, s8, 1
+adpcm_chk:
+	xor  s4, s4, t5
+	slli t1, s4, 13
+	xor  s4, s4, t1
+	srli t1, s4, 17
+	xor  s4, s4, t1
+	slli t1, s4, 5
+	xor  s4, s4, t1
+	addi s7, s7, -1
+	bnez s7, adpcm_sample
+	sw   s5, 0(s2)              # frame-end state store (WAR)
+	sw   s6, 4(s2)
+	addi s3, s3, -1
+	bnez s3, adpcm_frame
+
+	# ---- decode pass (rawdaudio): reconstruct the waveform ----
+	la   s10, adpcm_ctx2
+	li   s3, ADPCM_FRAMES
+	li   s8, 0                  # sample index
+	li   s11, 0                 # decode checksum
+adpcm_dframe:
+	lw   s5, 0(s10)             # vp (image-initialized; read-first seed)
+	lw   s6, 4(s10)             # idx
+	li   s7, ADPCM_FRAME_LEN
+adpcm_dsample:
+	srli t1, s8, 1
+	add  t1, s9, t1
+	lbu  t1, (t1)
+	andi t2, s8, 1
+	bnez t2, adpcm_dlow
+	srli t1, t1, 4
+adpcm_dlow:
+	andi t5, t1, 0xF            # delta
+	slli t2, s6, 2
+	add  t2, s0, t2
+	lw   t2, (t2)               # step
+	srai t6, t2, 3              # vpdiff = step>>3
+	andi t3, t5, 4
+	beqz t3, adpcm_d2
+	add  t6, t6, t2
+adpcm_d2:
+	srai t3, t2, 1
+	andi t4, t5, 2
+	beqz t4, adpcm_d1
+	add  t6, t6, t3
+adpcm_d1:
+	srai t3, t2, 2
+	andi t4, t5, 1
+	beqz t4, adpcm_dsign
+	add  t6, t6, t3
+adpcm_dsign:
+	andi t4, t5, 8
+	beqz t4, adpcm_dadd
+	sub  s5, s5, t6
+	j    adpcm_dclamp
+adpcm_dadd:
+	add  s5, s5, t6
+adpcm_dclamp:
+	li   t1, 32767
+	ble  s5, t1, adpcm_dclo
+	mv   s5, t1
+adpcm_dclo:
+	li   t1, -32768
+	bge  s5, t1, adpcm_didx
+	mv   s5, t1
+adpcm_didx:
+	slli t1, t5, 2
+	add  t1, s1, t1
+	lw   t1, (t1)
+	add  s6, s6, t1
+	bgez s6, adpcm_dihi
+	li   s6, 0
+adpcm_dihi:
+	li   t1, 88
+	ble  s6, t1, adpcm_dchk
+	mv   s6, t1
+adpcm_dchk:
+	slli t1, s5, 16
+	srli t1, t1, 16             # low 16 bits of the sample
+	xor  s11, s11, t1
+	slli t1, s11, 13
+	xor  s11, s11, t1
+	srli t1, s11, 17
+	xor  s11, s11, t1
+	slli t1, s11, 5
+	xor  s11, s11, t1
+	addi s8, s8, 1
+	addi s7, s7, -1
+	bnez s7, adpcm_dsample
+	sw   s5, 0(s10)             # frame-end decoder state store (WAR)
+	sw   s6, 4(s10)
+	addi s3, s3, -1
+	bnez s3, adpcm_dframe
+
+	lw   t1, 0(s2)
+	lw   t2, 4(s2)
+	add  a0, s4, t1
+	add  a0, a0, t2
+	add  a0, a0, s11
+	li   t0, MMIO_RESULT
+	sw   a0, (t0)
+	li   t0, MMIO_EXIT
+	sw   zero, (t0)
+	ebreak
+`, map[string]int{"FRAMES": adpcmFrames, "OUTBYTES": adpcmSamples / 2}),
+	}
+}

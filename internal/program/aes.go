@@ -1,0 +1,439 @@
+package program
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AES: the TinyAES workload — AES-128 ECB encryption of a 96-block
+// image-initialized input buffer, in place, byte-level like
+// kokke/tiny-AES-c's test harness (which encrypts a static array). In-place
+// encryption of pre-initialized data makes every SubBytes/AddRoundKey a
+// read-then-write of image data — the WAR pattern that keeps address-based
+// trackers like Clank checkpointing continuously. The round-key schedule
+// lives in memory; the S-box is read-only data.
+
+const aesSeed = 0xAE5CAFE1
+
+// aesSbox computes the AES S-box from first principles (GF(2^8) inverse plus
+// the affine transform), so the table cannot be mistyped: the assembly
+// source embeds exactly these bytes.
+func aesSbox() [256]byte {
+	gmul := func(a, b byte) byte {
+		var p byte
+		for b > 0 {
+			if b&1 != 0 {
+				p ^= a
+			}
+			hi := a & 0x80
+			a <<= 1
+			if hi != 0 {
+				a ^= 0x1b
+			}
+			b >>= 1
+		}
+		return p
+	}
+	var box [256]byte
+	box[0] = 0x63
+	for x := 1; x < 256; x++ {
+		// Multiplicative inverse by brute force (build-time only).
+		var inv byte
+		for y := 1; y < 256; y++ {
+			if gmul(byte(x), byte(y)) == 1 {
+				inv = byte(y)
+				break
+			}
+		}
+		rotl := func(v byte, n uint) byte { return v<<n | v>>(8-n) }
+		box[x] = inv ^ rotl(inv, 1) ^ rotl(inv, 2) ^ rotl(inv, 3) ^ rotl(inv, 4) ^ 0x63
+	}
+	return box
+}
+
+var aesRcon = [10]byte{0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36}
+
+// byteTable renders bytes as assembler .byte lines.
+func byteTable(bs []byte) string {
+	var b strings.Builder
+	for i := 0; i < len(bs); i += 16 {
+		b.WriteString("\t.byte ")
+		end := i + 16
+		if end > len(bs) {
+			end = len(bs)
+		}
+		for j := i; j < end; j++ {
+			if j > i {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "0x%02x", bs[j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// aesInput generates the image-initialized plaintext buffer.
+func aesInput(aesBlocks int) []byte {
+	x := uint32(aesSeed ^ 0x5A5A5A5A)
+	buf := make([]byte, 16*aesBlocks)
+	for i := range buf {
+		x = XorShift32(x)
+		buf[i] = byte(x)
+	}
+	return buf
+}
+
+func aesReference(aesBlocks int) uint32 {
+	sbox := aesSbox()
+	xtime := func(x byte) byte {
+		if x&0x80 != 0 {
+			return x<<1 ^ 0x1b
+		}
+		return x << 1
+	}
+	input := aesInput(aesBlocks)
+	var rk [176]byte
+	x := uint32(aesSeed)
+	for i := 0; i < 16; i++ {
+		x = XorShift32(x)
+		rk[i] = byte(x)
+	}
+	for i := 4; i < 44; i++ {
+		var t [4]byte
+		copy(t[:], rk[(i-1)*4:i*4])
+		if i%4 == 0 {
+			t[0], t[1], t[2], t[3] = sbox[t[1]], sbox[t[2]], sbox[t[3]], sbox[t[0]]
+			t[0] ^= aesRcon[i/4-1]
+		}
+		for j := 0; j < 4; j++ {
+			rk[i*4+j] = rk[(i-4)*4+j] ^ t[j]
+		}
+	}
+	var sum, stats uint32
+	for b := 0; b < aesBlocks; b++ {
+		stats++
+		var st [16]byte
+		copy(st[:], input[b*16:])
+		addRK := func(off int) {
+			for i := 0; i < 16; i++ {
+				st[i] ^= rk[off+i]
+			}
+		}
+		subBytes := func() {
+			for i := range st {
+				st[i] = sbox[st[i]]
+			}
+		}
+		shiftRows := func() {
+			st[1], st[5], st[9], st[13] = st[5], st[9], st[13], st[1]
+			st[2], st[10] = st[10], st[2]
+			st[6], st[14] = st[14], st[6]
+			st[3], st[7], st[11], st[15] = st[15], st[3], st[7], st[11]
+		}
+		mixCols := func() {
+			for c := 0; c < 16; c += 4 {
+				a0, a1, a2, a3 := st[c], st[c+1], st[c+2], st[c+3]
+				t := a0 ^ a1 ^ a2 ^ a3
+				st[c] = a0 ^ t ^ xtime(a0^a1)
+				st[c+1] = a1 ^ t ^ xtime(a1^a2)
+				st[c+2] = a2 ^ t ^ xtime(a2^a3)
+				st[c+3] = a3 ^ t ^ xtime(a3^a0)
+			}
+		}
+		addRK(0)
+		for r := 1; r <= 9; r++ {
+			subBytes()
+			shiftRows()
+			mixCols()
+			addRK(r * 16)
+		}
+		subBytes()
+		shiftRows()
+		addRK(160)
+		for i := 0; i < 16; i += 4 {
+			w := uint32(st[i]) | uint32(st[i+1])<<8 | uint32(st[i+2])<<16 | uint32(st[i+3])<<24
+			sum += w
+		}
+	}
+	return sum + stats
+}
+
+// AES and AESLong are the aes benchmark and its scaled variant.
+var (
+	AES     = register(makeAES("aes", 96, false))
+	AESLong = register(makeAES("aes-long", 768, true))
+)
+
+func makeAES(name string, aesBlocks int, long bool) *Program {
+	box := aesSbox()
+	return &Program{
+		Name:        name,
+		Long:        long,
+		Description: fmt.Sprintf("AES-128 ECB in place over a %d-block static buffer (TinyAES)", aesBlocks),
+		Reference:   func() uint32 { return aesReference(aesBlocks) },
+		source: subst(`
+	.data
+	.balign 4
+aes_sbox:
+`+byteTable(box[:])+`
+aes_rcon:
+`+byteTable(aesRcon[:])+`
+	.balign 4
+aes_input:
+`+byteTable(aesInput(aesBlocks))+`
+	.balign 4
+aes_rk:		.space 176
+aes_stats:	.word 0
+
+	.text
+# SubBytes: state[i] = sbox[state[i]]
+aes_subbytes:
+	addi sp, sp, -12
+	sw   ra, 8(sp)
+	sw   a5, 4(sp)
+	sw   a1, 0(sp)
+	li   a5, 0
+aes_sb_loop:
+	add  a1, s2, a5
+	lbu  t1, (a1)
+	add  t1, s0, t1
+	lbu  t1, (t1)
+	sb   t1, (a1)
+	addi a5, a5, 1
+	li   t1, 16
+	bne  a5, t1, aes_sb_loop
+	lw   ra, 8(sp)
+	lw   a5, 4(sp)
+	lw   a1, 0(sp)
+	addi sp, sp, 12
+	ret
+
+# ShiftRows, column-major state layout.
+aes_shiftrows:
+	addi sp, sp, -12
+	sw   ra, 8(sp)
+	sw   t5, 4(sp)
+	sw   t6, 0(sp)
+	lbu  t1, 1(s2)
+	lbu  t2, 5(s2)
+	sb   t2, 1(s2)
+	lbu  t2, 9(s2)
+	sb   t2, 5(s2)
+	lbu  t2, 13(s2)
+	sb   t2, 9(s2)
+	sb   t1, 13(s2)
+	lbu  t1, 2(s2)
+	lbu  t2, 10(s2)
+	sb   t2, 2(s2)
+	sb   t1, 10(s2)
+	lbu  t1, 6(s2)
+	lbu  t2, 14(s2)
+	sb   t2, 6(s2)
+	sb   t1, 14(s2)
+	lbu  t1, 3(s2)
+	lbu  t2, 15(s2)
+	sb   t2, 3(s2)
+	lbu  t2, 11(s2)
+	sb   t2, 15(s2)
+	lbu  t2, 7(s2)
+	sb   t2, 11(s2)
+	sb   t1, 7(s2)
+	lw   ra, 8(sp)
+	lw   t5, 4(sp)
+	lw   t6, 0(sp)
+	addi sp, sp, 12
+	ret
+
+# MixColumns, xtime folded in via the 9-bit 0x11b trick.
+aes_mixcols:
+	addi sp, sp, -12
+	sw   ra, 8(sp)
+	sw   a3, 4(sp)
+	sw   a4, 0(sp)
+	li   a5, 0
+aes_mc_col:
+	add  a1, s2, a5
+	lbu  t1, 0(a1)
+	lbu  t2, 1(a1)
+	lbu  t3, 2(a1)
+	lbu  t4, 3(a1)
+	xor  t5, t1, t2
+	xor  t6, t3, t4
+	xor  t5, t5, t6             # t = a0^a1^a2^a3
+	xor  t6, t1, t2
+	slli t6, t6, 1
+	andi a2, t6, 0x100
+	beqz a2, aes_mc0
+	xori t6, t6, 0x11b
+aes_mc0:
+	xor  t6, t6, t1
+	xor  t6, t6, t5
+	sb   t6, 0(a1)
+	xor  t6, t2, t3
+	slli t6, t6, 1
+	andi a2, t6, 0x100
+	beqz a2, aes_mc1
+	xori t6, t6, 0x11b
+aes_mc1:
+	xor  t6, t6, t2
+	xor  t6, t6, t5
+	sb   t6, 1(a1)
+	xor  t6, t3, t4
+	slli t6, t6, 1
+	andi a2, t6, 0x100
+	beqz a2, aes_mc2
+	xori t6, t6, 0x11b
+aes_mc2:
+	xor  t6, t6, t3
+	xor  t6, t6, t5
+	sb   t6, 2(a1)
+	xor  t6, t4, t1
+	slli t6, t6, 1
+	andi a2, t6, 0x100
+	beqz a2, aes_mc3
+	xori t6, t6, 0x11b
+aes_mc3:
+	xor  t6, t6, t4
+	xor  t6, t6, t5
+	sb   t6, 3(a1)
+	addi a5, a5, 4
+	li   a2, 16
+	bne  a5, a2, aes_mc_col
+	lw   ra, 8(sp)
+	lw   a3, 4(sp)
+	lw   a4, 0(sp)
+	addi sp, sp, 12
+	ret
+
+# AddRoundKey: a1 = byte offset of the round key.
+aes_addrk:
+	addi sp, sp, -12
+	sw   ra, 8(sp)
+	sw   a1, 4(sp)
+	sw   a2, 0(sp)
+	add  a2, s1, a1
+	li   a5, 0
+aes_ark_loop:
+	add  a3, s2, a5
+	lbu  t1, (a3)
+	add  a4, a2, a5
+	lbu  t2, (a4)
+	xor  t1, t1, t2
+	sb   t1, (a3)
+	addi a5, a5, 1
+	li   t1, 16
+	bne  a5, t1, aes_ark_loop
+	lw   ra, 8(sp)
+	lw   a1, 4(sp)
+	lw   a2, 0(sp)
+	addi sp, sp, 12
+	ret
+
+_start:
+	la   s0, aes_sbox
+	la   s1, aes_rk
+	la   s2, aes_input          # s2 = current block (encrypted in place)
+	li   a0, 0xAE5CAFE1
+
+	# Generate the 16-byte key directly into the schedule.
+	li   s5, 0
+aes_keygen:
+	call rng_next
+	add  t1, s1, s5
+	sb   a0, (t1)
+	addi s5, s5, 1
+	li   t1, 16
+	bne  s5, t1, aes_keygen
+
+	# Key expansion: words 4..43.
+	li   s5, 4
+aes_keyexp:
+	slli t1, s5, 2
+	add  t2, s1, t1             # &rk[i*4]
+	lbu  t3, -4(t2)
+	lbu  t4, -3(t2)
+	lbu  t5, -2(t2)
+	lbu  t6, -1(t2)
+	andi t0, s5, 3
+	bnez t0, aes_ke_nosub
+	mv   a1, t3                 # rotate left one byte
+	mv   t3, t4
+	mv   t4, t5
+	mv   t5, t6
+	mv   t6, a1
+	add  a1, s0, t3
+	lbu  t3, (a1)
+	add  a1, s0, t4
+	lbu  t4, (a1)
+	add  a1, s0, t5
+	lbu  t5, (a1)
+	add  a1, s0, t6
+	lbu  t6, (a1)
+	srli a1, s5, 2
+	la   a2, aes_rcon
+	add  a2, a2, a1
+	lbu  a2, -1(a2)             # rcon[i/4 - 1]
+	xor  t3, t3, a2
+aes_ke_nosub:
+	lbu  a1, -16(t2)
+	xor  a1, a1, t3
+	sb   a1, 0(t2)
+	lbu  a1, -15(t2)
+	xor  a1, a1, t4
+	sb   a1, 1(t2)
+	lbu  a1, -14(t2)
+	xor  a1, a1, t5
+	sb   a1, 2(t2)
+	lbu  a1, -13(t2)
+	xor  a1, a1, t6
+	sb   a1, 3(t2)
+	addi s5, s5, 1
+	li   t1, 44
+	bne  s5, t1, aes_keyexp
+
+	la   s7, aes_stats
+	li   s3, {{BLOCKS}}         # block count
+	li   s4, 0                  # checksum
+aes_block:
+	lw   t1, (s7)               # stats++ (seed RMW on .data)
+	addi t1, t1, 1
+	sw   t1, (s7)
+	li   a1, 0
+	call aes_addrk
+	li   s6, 1
+aes_round:
+	call aes_subbytes
+	call aes_shiftrows
+	call aes_mixcols
+	slli a1, s6, 4
+	call aes_addrk
+	addi s6, s6, 1
+	li   t1, 10
+	bne  s6, t1, aes_round
+	call aes_subbytes
+	call aes_shiftrows
+	li   a1, 160
+	call aes_addrk
+	lw   t1, 0(s2)
+	add  s4, s4, t1
+	lw   t1, 4(s2)
+	add  s4, s4, t1
+	lw   t1, 8(s2)
+	add  s4, s4, t1
+	lw   t1, 12(s2)
+	add  s4, s4, t1
+	addi s2, s2, 16             # next block, in place
+	addi s3, s3, -1
+	bnez s3, aes_block
+
+	lw   t1, (s7)
+	add  a0, s4, t1
+	li   t0, MMIO_RESULT
+	sw   a0, (t0)
+	li   t0, MMIO_EXIT
+	sw   zero, (t0)
+	ebreak
+`, map[string]int{"BLOCKS": aesBlocks}),
+	}
+}

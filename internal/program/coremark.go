@@ -1,0 +1,488 @@
+package program
+
+import "fmt"
+
+// Coremark: the three CoreMark kernels at embedded scale — linked-list
+// manipulation (find/reverse/mutate), a 12x12 integer matrix multiply with an
+// accumulating result matrix, and a character-driven state machine — iterated
+// 16 times with checksums chained across kernels. The list head and the
+// state-machine input string are image-initialized data, seeding the WAR
+// cascade; list reversal and the counter updates are dense read-modify-write
+// traffic.
+
+const (
+	cmListNodes = 64
+	cmMatN      = 12
+)
+
+// cmInput builds the state machine's 256-char input string.
+func cmInput() []byte {
+	const alphabet = "0123456789+-*. ,;xk"
+	x := uint32(0xC0DE1357)
+	buf := make([]byte, 256)
+	for i := range buf {
+		x = XorShift32(x)
+		buf[i] = alphabet[x%uint32(len(alphabet))]
+	}
+	return buf
+}
+
+// cmMatInput builds the image-initialized A and B matrices (values -128..127).
+func cmMatInput() []uint32 {
+	x := uint32(0x3A7B00F5)
+	vals := make([]uint32, 2*cmMatN*cmMatN)
+	for i := range vals {
+		x = XorShift32(x)
+		vals[i] = uint32(int32(x&0xFF) - 128)
+	}
+	return vals
+}
+
+// cmClassify maps a character to a state-machine input class 0..4.
+func cmClassify(c byte) uint32 {
+	switch {
+	case c >= '0' && c <= '9':
+		return 0
+	case c == '+' || c == '-':
+		return 1
+	case c == '.':
+		return 2
+	case c == ' ':
+		return 3
+	default:
+		return 4
+	}
+}
+
+// Coremark and CoremarkLong are the coremark benchmark and its scaled
+// variant.
+var (
+	Coremark     = register(makeCoremark("coremark", 16, false))
+	CoremarkLong = register(makeCoremark("coremark-long", 160, true))
+)
+
+func makeCoremark(name string, cmIterations int, long bool) *Program {
+	input := cmInput()
+	mats := cmMatInput()
+	return &Program{
+		Name:        name,
+		Long:        long,
+		Description: fmt.Sprintf("CoreMark kernels: list ops + 12x12 matmul + state machine, %d iterations", cmIterations),
+		Reference: func() uint32 {
+			// Node i: next index (-1 terminates), data.
+			next := make([]int32, cmListNodes)
+			data := make([]uint32, cmListNodes)
+			x := uint32(0x11E77EAD)
+			for i := range next {
+				next[i] = int32(i) + 1
+				x = XorShift32(x)
+				data[i] = x & 0xFFFF
+			}
+			next[cmListNodes-1] = -1
+			head := int32(0)
+
+			A := mats[:cmMatN*cmMatN]
+			B := mats[cmMatN*cmMatN:]
+			C := make([]uint32, cmMatN*cmMatN)
+
+			counts := make([]uint32, 8)
+			state := uint32(0)
+
+			var chk uint32
+			for it := 0; it < cmIterations; it++ {
+				// Kernel 1: reverse the list, then walk it mutating data.
+				prev := int32(-1)
+				cur := head
+				for cur != -1 {
+					nxt := next[cur]
+					next[cur] = prev
+					prev = cur
+					cur = nxt
+				}
+				head = prev
+				cur = head
+				idx := uint32(0)
+				var sum uint32
+				for cur != -1 {
+					sum += data[cur]
+					if idx%7 == 0 {
+						data[cur]++
+					}
+					idx++
+					cur = next[cur]
+				}
+				chk = XorShift32(chk ^ sum)
+
+				// Kernel 1b (every 4th iteration): insertion-sort the list
+				// by data value, CoreMark's list-sort operation.
+				if (cmIterations-it)&3 == 0 {
+					sorted := int32(-1)
+					cur = head
+					for cur != -1 {
+						nxt := next[cur]
+						if sorted == -1 || int32(data[cur]) <= int32(data[sorted]) {
+							next[cur] = sorted
+							sorted = cur
+						} else {
+							p := sorted
+							for next[p] != -1 && int32(data[next[p]]) < int32(data[cur]) {
+								p = next[p]
+							}
+							next[cur] = next[p]
+							next[p] = cur
+						}
+						cur = nxt
+					}
+					head = sorted
+					chk = XorShift32(chk ^ uint32(head))
+				}
+
+				// Kernel 2: C += A*B, checksum the diagonal.
+				for i := 0; i < cmMatN; i++ {
+					for j := 0; j < cmMatN; j++ {
+						var acc uint32
+						for k := 0; k < cmMatN; k++ {
+							acc += A[i*cmMatN+k] * B[k*cmMatN+j]
+						}
+						C[i*cmMatN+j] += acc
+					}
+				}
+				for d := 0; d < cmMatN; d++ {
+					chk = XorShift32(chk ^ C[d*cmMatN+d])
+				}
+				// Kernel 2b: CoreMark's bit-extract pass — a read-modify-
+				// write sweep over the whole result matrix.
+				for i := range C {
+					C[i] += C[i] >> 3 & 0x7F
+				}
+
+				// Kernel 3: state machine over the input string.
+				for _, c := range input {
+					cls := cmClassify(c)
+					counts[cls]++
+					state = (state*5 + cls) & 7
+				}
+				chk = XorShift32(chk ^ state)
+			}
+			for _, c := range counts {
+				chk += c
+			}
+			return chk
+		},
+		source: subst(`
+	.equ CM_ITER, {{ITER}}
+	.equ CM_NODES, 64
+	.equ CM_N, 12
+
+	.data
+	.balign 4
+cm_input:
+`+byteTable(input)+`
+	.balign 4
+cm_mats:
+`+wordTable(mats)+`
+cm_head:	.word 0
+cm_state:	.word 0
+cm_next:	.space 256
+cm_data:	.space 256
+cm_c:		.space 576
+cm_counts:	.space 32
+
+	.text
+_start:
+	la   s0, cm_next
+	la   s1, cm_data
+	la   s2, cm_mats            # A, then B at +576
+	la   s3, cm_c
+	la   s5, cm_counts
+	la   s6, cm_input
+	la   s7, cm_head
+	la   s8, cm_state
+
+	# Build the list: next[i] = i+1 (last -1), data[i] = rng & 0xFFFF.
+	li   a0, 0x11E77EAD
+	li   t5, 0
+cm_build:
+	slli t1, t5, 2
+	add  t2, s0, t1
+	addi t3, t5, 1
+	sw   t3, (t2)
+	call rng_next
+	slli t2, a0, 16
+	srli t2, t2, 16
+	add  t3, s1, t1
+	sw   t2, (t3)
+	addi t5, t5, 1
+	li   t1, CM_NODES
+	bne  t5, t1, cm_build
+	li   t1, -1
+	sw   t1, 252(s0)            # next[63] = -1
+
+	li   s4, 0                  # checksum
+	li   s9, CM_ITER
+cm_iter:
+	# ---- Kernel 1: list reverse + walk (own frame) ----
+	addi sp, sp, -16
+	sw   ra, 12(sp)
+	sw   s9, 8(sp)
+	li   t3, -1                 # prev
+	lw   t4, (s7)               # cur = head (image-initialized read)
+cm_rev:
+	li   t1, -1
+	beq  t4, t1, cm_rev_done
+	slli t1, t4, 2
+	add  t1, s0, t1
+	lw   t2, (t1)               # nxt = next[cur]
+	sw   t3, (t1)               # next[cur] = prev (RMW)
+	mv   t3, t4
+	mv   t4, t2
+	j    cm_rev
+cm_rev_done:
+	sw   t3, (s7)               # head = prev
+	mv   t4, t3
+	li   t5, 0                  # idx
+	li   t6, 0                  # sum
+cm_walk:
+	li   t1, -1
+	beq  t4, t1, cm_walk_done
+	slli t1, t4, 2
+	add  t2, s1, t1
+	lw   a1, (t2)
+	add  t6, t6, a1
+	# every 7th node: data++
+	li   a2, 7
+	remu a3, t5, a2
+	bnez a3, cm_walk_next
+	addi a1, a1, 1
+	sw   a1, (t2)
+cm_walk_next:
+	add  t1, s0, t1
+	lw   t4, (t1)
+	addi t5, t5, 1
+	j    cm_walk
+cm_walk_done:
+	xor  s4, s4, t6
+	slli t1, s4, 13
+	xor  s4, s4, t1
+	srli t1, s4, 17
+	xor  s4, s4, t1
+	slli t1, s4, 5
+	xor  s4, s4, t1
+
+	# ---- Kernel 1b: insertion-sort the list by data (every 4th iter) ----
+	andi t1, s9, 3
+	bnez t1, cm_sort_done
+	li   t3, -1                 # sorted
+	lw   t4, (s7)               # cur = head
+cm_sort_loop:
+	li   t1, -1
+	beq  t4, t1, cm_sort_fin
+	slli t1, t4, 2
+	add  t1, s0, t1
+	lw   t5, (t1)               # nxt = next[cur]
+	slli a1, t4, 2
+	add  a1, s1, a1
+	lw   a1, (a1)               # data[cur]
+	li   t1, -1
+	beq  t3, t1, cm_ins_head
+	slli a2, t3, 2
+	add  a2, s1, a2
+	lw   a2, (a2)               # data[sorted]
+	ble  a1, a2, cm_ins_head
+	mv   t6, t3                 # p = sorted
+cm_scan:
+	slli a3, t6, 2
+	add  a3, s0, a3
+	lw   a4, (a3)               # next[p]
+	li   t1, -1
+	beq  a4, t1, cm_ins_after
+	slli a2, a4, 2
+	add  a2, s1, a2
+	lw   a2, (a2)               # data[next[p]]
+	bge  a2, a1, cm_ins_after
+	mv   t6, a4
+	j    cm_scan
+cm_ins_after:
+	slli a3, t6, 2
+	add  a3, s0, a3
+	lw   a4, (a3)
+	slli t1, t4, 2
+	add  t1, s0, t1
+	sw   a4, (t1)               # next[cur] = next[p]
+	sw   t4, (a3)               # next[p] = cur
+	j    cm_ins_next
+cm_ins_head:
+	slli t1, t4, 2
+	add  t1, s0, t1
+	sw   t3, (t1)               # next[cur] = sorted
+	mv   t3, t4                 # sorted = cur
+cm_ins_next:
+	mv   t4, t5
+	j    cm_sort_loop
+cm_sort_fin:
+	sw   t3, (s7)               # head = sorted
+	lw   t1, (s7)
+	xor  s4, s4, t1
+	slli t1, s4, 13
+	xor  s4, s4, t1
+	srli t1, s4, 17
+	xor  s4, s4, t1
+	slli t1, s4, 5
+	xor  s4, s4, t1
+cm_sort_done:
+	lw   s9, 8(sp)
+	lw   ra, 12(sp)
+	addi sp, sp, 16
+
+	# ---- Kernel 2: C += A*B (own frame) ----
+	addi sp, sp, -16
+	sw   ra, 12(sp)
+	sw   s9, 8(sp)
+	li   t3, 0                  # i
+cm_mm_i:
+	li   t4, 0                  # j
+cm_mm_j:
+	li   t6, 0                  # acc
+	li   t5, 0                  # k
+cm_mm_k:
+	# A[i*12+k]
+	li   a1, CM_N
+	mul  a2, t3, a1
+	add  a2, a2, t5
+	slli a2, a2, 2
+	add  a2, s2, a2
+	lw   a2, (a2)
+	# B[k*12+j]
+	mul  a3, t5, a1
+	add  a3, a3, t4
+	slli a3, a3, 2
+	add  a3, s2, a3
+	lw   a3, 576(a3)
+	mul  a2, a2, a3
+	add  t6, t6, a2
+	addi t5, t5, 1
+	bne  t5, a1, cm_mm_k
+	# C[i*12+j] += acc
+	mul  a2, t3, a1
+	add  a2, a2, t4
+	slli a2, a2, 2
+	add  a2, s3, a2
+	lw   a3, (a2)
+	add  a3, a3, t6
+	sw   a3, (a2)
+	addi t4, t4, 1
+	bne  t4, a1, cm_mm_j
+	addi t3, t3, 1
+	bne  t3, a1, cm_mm_i
+	# checksum the diagonal
+	li   t5, 0
+cm_mm_diag:
+	li   a1, CM_N
+	mul  t1, t5, a1
+	add  t1, t1, t5
+	slli t1, t1, 2
+	add  t1, s3, t1
+	lw   t1, (t1)
+	xor  s4, s4, t1
+	slli t1, s4, 13
+	xor  s4, s4, t1
+	srli t1, s4, 17
+	xor  s4, s4, t1
+	slli t1, s4, 5
+	xor  s4, s4, t1
+	addi t5, t5, 1
+	bne  t5, a1, cm_mm_diag
+	# ---- Kernel 2b: bit-extract sweep over C (read-modify-write) ----
+	li   t5, 0
+	li   a1, 144                # 12*12 cells
+cm_mm_bx:
+	slli t1, t5, 2
+	add  t1, s3, t1
+	lw   t2, (t1)
+	srli t3, t2, 3
+	andi t3, t3, 0x7F
+	add  t2, t2, t3
+	sw   t2, (t1)
+	addi t5, t5, 1
+	bne  t5, a1, cm_mm_bx
+	lw   s9, 8(sp)
+	lw   ra, 12(sp)
+	addi sp, sp, 16
+
+	# ---- Kernel 3: state machine (own frame) ----
+	addi sp, sp, -16
+	sw   ra, 12(sp)
+	sw   s9, 8(sp)
+	li   t5, 0                  # char index
+cm_sm:
+	add  t1, s6, t5
+	lbu  t2, (t1)               # c
+	# classify into t3
+	li   t3, 0
+	li   t1, '0'
+	blt  t2, t1, cm_sm_nondigit
+	li   t1, '9'
+	ble  t2, t1, cm_sm_counted
+cm_sm_nondigit:
+	li   t3, 1
+	li   t1, '+'
+	beq  t2, t1, cm_sm_counted
+	li   t1, '-'
+	beq  t2, t1, cm_sm_counted
+	li   t3, 2
+	li   t1, '.'
+	beq  t2, t1, cm_sm_counted
+	li   t3, 3
+	li   t1, ' '
+	beq  t2, t1, cm_sm_counted
+	li   t3, 4
+cm_sm_counted:
+	slli t1, t3, 2
+	add  t1, s5, t1
+	lw   t2, (t1)               # counts[cls]++ (RMW)
+	addi t2, t2, 1
+	sw   t2, (t1)
+	lw   t2, (s8)               # state = (state*5 + cls) & 7 (RMW)
+	slli t1, t2, 2
+	add  t2, t2, t1
+	add  t2, t2, t3
+	andi t2, t2, 7
+	sw   t2, (s8)
+	addi t5, t5, 1
+	li   t1, 256
+	bne  t5, t1, cm_sm
+	lw   t1, (s8)
+	xor  s4, s4, t1
+	slli t1, s4, 13
+	xor  s4, s4, t1
+	srli t1, s4, 17
+	xor  s4, s4, t1
+	slli t1, s4, 5
+	xor  s4, s4, t1
+	lw   s9, 8(sp)
+	lw   ra, 12(sp)
+	addi sp, sp, 16
+
+	addi s9, s9, -1
+	bnez s9, cm_iter
+
+	# chk += counts
+	li   t5, 0
+cm_fin:
+	slli t1, t5, 2
+	add  t1, s5, t1
+	lw   t1, (t1)
+	add  s4, s4, t1
+	addi t5, t5, 1
+	li   t1, 8
+	bne  t5, t1, cm_fin
+
+	mv   a0, s4
+	li   t0, MMIO_RESULT
+	sw   a0, (t0)
+	li   t0, MMIO_EXIT
+	sw   zero, (t0)
+	ebreak
+`, map[string]int{"ITER": cmIterations}),
+	}
+}

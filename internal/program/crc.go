@@ -1,0 +1,175 @@
+package program
+
+import "fmt"
+
+// CRC: the MiBench CRC-32 workload — a nibble-table reflected CRC-32
+// (polynomial 0xEDB88320, 16-entry table as embedded implementations use)
+// over a PRNG-filled 4 KiB buffer, eight passes.
+//
+// Two pieces of memory-resident state mirror the C original: the running CRC
+// round-trips through a global once per 64-byte chunk, and a pass counter in
+// initialized .data is incremented per pass. The counter's first access is a
+// read of image-initialized data, which seeds the WAR cascade exactly the
+// way compiled C's statics do (see DESIGN.md).
+
+const crcBufSize = 4096
+const crcSeed = 0x12345678
+
+// CRC and CRCLong are the crc benchmark and its scaled variant.
+var (
+	CRC     = register(makeCRC("crc", 8, false))
+	CRCLong = register(makeCRC("crc-long", 96, true))
+)
+
+func makeCRC(name string, crcPasses int, long bool) *Program {
+	return &Program{
+		Name:        name,
+		Long:        long,
+		Description: fmt.Sprintf("nibble-table CRC-32 over a 4 KiB buffer, %d passes (MiBench crc32)", crcPasses),
+		Reference: func() uint32 {
+			var table [16]uint32
+			for i := range table {
+				c := uint32(i)
+				for k := 0; k < 4; k++ {
+					if c&1 != 0 {
+						c = c>>1 ^ 0xEDB88320
+					} else {
+						c >>= 1
+					}
+				}
+				table[i] = c
+			}
+			x := uint32(crcSeed)
+			buf := make([]byte, crcBufSize)
+			for i := range buf {
+				x = XorShift32(x)
+				buf[i] = byte(x)
+			}
+			crc := ^uint32(0)
+			runs := uint32(0)
+			for pass := 0; pass < crcPasses; pass++ {
+				runs++
+				for _, b := range buf {
+					crc = crc>>4 ^ table[(crc^uint32(b))&0xF]
+					crc = crc>>4 ^ table[(crc^uint32(b)>>4)&0xF]
+				}
+			}
+			return ^crc + runs
+		},
+		source: subst(`
+	.equ CRC_BUF_SIZE, 4096
+	.equ CRC_PASSES, {{PASSES}}
+
+	.data
+	.balign 4
+crc_table:	.space 64
+crc_buf:	.space 4096
+crc_state:	.word 0
+crc_runs:	.word 0
+
+	.text
+_start:
+	# Build the 16-entry nibble CRC table.
+	la   s0, crc_table
+	li   s1, 0                  # i
+crc_build:
+	mv   t1, s1                 # c = i
+	li   t2, 4                  # k
+crc_bit:
+	andi t3, t1, 1
+	srli t1, t1, 1
+	beqz t3, crc_noxor
+	li   t4, 0xEDB88320
+	xor  t1, t1, t4
+crc_noxor:
+	addi t2, t2, -1
+	bnez t2, crc_bit
+	slli t3, s1, 2
+	add  t3, s0, t3
+	sw   t1, (t3)
+	addi s1, s1, 1
+	li   t3, 16
+	bne  s1, t3, crc_build
+
+	# Fill the input buffer from the PRNG.
+	la   s2, crc_buf
+	li   a0, 0x12345678
+	li   s1, 0
+crc_gen:
+	call rng_next
+	add  t1, s2, s1
+	sb   a0, (t1)
+	addi s1, s1, 1
+	li   t1, CRC_BUF_SIZE
+	bne  s1, t1, crc_gen
+
+	# CRC passes, state round-tripping through memory per 64-byte chunk.
+	la   s5, crc_state
+	la   s6, crc_runs
+	li   t1, -1                 # crc = 0xFFFFFFFF
+	sw   t1, (s5)
+	li   s4, CRC_PASSES
+crc_pass:
+	lw   t1, (s6)               # runs++ (read of .data-initialized word)
+	addi t1, t1, 1
+	sw   t1, (s6)
+	li   s1, 0
+crc_pass_chunks:
+	call crc_do_chunk
+	li   t1, CRC_BUF_SIZE
+	bne  s1, t1, crc_pass_chunks
+	addi s4, s4, -1
+	bnez s4, crc_pass
+	j    crc_done
+
+# crc_do_chunk: process 64 bytes at buf[s1], advancing s1, round-tripping
+# the running CRC through the global state — called per chunk with a small
+# frame, like the C original's per-buffer crc32 routine.
+crc_do_chunk:
+	addi sp, sp, -16
+	sw   ra, 12(sp)
+	sw   s4, 8(sp)              # callee-saved spill
+	lw   s3, (s5)               # read the global state
+	li   t5, 64                 # chunk length
+crc_byte:
+	add  t1, s2, s1
+	lbu  t1, (t1)
+	# low nibble
+	xor  t2, s3, t1
+	andi t2, t2, 0xF
+	slli t2, t2, 2
+	add  t2, s0, t2
+	lw   t2, (t2)
+	srli s3, s3, 4
+	xor  s3, s3, t2
+	# high nibble
+	srli t1, t1, 4
+	xor  t2, s3, t1
+	andi t2, t2, 0xF
+	slli t2, t2, 2
+	add  t2, s0, t2
+	lw   t2, (t2)
+	srli s3, s3, 4
+	xor  s3, s3, t2
+	addi s1, s1, 1
+	addi t5, t5, -1
+	bnez t5, crc_byte
+	sw   s3, (s5)               # write the global state back (WAR)
+	lw   s4, 8(sp)
+	lw   ra, 12(sp)
+	addi sp, sp, 16
+	ret
+
+crc_done:
+	lw   a0, (s5)
+	not  a0, a0
+	lw   t1, (s6)
+	add  a0, a0, t1
+	li   t0, MMIO_RESULT
+	sw   a0, (t0)
+	li   t0, MMIO_EXIT
+	sw   zero, (t0)
+	ebreak
+`, map[string]int{"PASSES": crcPasses}),
+	}
+}

@@ -1,0 +1,220 @@
+package program
+
+import "fmt"
+
+// Dijkstra: the MiBench dijkstra workload — single-source shortest paths on
+// a dense 32-node graph with a linear-scan priority queue, run from eight
+// sources. dist[] relaxations are read-modify-writes, and the visited flags
+// are scanned and then written, giving the irregular WAR pattern the paper's
+// Figure 7 calls out for this benchmark.
+
+const (
+	dijNodes = 32
+	dijSeed  = 0xD1785EED
+	dijInf   = 0x7FFFFFFF
+)
+
+// Dijkstra and DijkstraLong are the dijkstra benchmark and its scaled
+// variant (more sources over the same graph, like MiBench's large input).
+var (
+	Dijkstra     = register(makeDijkstra("dijkstra", 8, false))
+	DijkstraLong = register(makeDijkstra("dijkstra-long", 96, true))
+)
+
+func makeDijkstra(name string, dijSources int, long bool) *Program {
+	return &Program{
+		Name:        name,
+		Long:        long,
+		Description: fmt.Sprintf("shortest paths on a dense 32-node graph from %d sources (MiBench dijkstra)", dijSources),
+		Reference: func() uint32 {
+			adj := make([]uint32, dijNodes*dijNodes)
+			x := uint32(dijSeed)
+			for i := 0; i < dijNodes; i++ {
+				for j := 0; j < dijNodes; j++ {
+					x = XorShift32(x)
+					w := x & 0xFF
+					if i == j {
+						w = 0
+					}
+					adj[i*dijNodes+j] = w
+				}
+			}
+			var sum uint32
+			dist := make([]uint32, dijNodes)
+			visited := make([]uint32, dijNodes)
+			for src := 0; src < dijSources; src++ {
+				for v := range dist {
+					dist[v] = dijInf
+					visited[v] = 0
+				}
+				dist[src%dijNodes] = 0
+				for iter := 0; iter < dijNodes; iter++ {
+					u := -1
+					best := uint32(dijInf)
+					for v := 0; v < dijNodes; v++ {
+						if visited[v] == 0 && int32(dist[v]) < int32(best) {
+							best = dist[v]
+							u = v
+						}
+					}
+					if u < 0 || best == dijInf {
+						break
+					}
+					visited[u] = 1
+					for v := 0; v < dijNodes; v++ {
+						w := adj[u*dijNodes+v]
+						if w == 0 {
+							continue
+						}
+						if nd := best + w; int32(nd) < int32(dist[v]) {
+							dist[v] = nd
+						}
+					}
+				}
+				for v := 0; v < dijNodes; v++ {
+					sum += dist[v]
+				}
+			}
+			return sum
+		},
+		source: subst(`
+	.equ DIJ_N, 32
+	.equ DIJ_SRCS, {{SRCS}}
+
+	.data
+	.balign 4
+dij_adj:	.space 4096
+dij_dist:	.space 128
+dij_vis:	.space 128
+dij_stats:	.word 0
+
+	.text
+_start:
+	la   s0, dij_adj
+	la   s1, dij_dist
+	la   s2, dij_vis
+	li   a0, 0xD1785EED
+
+	# Generate the adjacency matrix.
+	li   s5, 0                  # i
+dij_gen_i:
+	li   s6, 0                  # j
+dij_gen_j:
+	call rng_next
+	andi t1, a0, 0xFF
+	bne  s5, s6, dij_gen_keep
+	li   t1, 0
+dij_gen_keep:
+	slli t2, s5, 5
+	add  t2, t2, s6
+	slli t2, t2, 2
+	add  t2, s0, t2
+	sw   t1, (t2)
+	addi s6, s6, 1
+	li   t2, DIJ_N
+	bne  s6, t2, dij_gen_j
+	addi s5, s5, 1
+	bne  s5, t2, dij_gen_i
+
+	la   s8, dij_stats
+	li   s3, 0                  # source
+	li   s4, 0                  # checksum
+dij_src:
+	# Initialize dist/visited.
+	li   t5, 0
+	li   t2, 0x7FFFFFFF
+dij_init:
+	slli t1, t5, 2
+	add  t3, s1, t1
+	sw   t2, (t3)
+	add  t3, s2, t1
+	sw   zero, (t3)
+	addi t5, t5, 1
+	li   t1, DIJ_N
+	bne  t5, t1, dij_init
+	andi t1, s3, 31             # source wraps over the 32 nodes
+	slli t1, t1, 2
+	add  t1, s1, t1
+	sw   zero, (t1)             # dist[src mod nodes] = 0
+	lw   t1, (s8)               # per-source stats++ after init (the C
+	addi t1, t1, 1              # original's first post-init queue update)
+	sw   t1, (s8)
+
+	li   s7, 0                  # iteration
+dij_iter:
+	# Linear-scan minimum over unvisited nodes.
+	li   s5, -1                 # u
+	li   s6, 0x7FFFFFFF         # best
+	li   t5, 0
+dij_scan:
+	slli t1, t5, 2
+	add  t2, s2, t1
+	lw   t2, (t2)
+	bnez t2, dij_scan_next
+	add  t3, s1, t1
+	lw   t3, (t3)
+	bge  t3, s6, dij_scan_next
+	mv   s6, t3
+	mv   s5, t5
+dij_scan_next:
+	addi t5, t5, 1
+	li   t1, DIJ_N
+	bne  t5, t1, dij_scan
+	li   t1, -1
+	beq  s5, t1, dij_src_done
+	li   t1, 0x7FFFFFFF
+	beq  s6, t1, dij_src_done
+
+	# visited[u] = 1
+	slli t1, s5, 2
+	add  t2, s2, t1
+	li   t3, 1
+	sw   t3, (t2)
+
+	# Relax u's neighbours.
+	slli t1, s5, 7              # u * 32 nodes * 4 bytes
+	add  t6, s0, t1
+	li   t5, 0
+dij_relax:
+	slli t1, t5, 2
+	add  t2, t6, t1
+	lw   t2, (t2)               # w
+	beqz t2, dij_relax_next
+	add  t3, s6, t2             # dist[u] + w
+	add  t4, s1, t1
+	lw   a1, (t4)
+	bge  t3, a1, dij_relax_next
+	sw   t3, (t4)
+dij_relax_next:
+	addi t5, t5, 1
+	li   t1, DIJ_N
+	bne  t5, t1, dij_relax
+
+	addi s7, s7, 1
+	li   t1, DIJ_N
+	bne  s7, t1, dij_iter
+dij_src_done:
+	# Accumulate distances.
+	li   t5, 0
+dij_sum:
+	slli t1, t5, 2
+	add  t2, s1, t1
+	lw   t2, (t2)
+	add  s4, s4, t2
+	addi t5, t5, 1
+	li   t1, DIJ_N
+	bne  t5, t1, dij_sum
+
+	addi s3, s3, 1
+	li   t1, DIJ_SRCS
+	bne  s3, t1, dij_src
+
+	mv   a0, s4
+	li   t0, MMIO_RESULT
+	sw   a0, (t0)
+	li   t0, MMIO_EXIT
+	sw   zero, (t0)
+	ebreak
+`, map[string]int{"SRCS": dijSources}),
+	}
+}

@@ -1,0 +1,13 @@
+package program
+
+import (
+	"testing"
+)
+
+// TestPrintGoldenValues regenerates the golden table (run with -v when a
+// benchmark's workload intentionally changes, and update golden_test.go).
+func TestPrintGoldenValues(t *testing.T) {
+	for _, p := range All() {
+		t.Logf("%q: 0x%08x,", p.Name, p.Reference())
+	}
+}

@@ -1,0 +1,35 @@
+package program
+
+import "testing"
+
+// goldenChecksums pins each benchmark's reference result. A change here
+// means the workload itself changed — deliberate workload edits must update
+// this table (regenerate with `go test -run TestPrintGoldenValues -v`), and
+// accidental drift (PRNG, table, or algorithm changes) fails loudly.
+var goldenChecksums = map[string]uint32{
+	"adpcm":     0xfc1c779d,
+	"aes":       0x05e8f8f0,
+	"coremark":  0xce7a2220,
+	"crc":       0xa49ffcbf,
+	"dijkstra":  0x000020cb,
+	"picojpeg":  0x00c4741b,
+	"quicksort": 0x84e6e907,
+	"sha":       0x656c881d,
+	"towers":    0x131a83b3,
+}
+
+func TestGoldenChecksumsPinned(t *testing.T) {
+	if len(goldenChecksums) != len(All()) {
+		t.Fatalf("golden table has %d entries, registry %d", len(goldenChecksums), len(All()))
+	}
+	for _, p := range All() {
+		want, ok := goldenChecksums[p.Name]
+		if !ok {
+			t.Errorf("no golden value for %s", p.Name)
+			continue
+		}
+		if got := p.Reference(); got != want {
+			t.Errorf("%s reference drifted: 0x%08x, pinned 0x%08x", p.Name, got, want)
+		}
+	}
+}

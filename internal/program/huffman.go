@@ -1,0 +1,301 @@
+package program
+
+// Canonical Huffman coding for the picojpeg benchmark's entropy-coded
+// coefficient stream, JPEG-style: symbols are (run<<4 | size) bytes with EOB
+// (0x00) and ZRL (0xF0), values follow as JPEG magnitude-coded raw bits, and
+// the code is canonical with lengths limited to 16 bits (the spec's
+// Adjust_BITS procedure). The Go side builds the tables and ENCODES the
+// stream at image-build time; the only decoder is the benchmark's RISC-V
+// assembly, whose correctness the golden checksum proves end to end.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// jpegSymEOB and jpegSymZRL are the special AC symbols.
+const (
+	jpegSymEOB = 0x00
+	jpegSymZRL = 0xF0
+)
+
+// huffCode is one canonical code assignment.
+type huffCode struct {
+	code uint32
+	bits int
+}
+
+// huffTable is a canonical Huffman code plus the decoder-side tables
+// (JPEG's MINCODE/MAXCODE/VALPTR form).
+type huffTable struct {
+	codes   map[byte]huffCode
+	mincode [17]int32 // per code length 1..16
+	maxcode [17]int32 // -1 where no codes of that length exist
+	valptr  [17]int32
+	huffval []byte // symbols in canonical order
+}
+
+// buildHuffman constructs a length-limited (<=16) canonical Huffman code for
+// the given symbol frequencies.
+func buildHuffman(freq map[byte]int) (*huffTable, error) {
+	if len(freq) == 0 {
+		return nil, fmt.Errorf("huffman: empty alphabet")
+	}
+	if len(freq) == 1 {
+		// Degenerate single-symbol alphabet: pad so the code has two leaves.
+		var only byte
+		for sym := range freq {
+			only = sym
+		}
+		freq[only+1] = 0
+	}
+
+	// Huffman tree via repeated merging of the two lightest subtrees.
+	type node struct {
+		weight      int
+		sym         byte
+		leaf        bool
+		left, right *node
+	}
+	var heap []*node
+	for sym, f := range freq {
+		heap = append(heap, &node{weight: f + 1, sym: sym, leaf: true})
+	}
+	sort.Slice(heap, func(i, j int) bool {
+		if heap[i].weight != heap[j].weight {
+			return heap[i].weight < heap[j].weight
+		}
+		return heap[i].sym < heap[j].sym
+	})
+	pop := func() *node {
+		n := heap[0]
+		heap = heap[1:]
+		return n
+	}
+	push := func(n *node) {
+		i := sort.Search(len(heap), func(i int) bool {
+			return heap[i].weight > n.weight
+		})
+		heap = append(heap, nil)
+		copy(heap[i+1:], heap[i:])
+		heap[i] = n
+	}
+	for len(heap) > 1 {
+		a, b := pop(), pop()
+		push(&node{weight: a.weight + b.weight, left: a, right: b})
+	}
+
+	// Collect code lengths.
+	lengths := map[byte]int{}
+	maxLen := 0
+	var walk func(n *node, depth int)
+	walk = func(n *node, depth int) {
+		if n.leaf {
+			if depth == 0 {
+				depth = 1
+			}
+			lengths[n.sym] = depth
+			if depth > maxLen {
+				maxLen = depth
+			}
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(heap[0], 0)
+
+	// Length-limit to 16 bits (JPEG Annex K Adjust_BITS): repeatedly move a
+	// too-deep pair under the deepest available shorter code.
+	var bits [64]int
+	for _, l := range lengths {
+		bits[l]++
+	}
+	for i := len(bits) - 1; i > 16; i-- {
+		for bits[i] > 0 {
+			j := i - 2
+			for j > 0 && bits[j] == 0 {
+				j--
+			}
+			if j == 0 {
+				return nil, fmt.Errorf("huffman: cannot length-limit")
+			}
+			bits[i] -= 2
+			bits[i-1]++
+			bits[j+1] += 2
+			bits[j]--
+		}
+	}
+
+	// Reassign lengths canonically: symbols sorted by (old length, symbol)
+	// take the adjusted length counts in order.
+	type symLen struct {
+		sym byte
+		l   int
+	}
+	var syms []symLen
+	for sym, l := range lengths {
+		syms = append(syms, symLen{sym, l})
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].l != syms[j].l {
+			return syms[i].l < syms[j].l
+		}
+		return syms[i].sym < syms[j].sym
+	})
+	idx := 0
+	for l := 1; l <= 16; l++ {
+		for n := 0; n < bits[l]; n++ {
+			syms[idx].l = l
+			idx++
+		}
+	}
+
+	// Canonical code assignment and decoder tables.
+	t := &huffTable{codes: map[byte]huffCode{}}
+	code := uint32(0)
+	pos := int32(0)
+	for l := 1; l <= 16; l++ {
+		t.maxcode[l] = -1
+		first := true
+		for _, s := range syms {
+			if s.l != l {
+				continue
+			}
+			if first {
+				t.mincode[l] = int32(code)
+				t.valptr[l] = pos
+				first = false
+			}
+			t.codes[s.sym] = huffCode{code: code, bits: l}
+			t.huffval = append(t.huffval, s.sym)
+			t.maxcode[l] = int32(code)
+			code++
+			pos++
+		}
+		code <<= 1
+	}
+	return t, nil
+}
+
+// bitWriter packs codes MSB-first.
+type bitWriter struct {
+	out   []byte
+	cur   byte
+	nfill int
+}
+
+func (w *bitWriter) write(code uint32, bits int) {
+	for i := bits - 1; i >= 0; i-- {
+		w.cur = w.cur<<1 | byte(code>>uint(i)&1)
+		w.nfill++
+		if w.nfill == 8 {
+			w.out = append(w.out, w.cur)
+			w.cur, w.nfill = 0, 0
+		}
+	}
+}
+
+func (w *bitWriter) flush() []byte {
+	if w.nfill > 0 {
+		w.out = append(w.out, w.cur<<(8-w.nfill))
+	}
+	return w.out
+}
+
+// jpegMagnitude returns the JPEG size category and raw bits for a value.
+func jpegMagnitude(v int32) (size int, raw uint32) {
+	a := v
+	if a < 0 {
+		a = -a
+	}
+	for a > 0 {
+		size++
+		a >>= 1
+	}
+	if v < 0 {
+		raw = uint32(v + (1 << size) - 1)
+	} else {
+		raw = uint32(v)
+	}
+	return size, raw
+}
+
+// jpegSymbols converts the natural-order coefficient blocks into the
+// (symbol, value-size) stream: per block a DC difference then run-length
+// coded AC coefficients in zigzag order.
+func jpegSymbols(coefs []uint32, blocks int) []struct {
+	sym  byte
+	raw  uint32
+	bits int
+} {
+	zz := jpegZigzag()
+	var out []struct {
+		sym  byte
+		raw  uint32
+		bits int
+	}
+	emit := func(sym byte, raw uint32, bits int) {
+		out = append(out, struct {
+			sym  byte
+			raw  uint32
+			bits int
+		}{sym, raw, bits})
+	}
+	pred := int32(0)
+	for b := 0; b < blocks; b++ {
+		blk := coefs[b*64 : b*64+64]
+		// DC.
+		dc := int32(blk[zz[0]])
+		diff := dc - pred
+		pred = dc
+		size, raw := jpegMagnitude(diff)
+		emit(byte(size), raw, size)
+		// AC.
+		run := 0
+		for k := 1; k < 64; k++ {
+			v := int32(blk[zz[k]])
+			if v == 0 {
+				run++
+				continue
+			}
+			for run >= 16 {
+				emit(jpegSymZRL, 0, 0)
+				run -= 16
+			}
+			size, raw := jpegMagnitude(v)
+			emit(byte(run<<4|size), raw, size)
+			run = 0
+		}
+		if run > 0 {
+			emit(jpegSymEOB, 0, 0)
+		}
+	}
+	return out
+}
+
+// jpegEncode Huffman-codes the coefficient blocks, returning the table and
+// the packed bitstream.
+func jpegEncode(coefs []uint32, blocks int) (*huffTable, []byte, error) {
+	stream := jpegSymbols(coefs, blocks)
+	freq := map[byte]int{}
+	for _, s := range stream {
+		freq[s.sym]++
+	}
+	table, err := buildHuffman(freq)
+	if err != nil {
+		return nil, nil, err
+	}
+	var w bitWriter
+	for _, s := range stream {
+		c, ok := table.codes[s.sym]
+		if !ok {
+			return nil, nil, fmt.Errorf("huffman: no code for symbol %#x", s.sym)
+		}
+		w.write(c.code, c.bits)
+		if s.bits > 0 {
+			w.write(s.raw, s.bits)
+		}
+	}
+	return table, w.flush(), nil
+}

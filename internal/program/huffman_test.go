@@ -1,0 +1,149 @@
+package program
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// goDecode is an independent reference decoder used only by tests: the
+// benchmark's RISC-V assembly is the production decoder.
+func goDecode(t *huffTable, stream []byte, blocks int) []uint32 {
+	zz := jpegZigzag()
+	out := make([]uint32, 64*blocks)
+	bytepos, bitcnt := 0, 0
+	var bitbuf byte
+	nextBit := func() uint32 {
+		if bitcnt == 0 {
+			bitbuf = stream[bytepos]
+			bytepos++
+			bitcnt = 8
+		}
+		bitcnt--
+		return uint32(bitbuf>>uint(bitcnt)) & 1
+	}
+	getSym := func() byte {
+		code := int32(0)
+		for l := 1; l <= 16; l++ {
+			code = code<<1 | int32(nextBit())
+			if t.maxcode[l] >= 0 && code <= t.maxcode[l] {
+				return t.huffval[t.valptr[l]+code-t.mincode[l]]
+			}
+		}
+		panic("bad code")
+	}
+	getBits := func(n int) uint32 {
+		var v uint32
+		for i := 0; i < n; i++ {
+			v = v<<1 | nextBit()
+		}
+		return v
+	}
+	extend := func(raw uint32, size int) int32 {
+		if size == 0 {
+			return 0
+		}
+		if raw < 1<<uint(size-1) {
+			return int32(raw) - (1 << uint(size)) + 1
+		}
+		return int32(raw)
+	}
+	pred := int32(0)
+	for b := 0; b < blocks; b++ {
+		blk := out[b*64 : b*64+64]
+		size := int(getSym())
+		pred += extend(getBits(size), size)
+		blk[zz[0]] = uint32(pred)
+		for k := 1; k < 64; {
+			sym := getSym()
+			if sym == jpegSymEOB {
+				break
+			}
+			if sym == jpegSymZRL {
+				k += 16
+				continue
+			}
+			run, s := int(sym>>4), int(sym&0xF)
+			k += run
+			blk[zz[k]] = uint32(extend(getBits(s), s))
+			k++
+		}
+	}
+	return out
+}
+
+func TestHuffmanRoundTripBenchmarkStream(t *testing.T) {
+	for _, blocks := range []int{1, 4, 48} {
+		coefs := jpegCoefs(blocks)
+		table, stream, err := jpegEncode(coefs, blocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := goDecode(table, stream, blocks)
+		for i := range coefs {
+			if got[i] != coefs[i] {
+				t.Fatalf("blocks=%d: coef %d decoded %#x, want %#x", blocks, i, got[i], coefs[i])
+			}
+		}
+	}
+}
+
+// Property: random coefficient blocks round-trip through encode/decode.
+func TestHuffmanRoundTripRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		blocks := 1 + r.Intn(6)
+		coefs := make([]uint32, 64*blocks)
+		for i := range coefs {
+			switch r.Intn(4) {
+			case 0:
+				coefs[i] = uint32(int32(r.Intn(2047) - 1023))
+			case 1:
+				coefs[i] = uint32(int32(r.Intn(15) - 7))
+			default:
+				// zeros dominate, as in real DCT blocks
+			}
+		}
+		table, stream, err := jpegEncode(coefs, blocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := goDecode(table, stream, blocks)
+		for i := range coefs {
+			if got[i] != coefs[i] {
+				t.Fatalf("trial %d: coef %d decoded %#x, want %#x", trial, i, got[i], coefs[i])
+			}
+		}
+	}
+}
+
+func TestHuffmanCanonicalProperties(t *testing.T) {
+	coefs := jpegCoefs(8)
+	table, _, err := jpegEncode(coefs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All code lengths within 1..16 and codes prefix-free by construction;
+	// spot-check: no code is a prefix of another.
+	type cl struct {
+		code uint32
+		bits int
+	}
+	var all []cl
+	for _, c := range table.codes {
+		if c.bits < 1 || c.bits > 16 {
+			t.Fatalf("code length %d out of range", c.bits)
+		}
+		all = append(all, cl{c.code, c.bits})
+	}
+	for i := range all {
+		for j := range all {
+			if i == j {
+				continue
+			}
+			a, b := all[i], all[j]
+			if a.bits <= b.bits && b.code>>uint(b.bits-a.bits) == a.code {
+				t.Fatalf("code %b/%d is a prefix of %b/%d", a.code, a.bits, b.code, b.bits)
+			}
+		}
+	}
+}

@@ -1,0 +1,432 @@
+package program
+
+import (
+	"fmt"
+	"math"
+)
+
+// Picojpeg: the baseline JPEG decode pipeline — canonical Huffman decoding
+// of an entropy-coded coefficient bitstream (DC differences + run-length
+// coded AC, JPEG's MINCODE/MAXCODE/VALPTR decode procedure), dezigzag,
+// in-place dequantization, an 8x8 integer inverse DCT (basis-matrix
+// fixed-point form), and level-shift/clamp. The bitstream and Huffman
+// tables are image-initialized data built by the Go encoder in huffman.go;
+// the bit-reader state and DC predictor live in a memory context struct
+// round-tripped per symbol, like the C original's static globals — the
+// read-modify-write pattern that drives WAR trackers.
+
+const jpegSeed = 0x1DC7C0DE
+
+// jpegBasis computes the 8-point IDCT basis matrix in 6-bit fixed point:
+// M[n][k] = round(64 * c(k) * cos((2n+1)k*pi/16)), c(0)=1/sqrt2.
+func jpegBasis() [64]uint32 {
+	var m [64]uint32
+	for n := 0; n < 8; n++ {
+		for k := 0; k < 8; k++ {
+			ck := 1.0
+			if k == 0 {
+				ck = 1 / math.Sqrt2
+			}
+			v := math.Round(64 * ck * math.Cos(float64(2*n+1)*float64(k)*math.Pi/16))
+			m[n*8+k] = uint32(int32(v))
+		}
+	}
+	return m
+}
+
+// jpegZigzag computes the standard JPEG zigzag scan order.
+func jpegZigzag() [64]uint32 {
+	var out [64]uint32
+	idx := 0
+	for s := 0; s < 15; s++ {
+		lo := 0
+		if s > 7 {
+			lo = s - 7
+		}
+		hi := s - lo
+		if s%2 == 1 {
+			for r := lo; r <= hi && r <= 7; r++ {
+				out[idx] = uint32(r*8 + (s - r))
+				idx++
+			}
+		} else {
+			for r := hi; r >= lo; r-- {
+				if r > 7 {
+					continue
+				}
+				out[idx] = uint32(r*8 + (s - r))
+				idx++
+			}
+		}
+	}
+	return out
+}
+
+// jpegQuant is a synthetic monotone quantization table (the C original reads
+// it from the file header).
+func jpegQuant() [64]uint32 {
+	var q [64]uint32
+	for p := 0; p < 64; p++ {
+		q[p] = uint32(8 + p&7 + p>>3)
+	}
+	return q
+}
+
+// jpegCoefs generates the image-initialized coefficient buffer in natural
+// (dezigzagged) order for all blocks.
+func jpegCoefs(jpegBlocks int) []uint32 {
+	zz := jpegZigzag()
+	out := make([]uint32, 64*jpegBlocks)
+	x := uint32(jpegSeed)
+	for b := 0; b < jpegBlocks; b++ {
+		for i := 0; i < 64; i++ {
+			x = XorShift32(x)
+			var coef int32
+			if i == 0 {
+				coef = int32(x&0x3FF) - 512
+			} else {
+				coef = int32(x&0x7F) - 64
+			}
+			out[b*64+int(zz[i])] = uint32(coef)
+		}
+	}
+	return out
+}
+
+// Picojpeg and PicojpegLong are the picojpeg benchmark and its scaled
+// variant.
+var (
+	Picojpeg     = register(makePicojpeg("picojpeg", 48, false))
+	PicojpegLong = register(makePicojpeg("picojpeg-long", 384, true))
+)
+
+func makePicojpeg(name string, jpegBlocks int, long bool) *Program {
+	basis := jpegBasis()
+	quant := jpegQuant()
+	table, stream, err := jpegEncode(jpegCoefs(jpegBlocks), jpegBlocks)
+	if err != nil {
+		panic("picojpeg: " + err.Error())
+	}
+	zzNat := jpegZigzag()
+	zzWords := zzNat[:]
+	toWords := func(v []int32) []uint32 {
+		out := make([]uint32, len(v))
+		for i, x := range v {
+			out[i] = uint32(x)
+		}
+		return out
+	}
+	maxcode := toWords(table.maxcode[1:])
+	mincode := toWords(table.mincode[1:])
+	valptr := toWords(table.valptr[1:])
+	return &Program{
+		Name:        name,
+		Long:        long,
+		Description: fmt.Sprintf("JPEG block decode kernel: in-place dequant + 8x8 IDCT + clamp, %d blocks", jpegBlocks),
+		Reference: func() uint32 {
+			var chk uint32
+			all := jpegCoefs(jpegBlocks)
+			for b := 0; b < jpegBlocks; b++ {
+				var blk [64]int32
+				for p := 0; p < 64; p++ {
+					blk[p] = int32(all[b*64+p]) * int32(quant[p])
+				}
+				pass := func(base, stride int) {
+					var tmp [8]int32
+					for n := 0; n < 8; n++ {
+						var acc int32
+						for k := 0; k < 8; k++ {
+							acc += blk[base+k*stride] * int32(basis[n*8+k])
+						}
+						tmp[n] = acc >> 6
+					}
+					for n := 0; n < 8; n++ {
+						blk[base+n*stride] = tmp[n]
+					}
+				}
+				for r := 0; r < 8; r++ {
+					pass(r*8, 1)
+				}
+				for c := 0; c < 8; c++ {
+					pass(c, 8)
+				}
+				for p := 0; p < 64; p++ {
+					v := blk[p]>>3 + 128
+					if v < 0 {
+						v = 0
+					} else if v > 255 {
+						v = 255
+					}
+					chk += uint32(v) * uint32(p+1)
+				}
+			}
+			return chk
+		},
+		source: subst(`
+	.data
+	.balign 4
+jpeg_basis:
+`+wordTable(basis[:])+`
+jpeg_quant:
+`+wordTable(quant[:])+`
+jpeg_zz:
+`+wordTable(zzWords[:])+`
+jpeg_maxcode:
+`+wordTable(maxcode)+`
+jpeg_mincode:
+`+wordTable(mincode)+`
+jpeg_valptr:
+`+wordTable(valptr)+`
+jpeg_huffval:
+`+byteTable(table.huffval)+`
+	.balign 4
+jpeg_stream:
+`+byteTable(stream)+`
+	.balign 4
+# Decoder context: bytepos, bitbuf, bitcnt, DC predictor — image-initialized
+# statics round-tripped per symbol (read-first seed for the WAR cascade).
+jpeg_ctx:	.word 0, 0, 0, 0
+jpeg_blk:	.space 256
+
+	.text
+# jpeg_getsym: decode one Huffman symbol and, when its size nibble is
+# non-zero, the JPEG-extended value that follows. Returns a0 = symbol,
+# a1 = extended value. Bit-reader state loads from jpeg_ctx at entry and
+# stores at exit.
+jpeg_getsym:
+	addi sp, sp, -8
+	sw   ra, 4(sp)
+	lw   t1, 0(s7)              # bytepos
+	lw   t2, 4(s7)              # bitbuf
+	lw   t3, 8(s7)              # bitcnt
+	li   t4, 0                  # code
+	li   t5, 0                  # len
+jgs_loop:
+	bnez t3, jgs_have
+	add  t6, s9, t1
+	lbu  t2, (t6)
+	addi t1, t1, 1
+	li   t3, 8
+jgs_have:
+	addi t3, t3, -1
+	srl  t6, t2, t3
+	andi t6, t6, 1
+	slli t4, t4, 1
+	or   t4, t4, t6
+	addi t5, t5, 1
+	la   a2, jpeg_maxcode
+	slli a3, t5, 2
+	add  a2, a2, a3
+	lw   a2, -4(a2)             # maxcode[len-1]
+	bltz a2, jgs_loop
+	blt  a2, t4, jgs_loop       # code > maxcode: keep reading
+	la   a2, jpeg_mincode
+	add  a2, a2, a3
+	lw   a2, -4(a2)
+	sub  a4, t4, a2             # code - mincode
+	la   a2, jpeg_valptr
+	add  a2, a2, a3
+	lw   a2, -4(a2)
+	add  a4, a4, a2
+	la   a2, jpeg_huffval
+	add  a2, a2, a4
+	lbu  a0, (a2)               # symbol
+	andi a5, a0, 0xF            # size nibble
+	li   a1, 0
+	beqz a5, jgs_store
+	mv   a4, a5
+jgs_bits:
+	bnez t3, jgs_bhave
+	add  t6, s9, t1
+	lbu  t2, (t6)
+	addi t1, t1, 1
+	li   t3, 8
+jgs_bhave:
+	addi t3, t3, -1
+	srl  t6, t2, t3
+	andi t6, t6, 1
+	slli a1, a1, 1
+	or   a1, a1, t6
+	addi a4, a4, -1
+	bnez a4, jgs_bits
+	# JPEG extend: raw < 2^(size-1) means a negative value.
+	addi a4, a5, -1
+	li   t6, 1
+	sll  t6, t6, a4
+	bge  a1, t6, jgs_store
+	slli t6, t6, 1
+	addi t6, t6, -1
+	sub  a1, a1, t6
+jgs_store:
+	sw   t1, 0(s7)
+	sw   t2, 4(s7)
+	sw   t3, 8(s7)
+	lw   ra, 4(sp)
+	addi sp, sp, 8
+	ret
+
+# One 1-D pass: a1 = element pointer, a2 = byte stride. Uses a stack
+# temporary vector like the C original. s8 = basis matrix.
+jpeg_1d:
+	addi sp, sp, -36
+	sw   ra, 32(sp)
+	li   t5, 0                  # n
+jpeg1d_n:
+	li   t6, 0                  # k
+	li   a4, 0                  # acc
+	mv   a5, a1
+jpeg1d_k:
+	lw   t1, (a5)
+	slli t2, t5, 5
+	slli t3, t6, 2
+	add  t2, t2, t3
+	add  t2, s8, t2
+	lw   t2, (t2)               # M[n][k]
+	mul  t1, t1, t2
+	add  a4, a4, t1
+	add  a5, a5, a2
+	addi t6, t6, 1
+	li   t1, 8
+	bne  t6, t1, jpeg1d_k
+	srai a4, a4, 6
+	slli t1, t5, 2
+	add  t1, sp, t1
+	sw   a4, (t1)               # tmp[n]
+	addi t5, t5, 1
+	li   t1, 8
+	bne  t5, t1, jpeg1d_n
+	li   t5, 0
+	mv   a5, a1
+jpeg1d_copy:
+	slli t1, t5, 2
+	add  t1, sp, t1
+	lw   t2, (t1)
+	sw   t2, (a5)               # write back in place
+	add  a5, a5, a2
+	addi t5, t5, 1
+	li   t1, 8
+	bne  t5, t1, jpeg1d_copy
+	lw   ra, 32(sp)
+	addi sp, sp, 36
+	ret
+
+_start:
+	la   s8, jpeg_basis
+	la   s0, jpeg_zz
+	la   s1, jpeg_quant
+	la   s2, jpeg_blk
+	la   s7, jpeg_ctx
+	la   s9, jpeg_stream
+	li   s3, {{BLOCKS}}         # blocks
+	li   s4, 0                  # checksum
+jpeg_block:
+	# Clear the block buffer (write-first scratch).
+	li   s5, 0
+jpeg_zero:
+	slli t1, s5, 2
+	add  t1, s2, t1
+	sw   zero, (t1)
+	addi s5, s5, 1
+	li   t1, 64
+	bne  s5, t1, jpeg_zero
+
+	# DC: predictor accumulates in the context struct.
+	call jpeg_getsym
+	lw   t1, 12(s7)
+	add  t1, t1, a1
+	sw   t1, 12(s7)
+	sw   t1, (s2)               # zz[0] = position 0
+
+	# AC: run-length decoded into zigzag positions.
+	li   s5, 1                  # k
+jpeg_ac:
+	li   t1, 64
+	bge  s5, t1, jpeg_ac_done
+	call jpeg_getsym
+	beqz a0, jpeg_ac_done       # EOB
+	li   t1, 0xF0
+	bne  a0, t1, jpeg_ac_val
+	addi s5, s5, 16             # ZRL: sixteen zeros
+	j    jpeg_ac
+jpeg_ac_val:
+	srli t1, a0, 4              # run
+	add  s5, s5, t1
+	slli t1, s5, 2
+	add  t1, s0, t1
+	lw   t1, (t1)               # p = zz[k]
+	slli t1, t1, 2
+	add  t1, s2, t1
+	sw   a1, (t1)               # blk[p] = value
+	addi s5, s5, 1
+	j    jpeg_ac
+jpeg_ac_done:
+
+	# Dequantize in place.
+	li   s5, 0
+jpeg_dq:
+	slli t3, s5, 2
+	add  t4, s1, t3
+	lw   t4, (t4)               # quant[p]
+	add  t2, s2, t3
+	lw   t1, (t2)
+	mul  t1, t1, t4
+	sw   t1, (t2)               # in place
+	addi s5, s5, 1
+	li   t1, 64
+	bne  s5, t1, jpeg_dq
+
+	# Row passes.
+	li   s6, 0
+jpeg_rows:
+	slli a1, s6, 5
+	add  a1, s2, a1
+	li   a2, 4
+	call jpeg_1d
+	addi s6, s6, 1
+	li   t1, 8
+	bne  s6, t1, jpeg_rows
+	# Column passes.
+	li   s6, 0
+jpeg_cols:
+	slli a1, s6, 2
+	add  a1, s2, a1
+	li   a2, 32
+	call jpeg_1d
+	addi s6, s6, 1
+	li   t1, 8
+	bne  s6, t1, jpeg_cols
+
+	# Level shift, clamp, checksum.
+	li   s5, 0
+jpeg_out:
+	slli t1, s5, 2
+	add  t1, s2, t1
+	lw   t2, (t1)
+	srai t2, t2, 3
+	addi t2, t2, 128
+	bgez t2, jpeg_clo
+	li   t2, 0
+jpeg_clo:
+	li   t1, 255
+	ble  t2, t1, jpeg_chi
+	mv   t2, t1
+jpeg_chi:
+	addi t3, s5, 1
+	mul  t2, t2, t3
+	add  s4, s4, t2
+	addi s5, s5, 1
+	li   t1, 64
+	bne  s5, t1, jpeg_out
+
+	addi s3, s3, -1
+	bnez s3, jpeg_block
+
+	mv   a0, s4
+	li   t0, MMIO_RESULT
+	sw   a0, (t0)
+	li   t0, MMIO_EXIT
+	sw   zero, (t0)
+	ebreak
+`, map[string]int{"BLOCKS": jpegBlocks}),
+	}
+}

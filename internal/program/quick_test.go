@@ -1,0 +1,40 @@
+package program_test
+
+import (
+	"testing"
+
+	"nacho/internal/harness"
+	"nacho/internal/program"
+	"nacho/internal/systems"
+)
+
+// TestQuickAllVolatile runs every registered benchmark on the volatile
+// baseline and checks the reported checksum against the Go reference.
+func TestQuickAllVolatile(t *testing.T) {
+	for _, p := range program.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			res, err := harness.Run(p, systems.KindVolatile, harness.DefaultRunConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("instr=%d cycles=%d", res.Counters.Instructions, res.Counters.Cycles)
+		})
+	}
+}
+
+// TestQuickAllNACHO does the same under NACHO with full verification.
+func TestQuickAllNACHO(t *testing.T) {
+	for _, p := range program.All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			res, err := harness.Run(p, systems.KindNACHO, harness.DefaultRunConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("instr=%d cycles=%d ckpts=%d nvmB=%d hit%%=%.1f",
+				res.Counters.Instructions, res.Counters.Cycles, res.Counters.Checkpoints,
+				res.Counters.NVMBytes(), 100*res.Counters.HitRate())
+		})
+	}
+}

@@ -1,0 +1,156 @@
+package program
+
+import "fmt"
+
+// Quicksort: the paper's quicksort workload — recursive quicksort (Lomuto
+// partition) over a 2048-word array. The input array is image-initialized
+// data (the MiBench-style "input file"), so the very first swap reads data
+// that was never written at runtime — the natural WAR seed — and every swap
+// thereafter is a read-then-write. The recursion gives stack tracking
+// (Section 4.2.4) dead frames to discard.
+
+const qsSeed = 0x50127AB3
+
+// qsInput generates the image-initialized input array.
+func qsInput(qsElems int) []uint32 {
+	x := uint32(qsSeed)
+	vals := make([]uint32, qsElems)
+	for i := range vals {
+		x = XorShift32(x)
+		vals[i] = x
+	}
+	return vals
+}
+
+// Quicksort and QuicksortLong are the quicksort benchmark and its scaled
+// variant.
+var (
+	Quicksort     = register(makeQuicksort("quicksort", 2048, false))
+	QuicksortLong = register(makeQuicksort("quicksort-long", 8192, true))
+)
+
+func makeQuicksort(name string, qsElems int, long bool) *Program {
+	input := qsInput(qsElems)
+	return &Program{
+		Name:        name,
+		Long:        long,
+		Description: fmt.Sprintf("recursive quicksort of %d words of image-initialized data", qsElems),
+		Reference: func() uint32 {
+			arr := make([]uint32, qsElems)
+			copy(arr, qsInput(qsElems))
+			var sort func(lo, hi int32)
+			sort = func(lo, hi int32) {
+				if lo >= hi {
+					return
+				}
+				pivot := arr[hi]
+				i := lo - 1
+				for j := lo; j < hi; j++ {
+					if int32(arr[j]) <= int32(pivot) {
+						i++
+						arr[i], arr[j] = arr[j], arr[i]
+					}
+				}
+				i++
+				arr[i], arr[hi] = arr[hi], arr[i]
+				sort(lo, i-1)
+				sort(i+1, hi)
+			}
+			sort(0, int32(qsElems)-1)
+			var chk uint32
+			for _, v := range arr {
+				chk = XorShift32(chk ^ v)
+			}
+			return chk
+		},
+		source: subst(`
+	.equ QS_N, {{N}}
+
+	.data
+	.balign 4
+qs_arr:
+`+wordTable(input)+`
+
+	.text
+# quicksort(a1 = lo index, a2 = hi index), array base in s0.
+# Signed compares, Lomuto partition.
+qs_sort:
+	bge  a1, a2, qs_ret
+	addi sp, sp, -16
+	sw   ra, 12(sp)
+	sw   a1, 8(sp)
+	sw   a2, 4(sp)
+	slli t1, a2, 2
+	add  t1, s0, t1
+	lw   t2, (t1)               # pivot = arr[hi]
+	addi t3, a1, -1             # i
+	mv   t4, a1                 # j
+qs_part:
+	bge  t4, a2, qs_part_done
+	slli t5, t4, 2
+	add  t5, s0, t5
+	lw   t6, (t5)               # arr[j]
+	bgt  t6, t2, qs_noswap
+	addi t3, t3, 1
+	slli a3, t3, 2
+	add  a3, s0, a3
+	lw   a4, (a3)               # arr[i]
+	sw   t6, (a3)
+	sw   a4, (t5)
+qs_noswap:
+	addi t4, t4, 1
+	j    qs_part
+qs_part_done:
+	addi t3, t3, 1              # p
+	slli t5, t3, 2
+	add  t5, s0, t5
+	lw   t6, (t5)
+	lw   a4, (t1)
+	sw   a4, (t5)
+	sw   t6, (t1)
+	sw   t3, 0(sp)              # save p
+	lw   a1, 8(sp)              # recurse left: (lo, p-1)
+	addi a2, t3, -1
+	call qs_sort
+	lw   t3, 0(sp)              # recurse right: (p+1, hi)
+	addi a1, t3, 1
+	lw   a2, 4(sp)
+	call qs_sort
+	lw   ra, 12(sp)
+	addi sp, sp, 16
+qs_ret:
+	ret
+
+_start:
+	la   s0, qs_arr
+	li   a1, 0
+	li   a2, QS_N-1
+	call qs_sort
+
+	# Order-sensitive checksum: chk = xorshift32(chk ^ arr[i]).
+	li   s4, 0
+	li   t5, 0
+qs_chk:
+	slli t1, t5, 2
+	add  t1, s0, t1
+	lw   t1, (t1)
+	xor  s4, s4, t1
+	slli t1, s4, 13
+	xor  s4, s4, t1
+	srli t1, s4, 17
+	xor  s4, s4, t1
+	slli t1, s4, 5
+	xor  s4, s4, t1
+	addi t5, t5, 1
+	li   t1, QS_N
+	bne  t5, t1, qs_chk
+
+	mv   a0, s4
+	li   t0, MMIO_RESULT
+	sw   a0, (t0)
+	li   t0, MMIO_EXIT
+	sw   zero, (t0)
+	ebreak
+`, map[string]int{"N": qsElems}),
+	}
+}

@@ -1,0 +1,312 @@
+package program
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// SHA: the MiBench sha workload, upgraded to a full SHA-256 compression
+// function over 64 PRNG-generated 16-word blocks (4 KiB of input). The hash
+// state H[8] lives in initialized .data (like the C original's context
+// struct), so every block performs eight read-modify-writes on it; the
+// message schedule W[64] is a 256-byte stack local inside sha_transform, as
+// in the C original — the workload the paper's stack tracking benefits most.
+
+var shaK = [64]uint32{
+	0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+	0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+	0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+	0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+	0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+	0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+	0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+	0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+}
+
+var shaIV = [8]uint32{
+	0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+	0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+}
+
+const shaSeed = 0x5EED0123
+
+// wordTable renders a uint32 slice as assembler .word lines, guaranteeing
+// the emulated program and the Go reference share identical constants.
+func wordTable(words []uint32) string {
+	var b strings.Builder
+	for i := 0; i < len(words); i += 8 {
+		b.WriteString("\t.word ")
+		end := i + 8
+		if end > len(words) {
+			end = len(words)
+		}
+		for j := i; j < end; j++ {
+			if j > i {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "0x%08x", words[j])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SHA and SHALong are the sha benchmark and its scaled variant.
+var (
+	SHA     = register(makeSHA("sha", 64, false))
+	SHALong = register(makeSHA("sha-long", 640, true))
+)
+
+func makeSHA(name string, shaBlocks int, long bool) *Program {
+	return &Program{
+		Name:        name,
+		Long:        long,
+		Description: fmt.Sprintf("SHA-256 compression over %d generated blocks (MiBench sha)", shaBlocks),
+		Reference: func() uint32 {
+			H := shaIV
+			x := uint32(shaSeed)
+			for b := 0; b < shaBlocks; b++ {
+				var W [64]uint32
+				for i := 0; i < 16; i++ {
+					x = XorShift32(x)
+					W[i] = x
+				}
+				for t := 16; t < 64; t++ {
+					w15, w2 := W[t-15], W[t-2]
+					s0 := bits.RotateLeft32(w15, -7) ^ bits.RotateLeft32(w15, -18) ^ (w15 >> 3)
+					s1 := bits.RotateLeft32(w2, -17) ^ bits.RotateLeft32(w2, -19) ^ (w2 >> 10)
+					W[t] = s0 + W[t-16] + s1 + W[t-7]
+				}
+				a, bb, c, d, e, f, g, h := H[0], H[1], H[2], H[3], H[4], H[5], H[6], H[7]
+				for t := 0; t < 64; t++ {
+					S1 := bits.RotateLeft32(e, -6) ^ bits.RotateLeft32(e, -11) ^ bits.RotateLeft32(e, -25)
+					ch := (e & f) ^ (^e & g)
+					T1 := h + S1 + ch + shaK[t] + W[t]
+					S0 := bits.RotateLeft32(a, -2) ^ bits.RotateLeft32(a, -13) ^ bits.RotateLeft32(a, -22)
+					maj := (a & bb) ^ (a & c) ^ (bb & c)
+					T2 := S0 + maj
+					h, g, f, e, d, c, bb, a = g, f, e, d+T1, c, bb, a, T1+T2
+				}
+				H[0] += a
+				H[1] += bb
+				H[2] += c
+				H[3] += d
+				H[4] += e
+				H[5] += f
+				H[6] += g
+				H[7] += h
+			}
+			return H[0] ^ H[1] ^ H[2] ^ H[3] ^ H[4] ^ H[5] ^ H[6] ^ H[7]
+		},
+		source: subst(`
+	.data
+	.balign 4
+sha_k:
+`+wordTable(shaK[:])+`
+sha_h:
+`+wordTable(shaIV[:])+`
+sha_buf:	.space 64
+
+	.text
+_start:
+	la   s0, sha_k
+	la   s11, sha_h
+	la   a2, sha_buf
+	li   a0, 0x5EED0123         # rng state
+	li   s10, {{BLOCKS}}        # block count
+sha_block:
+	# "sha_update" phase: stage 16 message words into the context buffer at
+	# shallow call depth — the previous transform's W frame is dead here, so
+	# stack tracking can discard its dirty lines.
+	li   t5, 0
+sha_gen:
+	call rng_next
+	slli t1, t5, 2
+	add  t1, a2, t1
+	sw   a0, (t1)
+	addi t5, t5, 1
+	li   t1, 16
+	bne  t5, t1, sha_gen
+	call sha_transform
+	addi s10, s10, -1
+	bnez s10, sha_block
+	j    sha_done
+
+# sha_transform: compress the 64-byte context buffer into H. The message
+# schedule W[64] is a 256-byte stack local, as in the C original.
+sha_transform:
+	addi sp, sp, -272
+	sw   ra, 268(sp)
+	mv   s9, sp                 # W base
+	# W[0..15] = buf
+	li   t5, 0
+sha_copy:
+	slli t1, t5, 2
+	add  t2, a2, t1
+	lw   t2, (t2)
+	add  t1, s9, t1
+	sw   t2, (t1)
+	addi t5, t5, 1
+	li   t1, 16
+	bne  t5, t1, sha_copy
+
+	# Extend W[16..63].
+	li   t5, 16
+sha_ext:
+	slli t1, t5, 2
+	add  t1, s9, t1             # &W[t]
+	lw   t2, -60(t1)            # W[t-15]
+	srli t3, t2, 7
+	slli t4, t2, 25
+	or   t3, t3, t4
+	srli t4, t2, 18
+	slli t6, t2, 14
+	or   t4, t4, t6
+	xor  t3, t3, t4
+	srli t4, t2, 3
+	xor  t3, t3, t4             # sigma0
+	lw   t2, -8(t1)             # W[t-2]
+	srli t4, t2, 17
+	slli t6, t2, 15
+	or   t4, t4, t6
+	srli t6, t2, 19
+	slli t0, t2, 13
+	or   t6, t6, t0
+	xor  t4, t4, t6
+	srli t6, t2, 10
+	xor  t4, t4, t6             # sigma1
+	lw   t2, -64(t1)            # W[t-16]
+	add  t3, t3, t2
+	lw   t2, -28(t1)            # W[t-7]
+	add  t3, t3, t2
+	add  t3, t3, t4
+	sw   t3, (t1)
+	addi t5, t5, 1
+	li   t1, 64
+	bne  t5, t1, sha_ext
+
+	# Load working variables a..h from H.
+	lw   s1, 0(s11)
+	lw   s2, 4(s11)
+	lw   s3, 8(s11)
+	lw   s4, 12(s11)
+	lw   s5, 16(s11)
+	lw   s6, 20(s11)
+	lw   s7, 24(s11)
+	lw   s8, 28(s11)
+
+	li   t5, 0
+sha_round:
+	# Sigma1(e)
+	srli t1, s5, 6
+	slli t2, s5, 26
+	or   t1, t1, t2
+	srli t2, s5, 11
+	slli t3, s5, 21
+	or   t2, t2, t3
+	xor  t1, t1, t2
+	srli t2, s5, 25
+	slli t3, s5, 7
+	or   t2, t2, t3
+	xor  t1, t1, t2
+	# Ch(e,f,g)
+	and  t2, s5, s6
+	not  t3, s5
+	and  t3, t3, s7
+	xor  t2, t2, t3
+	add  t1, t1, t2
+	add  t1, t1, s8             # + h
+	slli t2, t5, 2
+	add  t3, s0, t2
+	lw   t4, (t3)               # K[t]
+	add  t1, t1, t4
+	add  t3, s9, t2
+	lw   t4, (t3)               # W[t]
+	add  t1, t1, t4             # T1
+	# Sigma0(a)
+	srli t2, s1, 2
+	slli t3, s1, 30
+	or   t2, t2, t3
+	srli t3, s1, 13
+	slli t4, s1, 19
+	or   t3, t3, t4
+	xor  t2, t2, t3
+	srli t3, s1, 22
+	slli t4, s1, 10
+	or   t3, t3, t4
+	xor  t2, t2, t3
+	# Maj(a,b,c)
+	and  t3, s1, s2
+	and  t4, s1, s3
+	xor  t3, t3, t4
+	and  t4, s2, s3
+	xor  t3, t3, t4
+	add  t2, t2, t3             # T2
+	# Rotate the working variables.
+	mv   s8, s7
+	mv   s7, s6
+	mv   s6, s5
+	add  s5, s4, t1
+	mv   s4, s3
+	mv   s3, s2
+	mv   s2, s1
+	add  s1, t1, t2
+	addi t5, t5, 1
+	li   t1, 64
+	bne  t5, t1, sha_round
+
+	# H[i] += working variable (eight read-modify-writes).
+	lw   t1, 0(s11)
+	add  t1, t1, s1
+	sw   t1, 0(s11)
+	lw   t1, 4(s11)
+	add  t1, t1, s2
+	sw   t1, 4(s11)
+	lw   t1, 8(s11)
+	add  t1, t1, s3
+	sw   t1, 8(s11)
+	lw   t1, 12(s11)
+	add  t1, t1, s4
+	sw   t1, 12(s11)
+	lw   t1, 16(s11)
+	add  t1, t1, s5
+	sw   t1, 16(s11)
+	lw   t1, 20(s11)
+	add  t1, t1, s6
+	sw   t1, 20(s11)
+	lw   t1, 24(s11)
+	add  t1, t1, s7
+	sw   t1, 24(s11)
+	lw   t1, 28(s11)
+	add  t1, t1, s8
+	sw   t1, 28(s11)
+	lw   ra, 268(sp)
+	addi sp, sp, 272
+	ret
+
+sha_done:
+	# Result: xor of the final H words.
+	lw   a0, 0(s11)
+	lw   t1, 4(s11)
+	xor  a0, a0, t1
+	lw   t1, 8(s11)
+	xor  a0, a0, t1
+	lw   t1, 12(s11)
+	xor  a0, a0, t1
+	lw   t1, 16(s11)
+	xor  a0, a0, t1
+	lw   t1, 20(s11)
+	xor  a0, a0, t1
+	lw   t1, 24(s11)
+	xor  a0, a0, t1
+	lw   t1, 28(s11)
+	xor  a0, a0, t1
+	li   t0, MMIO_RESULT
+	sw   a0, (t0)
+	li   t0, MMIO_EXIT
+	sw   zero, (t0)
+	ebreak
+`, map[string]int{"BLOCKS": shaBlocks}),
+	}
+}

@@ -1,0 +1,102 @@
+package program
+
+import "fmt"
+
+// Towers: the towers-of-Hanoi workload from riscv-benchmarks. The solver is
+// purely recursive with all mutable state in registers and on the stack —
+// the paper notes that Clank and Oracle NACHO create no checkpoints on this
+// benchmark (Section 6.2), because every stack slot is written before it is
+// read. The deep call tree makes towers the stack-tracking showcase: most
+// dirty lines belong to dead frames by the time they would be evicted.
+
+const towersSeed = 0x70E45000
+
+// Towers and TowersLong are the towers benchmark and its scaled variant.
+var (
+	Towers     = register(makeTowers("towers", 14, false))
+	TowersLong = register(makeTowers("towers-long", 17, true))
+)
+
+func makeTowers(name string, towersDiscs uint32, long bool) *Program {
+	return &Program{
+		Name:        name,
+		Long:        long,
+		Description: fmt.Sprintf("recursive towers of Hanoi, %d discs (riscv-benchmarks towers)", towersDiscs),
+		Reference: func() uint32 {
+			chk := uint32(towersSeed)
+			var moves uint32
+			var hanoi func(n, from, to, via uint32)
+			hanoi = func(n, from, to, via uint32) {
+				if n == 0 {
+					return
+				}
+				hanoi(n-1, from, via, to)
+				moves++
+				chk = XorShift32(chk ^ (n<<16 | from<<8 | to))
+				hanoi(n-1, via, to, from)
+			}
+			hanoi(towersDiscs, 1, 3, 2)
+			return chk + moves
+		},
+		source: subst(`
+	.text
+# hanoi(a1=n, a2=from, a3=to, a4=via); s4 = checksum, s5 = move count.
+hanoi:
+	beqz a1, hanoi_ret
+	addi sp, sp, -20
+	sw   ra, 16(sp)
+	sw   a1, 12(sp)
+	sw   a2, 8(sp)
+	sw   a3, 4(sp)
+	sw   a4, 0(sp)
+	# hanoi(n-1, from, via, to)
+	addi a1, a1, -1
+	mv   t1, a3
+	mv   a3, a4
+	mv   a4, t1
+	call hanoi
+	# record the move: chk = xorshift32(chk ^ (n<<16|from<<8|to))
+	lw   a1, 12(sp)
+	lw   a2, 8(sp)
+	lw   a3, 4(sp)
+	lw   a4, 0(sp)
+	addi s5, s5, 1
+	slli t1, a1, 16
+	slli t2, a2, 8
+	or   t1, t1, t2
+	or   t1, t1, a3
+	xor  s4, s4, t1
+	slli t1, s4, 13
+	xor  s4, s4, t1
+	srli t1, s4, 17
+	xor  s4, s4, t1
+	slli t1, s4, 5
+	xor  s4, s4, t1
+	# hanoi(n-1, via, to, from)
+	addi a1, a1, -1
+	mv   t1, a2
+	mv   a2, a4
+	mv   a4, t1
+	call hanoi
+	lw   ra, 16(sp)
+	addi sp, sp, 20
+hanoi_ret:
+	ret
+
+_start:
+	li   s4, 0x70E45000         # checksum seed
+	li   s5, 0                  # move count
+	li   a1, {{DISCS}}
+	li   a2, 1
+	li   a3, 3
+	li   a4, 2
+	call hanoi
+	add  a0, s4, s5
+	li   t0, MMIO_RESULT
+	sw   a0, (t0)
+	li   t0, MMIO_EXIT
+	sw   zero, (t0)
+	ebreak
+`, map[string]int{"DISCS": int(towersDiscs)}),
+	}
+}

@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSnapshotWordsRoundTrip(t *testing.T) {
+	f := func(regs [31]uint32, pc uint32) bool {
+		s := Snapshot{Regs: regs, PC: pc}
+		return SnapshotFromWords(s.Words()) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSnapshotLayout(t *testing.T) {
+	var s Snapshot
+	s.Regs[0] = 0x11 // x1
+	s.Regs[1] = 0x22 // x2 (sp)
+	s.PC = 0x33
+	w := s.Words()
+	if w[0] != 0x11 || w[1] != 0x22 || w[31] != 0x33 {
+		t.Errorf("layout wrong: %v", w)
+	}
+}
+
+func TestTestClockAdvancesAndFails(t *testing.T) {
+	c := &TestClock{FailAt: 10}
+	c.Advance(5)
+	if c.Now() != 5 || c.Failed() {
+		t.Fatalf("state after 5: now=%d failed=%v", c.Now(), c.Failed())
+	}
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Error("no PowerFail panic at the failure cycle")
+			} else if _, ok := r.(PowerFail); !ok {
+				t.Errorf("wrong panic value %v", r)
+			}
+		}()
+		c.Advance(100)
+	}()
+	if c.Now() != 10 {
+		t.Errorf("clock stopped at %d, want the failure instant 10", c.Now())
+	}
+	// Failures are one-shot: the clock keeps running afterwards.
+	c.Advance(100)
+	if c.Now() != 110 {
+		t.Errorf("post-failure advance: %d", c.Now())
+	}
+}
+
+func TestTestClockNoFailure(t *testing.T) {
+	c := &TestClock{}
+	c.Advance(1 << 30)
+	if c.Failed() {
+		t.Error("unscheduled failure fired")
+	}
+}

@@ -1,0 +1,41 @@
+package sim
+
+// TestClock is a deterministic Clock for unit tests: it accumulates cycles
+// and, when FailAt is non-zero, raises PowerFail the first time an Advance
+// reaches or crosses that cycle — letting tests place a power failure at any
+// exact cycle of an operation.
+type TestClock struct {
+	Cycle  uint64
+	FailAt uint64
+	failed bool
+}
+
+// Now implements Clock.
+func (c *TestClock) Now() uint64 { return c.Cycle }
+
+// Advance implements Clock.
+func (c *TestClock) Advance(n uint64) {
+	target := c.Cycle + n
+	if c.FailAt != 0 && !c.failed && target >= c.FailAt {
+		c.Cycle = c.FailAt
+		c.failed = true
+		panic(PowerFail{})
+	}
+	c.Cycle = target
+}
+
+// Failed reports whether the scheduled failure fired.
+func (c *TestClock) Failed() bool { return c.failed }
+
+// DeferFailures implements EnergyReserve for tests.
+func (c *TestClock) DeferFailures() func() {
+	saved := c.FailAt
+	c.FailAt = 0
+	return func() {
+		c.FailAt = saved
+		if saved != 0 && !c.failed && c.Cycle >= saved {
+			c.failed = true
+			panic(PowerFail{})
+		}
+	}
+}

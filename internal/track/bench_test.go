@@ -1,0 +1,22 @@
+package track
+
+import "testing"
+
+func BenchmarkObserveWrite(b *testing.B) {
+	tr := New()
+	for i := 0; i < b.N; i++ {
+		tr.ObserveWrite(uint32(i)&0xFFFF, 4)
+		if i&0xFFFF == 0 {
+			tr.Reset()
+		}
+	}
+}
+
+func BenchmarkObserveReadWritePair(b *testing.B) {
+	tr := New()
+	for i := 0; i < b.N; i++ {
+		a := uint32(i) & 0x3FFF
+		tr.ObserveRead(a, 4)
+		tr.ObserveWrite(a, 4)
+	}
+}

@@ -1,0 +1,66 @@
+// Package track implements exact-address read/write-dominance tracking as
+// defined by Clank (paper Section 3.2): within one checkpoint interval, a
+// location is read-dominated if its first access was a read and
+// write-dominated if its first access was a write. A write to a
+// read-dominated location is a WAR (idempotency) violation.
+//
+// The tracker is byte-granular (stored as per-word bitmasks) so that
+// sub-word accesses are classified exactly. It is used three ways: as the
+// idealized Clank baseline's hardware tracker, as Oracle NACHO's perfect WAR
+// detector, and as ReplayCache's idempotent-region former.
+package track
+
+// Tracker records first-access dominance per byte since the last Reset.
+type Tracker struct {
+	// words maps word address (addr>>2) to two 4-bit masks:
+	// low nibble = byte seen, high nibble = byte read-dominated.
+	words map[uint32]uint8
+}
+
+// New returns an empty tracker.
+func New() *Tracker { return &Tracker{words: make(map[uint32]uint8)} }
+
+func byteMask(addr uint32, size int) uint8 {
+	return uint8((1<<size - 1) << (addr & 3))
+}
+
+// ObserveRead records a read of size bytes at addr: any byte not yet seen in
+// this interval becomes read-dominated.
+func (t *Tracker) ObserveRead(addr uint32, size int) {
+	w := addr >> 2
+	m := byteMask(addr, size)
+	e := t.words[w]
+	seen := e & 0xF
+	newBytes := m &^ seen
+	if newBytes != 0 {
+		e |= newBytes | newBytes<<4
+	}
+	t.words[w] = e
+}
+
+// ObserveWrite records a write of size bytes at addr and reports whether any
+// written byte was read-dominated (i.e. whether this write, if it reached
+// NVM, would be a WAR violation). Bytes not yet seen become write-dominated.
+func (t *Tracker) ObserveWrite(addr uint32, size int) (violation bool) {
+	w := addr >> 2
+	m := byteMask(addr, size)
+	e := t.words[w]
+	violation = e>>4&m != 0
+	e |= m // mark seen; read-dominated nibble unchanged
+	t.words[w] = e
+	return violation
+}
+
+// ReadDominated reports whether any of size bytes at addr is currently
+// read-dominated (Oracle NACHO's eviction-safety check).
+func (t *Tracker) ReadDominated(addr uint32, size int) bool {
+	return t.words[addr>>2]>>4&byteMask(addr, size) != 0
+}
+
+// Reset clears the interval (called at each checkpoint / region boundary).
+func (t *Tracker) Reset() {
+	clear(t.words)
+}
+
+// Len returns the number of tracked words (test/inspection helper).
+func (t *Tracker) Len() int { return len(t.words) }

@@ -1,0 +1,143 @@
+package track
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasicDominance(t *testing.T) {
+	tr := New()
+	// Write-first location is write-dominated: never a violation.
+	if tr.ObserveWrite(0x100, 4) {
+		t.Error("first write flagged as violation")
+	}
+	tr.ObserveRead(0x100, 4)
+	if tr.ObserveWrite(0x100, 4) {
+		t.Error("write to write-dominated location flagged")
+	}
+	// Read-first location is read-dominated: write violates.
+	tr.ObserveRead(0x200, 4)
+	if !tr.ReadDominated(0x200, 4) {
+		t.Error("read-first location not read-dominated")
+	}
+	if !tr.ObserveWrite(0x200, 4) {
+		t.Error("WAR not detected")
+	}
+	// Still read-dominated after the write (first access rules).
+	if !tr.ReadDominated(0x200, 4) {
+		t.Error("dominance changed by later write")
+	}
+}
+
+func TestReset(t *testing.T) {
+	tr := New()
+	tr.ObserveRead(0x300, 4)
+	tr.Reset()
+	if tr.ReadDominated(0x300, 4) {
+		t.Error("dominance survived reset")
+	}
+	if tr.ObserveWrite(0x300, 4) {
+		t.Error("violation after reset")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestByteGranularity(t *testing.T) {
+	tr := New()
+	tr.ObserveRead(0x400, 1) // byte 0 read-dominated
+	if tr.ObserveWrite(0x401, 1) {
+		t.Error("write to sibling byte flagged")
+	}
+	if !tr.ObserveWrite(0x400, 1) {
+		t.Error("write to read-dominated byte missed")
+	}
+	// Word write covering a read-dominated byte is a violation.
+	tr2 := New()
+	tr2.ObserveRead(0x402, 1)
+	if !tr2.ObserveWrite(0x400, 4) {
+		t.Error("word write over read-dominated byte missed")
+	}
+	// Half-word access spanning bytes 2..3.
+	tr3 := New()
+	tr3.ObserveRead(0x406, 2)
+	if tr3.ReadDominated(0x404, 2) {
+		t.Error("low half reported read-dominated")
+	}
+	if !tr3.ReadDominated(0x406, 2) {
+		t.Error("high half not read-dominated")
+	}
+}
+
+// naiveTracker is a transparent per-byte reference model.
+type naiveTracker struct {
+	seen    map[uint32]bool
+	readDom map[uint32]bool
+}
+
+func newNaive() *naiveTracker {
+	return &naiveTracker{seen: map[uint32]bool{}, readDom: map[uint32]bool{}}
+}
+
+func (n *naiveTracker) read(addr uint32, size int) {
+	for i := 0; i < size; i++ {
+		a := addr + uint32(i)
+		if !n.seen[a] {
+			n.seen[a] = true
+			n.readDom[a] = true
+		}
+	}
+}
+
+func (n *naiveTracker) write(addr uint32, size int) bool {
+	viol := false
+	for i := 0; i < size; i++ {
+		a := addr + uint32(i)
+		if n.readDom[a] {
+			viol = true
+		}
+		n.seen[a] = true
+	}
+	return viol
+}
+
+func (n *naiveTracker) dominated(addr uint32, size int) bool {
+	for i := 0; i < size; i++ {
+		if n.readDom[addr+uint32(i)] {
+			return true
+		}
+	}
+	return false
+}
+
+// Property: the bitmask tracker matches the per-byte reference model over
+// random access streams with resets.
+func TestTrackerVersusNaiveModel(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	tr := New()
+	ref := newNaive()
+	sizes := []int{1, 2, 4}
+	for i := 0; i < 200000; i++ {
+		size := sizes[r.Intn(3)]
+		addr := uint32(r.Intn(64)) * 2 // overlap-heavy address pool
+		addr &^= uint32(size - 1)
+		switch r.Intn(10) {
+		case 0: // occasional interval reset
+			tr.Reset()
+			ref = newNaive()
+		case 1, 2, 3, 4:
+			tr.ObserveRead(addr, size)
+			ref.read(addr, size)
+		default:
+			got := tr.ObserveWrite(addr, size)
+			want := ref.write(addr, size)
+			if got != want {
+				t.Fatalf("step %d: write(%#x,%d) violation=%v, want %v", i, addr, size, got, want)
+			}
+		}
+		if got, want := tr.ReadDominated(addr, size), ref.dominated(addr, size); got != want {
+			t.Fatalf("step %d: dominated(%#x,%d)=%v, want %v", i, addr, size, got, want)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package verify implements the emulator's two safety measures from paper
+// Section 5.1:
+//
+//  1. Shadow memory: every CPU data access is duplicated into an ideal flat
+//     memory; a load served by the system under test must return the shadow's
+//     value. The shadow keeps a byte-granular undo journal since the last
+//     checkpoint so that it can be rolled back when a power failure rewinds
+//     the machine to the last committed checkpoint — re-execution then
+//     replays against the same shadow state.
+//
+//  2. WAR detection: an exact byte-granular dominance tracker observes the
+//     CPU access stream; any physical NVM write-back to a read-dominated
+//     location (outside a checkpoint) is an idempotency violation, because a
+//     power failure after it would make re-execution read the new value.
+//
+// The package reports problems as recorded Violations rather than panicking,
+// so tests can assert exact failure modes.
+package verify
+
+import (
+	"fmt"
+
+	"nacho/internal/mem"
+	"nacho/internal/track"
+)
+
+// Kind classifies a detected violation.
+type Kind int
+
+// Violation kinds.
+const (
+	ShadowMismatch Kind = iota // load returned a value different from shadow
+	WARViolation               // NVM write-back to a read-dominated address
+)
+
+// String names the violation kind.
+func (k Kind) String() string {
+	switch k {
+	case ShadowMismatch:
+		return "shadow-mismatch"
+	case WARViolation:
+		return "war-violation"
+	}
+	return "unknown"
+}
+
+// Violation is one detected correctness failure.
+type Violation struct {
+	Kind Kind
+	Addr uint32
+	Size int
+	Got  uint32 // value the system returned (shadow mismatches)
+	Want uint32 // value the shadow holds
+}
+
+// String renders the violation with its address and values.
+func (v Violation) String() string {
+	if v.Kind == ShadowMismatch {
+		return fmt.Sprintf("%v at 0x%08x size %d: got 0x%x, want 0x%x", v.Kind, v.Addr, v.Size, v.Got, v.Want)
+	}
+	return fmt.Sprintf("%v: write-back to read-dominated 0x%08x size %d", v.Kind, v.Addr, v.Size)
+}
+
+// Config selects per-system verification behaviour.
+type Config struct {
+	// RollbackOnFailure rolls the shadow back to the last interval boundary
+	// when power fails — the behaviour of checkpoint/rollback systems (NACHO,
+	// Clank, PROWL). JIT-flush systems (ReplayCache) resume at the failure
+	// point, so their shadow must not rewind.
+	RollbackOnFailure bool
+	// CheckWAR enables the exact write-back dominance check. It applies to
+	// rollback systems; ReplayCache's region semantics make mid-region
+	// write-backs legal, so it runs with CheckWAR disabled and relies on the
+	// shadow check.
+	CheckWAR bool
+	// MaxViolations caps recorded violations to bound memory; 0 means 64.
+	MaxViolations int
+}
+
+// Verifier implements the safety checks. Attach its hooks to the emulator and
+// the system under test; a nil *Verifier is valid and disables all checking.
+type Verifier struct {
+	cfg     Config
+	shadow  *mem.Space
+	journal map[uint32]byte // first pre-image of each byte since last boundary
+	tracker *track.Tracker
+	viols   []Violation
+	dropped int
+}
+
+// New builds a verifier whose shadow starts as a copy of the loaded program
+// image (the same initial state the system's NVM holds).
+func New(initial *mem.Space, cfg Config) *Verifier {
+	if cfg.MaxViolations == 0 {
+		cfg.MaxViolations = 64
+	}
+	return &Verifier{
+		cfg:     cfg,
+		shadow:  initial.Clone(),
+		journal: make(map[uint32]byte),
+		tracker: track.New(),
+	}
+}
+
+func (v *Verifier) record(viol Violation) {
+	if len(v.viols) >= v.cfg.MaxViolations {
+		v.dropped++
+		return
+	}
+	v.viols = append(v.viols, viol)
+}
+
+// CPURead checks a load's result against the shadow and feeds the dominance
+// tracker.
+func (v *Verifier) CPURead(addr uint32, size int, got uint32) {
+	if v == nil {
+		return
+	}
+	v.tracker.ObserveRead(addr, size)
+	want := v.shadow.Read(addr, size)
+	if got != want {
+		v.record(Violation{Kind: ShadowMismatch, Addr: addr, Size: size, Got: got, Want: want})
+	}
+}
+
+// CPUWrite duplicates a store into the shadow, journalling pre-images.
+func (v *Verifier) CPUWrite(addr uint32, size int, val uint32) {
+	if v == nil {
+		return
+	}
+	v.tracker.ObserveWrite(addr, size)
+	for i := 0; i < size; i++ {
+		a := addr + uint32(i)
+		if _, seen := v.journal[a]; !seen {
+			v.journal[a] = v.shadow.ByteAt(a)
+		}
+	}
+	v.shadow.Write(addr, size, val)
+}
+
+// NVMWriteBack checks a physical write-back (eviction) for the exact WAR
+// condition. Checkpoint-internal writes must not be reported through here.
+func (v *Verifier) NVMWriteBack(addr uint32, size int) {
+	if v == nil || !v.cfg.CheckWAR {
+		return
+	}
+	if v.tracker.ReadDominated(addr, size) {
+		v.record(Violation{Kind: WARViolation, Addr: addr, Size: size})
+	}
+}
+
+// IntervalBoundary marks a committed checkpoint (or, for ReplayCache, a
+// completed idempotent region): the rollback point moves here.
+func (v *Verifier) IntervalBoundary() {
+	if v == nil {
+		return
+	}
+	clear(v.journal)
+	v.tracker.Reset()
+}
+
+// PowerFailure rewinds the shadow to the last boundary for rollback systems.
+func (v *Verifier) PowerFailure() {
+	if v == nil {
+		return
+	}
+	if v.cfg.RollbackOnFailure {
+		for a, old := range v.journal {
+			v.shadow.SetByte(a, old)
+		}
+		clear(v.journal)
+		v.tracker.Reset()
+	}
+}
+
+// Violations returns everything recorded so far.
+func (v *Verifier) Violations() []Violation {
+	if v == nil {
+		return nil
+	}
+	return v.viols
+}
+
+// Err returns a summarizing error if any violation was recorded.
+func (v *Verifier) Err() error {
+	if v == nil || len(v.viols) == 0 {
+		return nil
+	}
+	return fmt.Errorf("verify: %d violation(s) (%d dropped), first: %v",
+		len(v.viols)+v.dropped, v.dropped, v.viols[0])
+}
+
+// Shadow exposes the shadow space for final-state comparison in tests.
+func (v *Verifier) Shadow() *mem.Space { return v.shadow }

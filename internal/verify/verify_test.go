@@ -1,0 +1,163 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"nacho/internal/mem"
+)
+
+func newVerifier(cfg Config) *Verifier {
+	initial := mem.NewSpace()
+	initial.Write(0x100, 4, 0xCAFE)
+	return New(initial, cfg)
+}
+
+func TestShadowMatchesInitialImage(t *testing.T) {
+	v := newVerifier(Config{})
+	v.CPURead(0x100, 4, 0xCAFE)
+	if err := v.Err(); err != nil {
+		t.Errorf("correct read flagged: %v", err)
+	}
+}
+
+func TestShadowMismatchDetected(t *testing.T) {
+	v := newVerifier(Config{})
+	v.CPUWrite(0x200, 4, 7)
+	v.CPURead(0x200, 4, 8)
+	err := v.Err()
+	if err == nil {
+		t.Fatal("mismatch not detected")
+	}
+	if !strings.Contains(err.Error(), "shadow-mismatch") {
+		t.Errorf("error = %v", err)
+	}
+	viols := v.Violations()
+	if len(viols) != 1 || viols[0].Got != 8 || viols[0].Want != 7 {
+		t.Errorf("violation details: %+v", viols)
+	}
+}
+
+func TestSubWordShadow(t *testing.T) {
+	v := newVerifier(Config{})
+	v.CPUWrite(0x300, 4, 0xAABBCCDD)
+	v.CPUWrite(0x301, 1, 0x11)
+	v.CPURead(0x300, 4, 0xAABB11DD)
+	v.CPURead(0x302, 2, 0xAABB)
+	if err := v.Err(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWARDetection(t *testing.T) {
+	v := newVerifier(Config{CheckWAR: true})
+	v.CPURead(0x400, 4, 0)
+	v.NVMWriteBack(0x400, 4)
+	if err := v.Err(); err == nil || !strings.Contains(err.Error(), "war-violation") {
+		t.Errorf("WAR not detected: %v", err)
+	}
+	// Write-dominated write-back is fine.
+	v2 := newVerifier(Config{CheckWAR: true})
+	v2.CPUWrite(0x500, 4, 1)
+	v2.NVMWriteBack(0x500, 4)
+	if err := v2.Err(); err != nil {
+		t.Errorf("safe write-back flagged: %v", err)
+	}
+	// With CheckWAR disabled nothing is recorded.
+	v3 := newVerifier(Config{CheckWAR: false})
+	v3.CPURead(0x400, 4, 0)
+	v3.NVMWriteBack(0x400, 4)
+	if err := v3.Err(); err != nil {
+		t.Errorf("disabled WAR check flagged: %v", err)
+	}
+}
+
+func TestIntervalBoundaryResets(t *testing.T) {
+	v := newVerifier(Config{CheckWAR: true})
+	v.CPURead(0x600, 4, 0)
+	v.IntervalBoundary()
+	v.NVMWriteBack(0x600, 4) // read was in the previous interval
+	if err := v.Err(); err != nil {
+		t.Errorf("cross-interval write-back flagged: %v", err)
+	}
+}
+
+func TestRollbackOnFailure(t *testing.T) {
+	v := newVerifier(Config{RollbackOnFailure: true})
+	v.CPUWrite(0x100, 4, 1) // overwrite the initial 0xCAFE
+	v.PowerFailure()        // rollback to the last boundary (the start)
+	v.CPURead(0x100, 4, 0xCAFE)
+	if err := v.Err(); err != nil {
+		t.Errorf("rollback failed: %v", err)
+	}
+	// After a boundary the rollback point moves.
+	v.CPUWrite(0x100, 4, 2)
+	v.IntervalBoundary()
+	v.CPUWrite(0x100, 4, 3)
+	v.PowerFailure()
+	v.CPURead(0x100, 4, 2)
+	if err := v.Err(); err != nil {
+		t.Errorf("post-boundary rollback failed: %v", err)
+	}
+}
+
+func TestNoRollbackForJITSystems(t *testing.T) {
+	v := newVerifier(Config{RollbackOnFailure: false})
+	v.CPUWrite(0x100, 4, 1)
+	v.PowerFailure() // resume-in-place semantics: shadow keeps the write
+	v.CPURead(0x100, 4, 1)
+	if err := v.Err(); err != nil {
+		t.Errorf("JIT shadow semantics broken: %v", err)
+	}
+}
+
+func TestJournalKeepsFirstPreimage(t *testing.T) {
+	v := newVerifier(Config{RollbackOnFailure: true})
+	v.CPUWrite(0x100, 4, 1)
+	v.CPUWrite(0x100, 4, 2)
+	v.CPUWrite(0x100, 4, 3)
+	v.PowerFailure()
+	v.CPURead(0x100, 4, 0xCAFE) // rolls all the way back to the pre-image
+	if err := v.Err(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxViolationsCap(t *testing.T) {
+	v := New(mem.NewSpace(), Config{MaxViolations: 3})
+	for i := uint32(0); i < 10; i++ {
+		v.CPURead(i*4, 4, 999) // shadow has zeros
+	}
+	if len(v.Violations()) != 3 {
+		t.Errorf("recorded %d violations, want 3", len(v.Violations()))
+	}
+	if err := v.Err(); err == nil || !strings.Contains(err.Error(), "dropped") {
+		t.Errorf("Err should mention dropped count: %v", err)
+	}
+}
+
+func TestNilVerifierSafe(t *testing.T) {
+	var v *Verifier
+	v.CPURead(0, 4, 0)
+	v.CPUWrite(0, 4, 0)
+	v.NVMWriteBack(0, 4)
+	v.IntervalBoundary()
+	v.PowerFailure()
+	if v.Err() != nil || v.Violations() != nil {
+		t.Error("nil verifier misbehaved")
+	}
+}
+
+func TestViolationStrings(t *testing.T) {
+	s := Violation{Kind: ShadowMismatch, Addr: 0x10, Size: 4, Got: 1, Want: 2}.String()
+	if !strings.Contains(s, "shadow-mismatch") || !strings.Contains(s, "0x00000010") {
+		t.Errorf("string: %s", s)
+	}
+	w := Violation{Kind: WARViolation, Addr: 0x20, Size: 1}.String()
+	if !strings.Contains(w, "war-violation") {
+		t.Errorf("string: %s", w)
+	}
+	if Kind(42).String() != "unknown" {
+		t.Error("unknown kind string")
+	}
+}

@@ -1,0 +1,239 @@
+// Package nacho is the public API of the NACHO reproduction: a data cache
+// for intermittent computing systems with non-volatile main memory
+// (Mohapatra et al., ASPLOS 2025).
+//
+// The package runs RV32IM programs — the paper's benchmark suite or caller-
+// supplied assembly — on a cycle-accounted emulator wired to one of the
+// paper's memory systems (NACHO and its ablations, plus the Clank, PROWL,
+// ReplayCache and fully volatile baselines), optionally under injected power
+// failures, and reports the paper's metrics: execution cycles, checkpoints,
+// and NVM traffic. Every access is cross-checked against a shadow memory and
+// an exact WAR-violation detector unless verification is disabled.
+//
+// Quickstart:
+//
+//	res, err := nacho.Run(nacho.Config{Benchmark: "aes"})
+//	fmt.Println(res.Cycles, res.Checkpoints, res.NVMBytes())
+//
+// See examples/ for complete programs and cmd/nachobench for regenerating
+// the paper's tables and figures.
+package nacho
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"nacho/internal/harness"
+	"nacho/internal/mem"
+	"nacho/internal/power"
+	"nacho/internal/program"
+	"nacho/internal/systems"
+)
+
+// System selects the memory system to simulate (paper Section 6.1.2).
+type System string
+
+// The available systems. NACHO is the paper's contribution; NaiveNACHO,
+// OracleNACHO, NACHOPWOnly and NACHOSTOnly are its ablations; the rest are
+// the compared baselines.
+const (
+	Volatile    System = "volatile"
+	Clank       System = "clank"
+	PROWL       System = "prowl"
+	ReplayCache System = "replaycache"
+	NaiveNACHO  System = "naive-nacho"
+	NACHO       System = "nacho"
+	OracleNACHO System = "oracle-nacho"
+	NACHOPWOnly System = "nacho-pw"
+	NACHOSTOnly System = "nacho-st"
+	// WriteThrough is the Section 8 extension: a write-through cache with an
+	// exact hardware WAR tracker (see internal/systems).
+	WriteThrough System = "writethrough"
+)
+
+// Systems lists every selectable system.
+func Systems() []System {
+	var out []System
+	for _, k := range systems.AllKinds() {
+		out = append(out, System(k))
+	}
+	return out
+}
+
+// Benchmarks lists the paper's benchmark suite (Section 6.1.1).
+func Benchmarks() []string { return program.Names() }
+
+// BenchmarkDescription returns the one-line description of a benchmark.
+func BenchmarkDescription(name string) (string, bool) {
+	p, ok := program.ByName(name)
+	if !ok {
+		return "", false
+	}
+	return p.Description, true
+}
+
+// Config parameterizes one simulation. Zero fields take the paper's
+// defaults: system NACHO, a 2-way 512 B cache, always-on power, verification
+// enabled.
+type Config struct {
+	// Benchmark names one of Benchmarks(). Required for Run.
+	Benchmark string
+	// System selects the memory system (default NACHO).
+	System System
+	// CacheSize in bytes (default 512). Ignored by volatile and clank.
+	CacheSize int
+	// Ways is the cache associativity (default 2).
+	Ways int
+	// OnDurationMs, when non-zero, injects a periodic power failure every
+	// that many milliseconds of active time (at the model's 50 MHz clock)
+	// and arms the paper's forward-progress checkpoint at half the period.
+	OnDurationMs float64
+	// RandomFailures replaces the periodic schedule with seeded-uniform
+	// on-durations in [OnDurationMs/2, OnDurationMs].
+	RandomFailures bool
+	// Seed for RandomFailures (default 1).
+	Seed int64
+	// DisableVerify turns off shadow-memory and WAR checking (faster runs).
+	DisableVerify bool
+	// MaxInstructions overrides the runaway-guard instruction limit.
+	MaxInstructions uint64
+	// DirtyThreshold enables the adaptive checkpointing extension on
+	// NACHO-family systems: checkpoint proactively once more than this many
+	// cache lines are dirty (0 = off; paper Section 8).
+	DirtyThreshold int
+	// EnergyPrediction runs NACHO-family checkpoints single-buffered under a
+	// guaranteed-energy window, halving checkpoint NVM writes (Section 8).
+	EnergyPrediction bool
+	// Trace, when non-nil, receives a per-instruction execution trace.
+	Trace io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.System == "" {
+		c.System = NACHO
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 512
+	}
+	if c.Ways == 0 {
+		c.Ways = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+func (c Config) runConfig() harness.RunConfig {
+	cost := mem.DefaultCostModel()
+	rc := harness.RunConfig{
+		CacheSize:        c.CacheSize,
+		Ways:             c.Ways,
+		Verify:           !c.DisableVerify,
+		MaxInstructions:  c.MaxInstructions,
+		Cost:             cost,
+		DirtyThreshold:   c.DirtyThreshold,
+		EnergyPrediction: c.EnergyPrediction,
+		Trace:            c.Trace,
+	}
+	if c.OnDurationMs > 0 {
+		period := cost.CyclesForMillis(c.OnDurationMs)
+		if c.RandomFailures {
+			rc.Schedule = power.NewUniform(period/2, period, c.Seed)
+		} else {
+			rc.Schedule = power.Periodic{Period: period}
+		}
+		rc.ForcedCheckpointPeriod = period / 2
+	}
+	return rc
+}
+
+// Result reports the paper's evaluation metrics for one run
+// (Section 6.1.3).
+type Result struct {
+	ExitCode   uint32
+	ResultWord uint32 // the program's reported checksum
+	Output     []byte // bytes the program printed
+
+	Cycles       uint64
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+
+	Checkpoints     uint64
+	CheckpointLines uint64
+
+	NVMReads      uint64
+	NVMWrites     uint64
+	NVMReadBytes  uint64
+	NVMWriteBytes uint64
+
+	CacheHits         uint64
+	CacheMisses       uint64
+	SafeEvictions     uint64
+	UnsafeEvictions   uint64
+	DroppedStackLines uint64
+
+	Regions       uint64
+	PowerFailures uint64
+
+	AdaptiveCkpts      uint64 // checkpoints forced by the dirty-threshold policy
+	MaxCheckpointLines uint64 // largest single checkpoint (capacitor sizing)
+}
+
+// NVMBytes is the paper's NVM-transfer metric: bytes moved in either
+// direction.
+func (r *Result) NVMBytes() uint64 { return r.NVMReadBytes + r.NVMWriteBytes }
+
+// HitRate returns the data-cache hit rate in [0,1].
+func (r *Result) HitRate() float64 {
+	if t := r.CacheHits + r.CacheMisses; t > 0 {
+		return float64(r.CacheHits) / float64(t)
+	}
+	return 0
+}
+
+// Duration converts cycles to wall time at the modelled 50 MHz clock.
+func (r *Result) Duration() time.Duration {
+	return time.Duration(float64(r.Cycles) / 50e6 * float64(time.Second))
+}
+
+// Run executes one benchmark under the configured system. With verification
+// enabled (the default) it returns an error on any shadow-memory mismatch,
+// exact WAR violation, or checksum mismatch against the benchmark's Go
+// reference implementation.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	p, ok := program.ByName(cfg.Benchmark)
+	if !ok {
+		return nil, fmt.Errorf("nacho: unknown benchmark %q (see Benchmarks())", cfg.Benchmark)
+	}
+	res, err := harness.Run(p, systems.Kind(cfg.System), cfg.runConfig())
+	if err != nil {
+		return nil, err
+	}
+	c := res.Counters
+	return &Result{
+		ExitCode:           res.ExitCode,
+		ResultWord:         res.Result,
+		Output:             res.Output,
+		Cycles:             c.Cycles,
+		Instructions:       c.Instructions,
+		Checkpoints:        c.Checkpoints,
+		CheckpointLines:    c.CheckpointLines,
+		NVMReads:           c.NVMReads,
+		NVMWrites:          c.NVMWrites,
+		NVMReadBytes:       c.NVMReadBytes,
+		NVMWriteBytes:      c.NVMWriteBytes,
+		CacheHits:          c.CacheHits,
+		CacheMisses:        c.CacheMisses,
+		SafeEvictions:      c.SafeEvictions,
+		UnsafeEvictions:    c.UnsafeEvictions,
+		DroppedStackLines:  c.DroppedStackLines,
+		Regions:            c.Regions,
+		PowerFailures:      c.PowerFailures,
+		AdaptiveCkpts:      c.AdaptiveCkpts,
+		MaxCheckpointLines: c.MaxCheckpointLines,
+	}, nil
+}

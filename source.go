@@ -1,0 +1,142 @@
+package nacho
+
+import (
+	"fmt"
+
+	"nacho/internal/harness"
+	"nacho/internal/program"
+	"nacho/internal/systems"
+)
+
+// MMIO addresses available to user programs (see RunSource).
+const (
+	// MMIOExit halts the program; the stored value is the exit status.
+	MMIOExit = 0x000F_0000
+	// MMIOResult reports a result word (returned in Result.ResultWord).
+	MMIOResult = 0x000F_0004
+	// MMIOPutchar appends the stored low byte to Result.Output.
+	MMIOPutchar = 0x000F_0008
+)
+
+// RunSource assembles and runs a caller-supplied RV32IM assembly program
+// under the configured system (Config.Benchmark is ignored). The program
+// uses the standard layout — .text at 0x10000, .data at 0x20000, stack
+// pointer initialized to 0xA0000 growing down — must define `_start`, and
+// halts by storing to MMIOExit (or executing ebreak). Shadow-memory and WAR
+// verification still apply unless disabled; there is no reference checksum.
+//
+// Minimal example:
+//
+//	_start:
+//	    li   t0, 41
+//	    addi t0, t0, 1
+//	    li   t1, 0x000F0004   # MMIOResult
+//	    sw   t0, (t1)
+//	    li   t1, 0x000F0000   # MMIOExit
+//	    sw   zero, (t1)
+func RunSource(name, source string, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	img, err := program.FromSource(name, source)
+	if err != nil {
+		return nil, err
+	}
+	res, err := harness.RunImage(img, systems.Kind(cfg.System), cfg.runConfig(), false)
+	if err != nil {
+		return nil, err
+	}
+	c := res.Counters
+	return &Result{
+		ExitCode:           res.ExitCode,
+		ResultWord:         res.Result,
+		Output:             res.Output,
+		Cycles:             c.Cycles,
+		Instructions:       c.Instructions,
+		Checkpoints:        c.Checkpoints,
+		CheckpointLines:    c.CheckpointLines,
+		NVMReads:           c.NVMReads,
+		NVMWrites:          c.NVMWrites,
+		NVMReadBytes:       c.NVMReadBytes,
+		NVMWriteBytes:      c.NVMWriteBytes,
+		CacheHits:          c.CacheHits,
+		CacheMisses:        c.CacheMisses,
+		SafeEvictions:      c.SafeEvictions,
+		UnsafeEvictions:    c.UnsafeEvictions,
+		DroppedStackLines:  c.DroppedStackLines,
+		Regions:            c.Regions,
+		PowerFailures:      c.PowerFailures,
+		AdaptiveCkpts:      c.AdaptiveCkpts,
+		MaxCheckpointLines: c.MaxCheckpointLines,
+	}, nil
+}
+
+// experimentReport resolves an experiment name to its regenerated report.
+func experimentReport(name string, benchmarks []string) (*harness.Report, error) {
+	pick := func(def []string) []string {
+		if len(benchmarks) > 0 {
+			return benchmarks
+		}
+		return def
+	}
+	switch name {
+	case "table1":
+		return harness.Table1(), nil
+	case "fig5":
+		return harness.Fig5(pick(harness.AllBenchmarks()))
+	case "fig6":
+		return harness.Fig6(pick(harness.Fig6Benchmarks()))
+	case "fig7":
+		return harness.Fig7(pick(harness.Fig6Benchmarks()))
+	case "table2":
+		return harness.Table2(pick(harness.Table2Benchmarks()))
+	case "table3":
+		return harness.Table3(pick(harness.Table3Benchmarks()))
+	case "fig8":
+		return harness.Fig8(pick(harness.AllBenchmarks()))
+	case "ext-adaptive":
+		return harness.ExtAdaptive(pick([]string{"coremark", "quicksort", "picojpeg", "dijkstra"}))
+	case "ext-energy":
+		return harness.ExtEnergy(pick(harness.AllBenchmarks()))
+	case "ext-wt":
+		return harness.ExtWriteThrough(pick(harness.AllBenchmarks()))
+	case "ext-table2-long":
+		return harness.ExtTable2Long()
+	case "ext-fp":
+		return harness.ExtFalsePositives(pick(harness.AllBenchmarks()))
+	case "ext-seeds":
+		return harness.ExtSeedVariance(pick(harness.Table2Benchmarks()))
+	}
+	return nil, fmt.Errorf("nacho: unknown experiment %q", name)
+}
+
+// Experiment regenerates one of the paper's tables or figures as a text
+// report. Valid names are listed by ExperimentNames. benchmarks narrows the
+// benchmark set; nil means the experiment's paper-default set.
+func Experiment(name string, benchmarks []string) (string, error) {
+	rep, err := experimentReport(name, benchmarks)
+	if err != nil {
+		return "", err
+	}
+	return rep.String(), nil
+}
+
+// ExperimentCSV is Experiment in the comma-separated form the original
+// artifact's scripts log (Appendix A.6).
+func ExperimentCSV(name string, benchmarks []string) (string, error) {
+	rep, err := experimentReport(name, benchmarks)
+	if err != nil {
+		return "", err
+	}
+	return rep.CSV(), nil
+}
+
+// ExperimentNames lists the regenerable tables and figures in paper order,
+// followed by this reproduction's Section 8 extension experiments
+// (adaptive checkpointing, the rough energy model, the write-through
+// comparison).
+func ExperimentNames() []string {
+	return []string{
+		"table1", "fig5", "fig6", "fig7", "table2", "table3", "fig8",
+		"ext-adaptive", "ext-energy", "ext-wt", "ext-table2-long", "ext-fp",
+		"ext-seeds",
+	}
+}
