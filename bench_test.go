@@ -7,6 +7,11 @@ package nacho
 //	go test -bench=. -benchmem
 //
 // reproduces the full evaluation. cmd/nachobench prints the complete rows.
+//
+// Experiment regeneration inherits the harness default parallelism (one
+// worker per CPU); BenchmarkFig5Sequential pins the pool to one worker so
+// the parallel speedup is measurable as the ratio of the two Fig5
+// benchmarks.
 
 import (
 	"strconv"
@@ -51,6 +56,19 @@ func BenchmarkFig5ExecutionTime(b *testing.B) {
 			"nacho-norm":  5,
 			"oracle-norm": 6,
 		})
+	}
+}
+
+// BenchmarkFig5Sequential regenerates Figure 5 with the worker pool
+// disabled: the sequential baseline for the parallel harness speedup
+// (compare against BenchmarkFig5ExecutionTime).
+func BenchmarkFig5Sequential(b *testing.B) {
+	prev := SetParallelism(1)
+	defer SetParallelism(prev)
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig5(harness.AllBenchmarks()); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

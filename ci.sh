@@ -1,0 +1,24 @@
+#!/bin/sh
+# ci.sh — the repository's full verification gate (see README §Install).
+#
+#   ./ci.sh
+#
+# Runs formatting, vet, build, the full test suite, and the race-detector
+# pass over the experiment harness (the worker pool + singleflight run
+# cache carry the only intentional concurrency in the repository).
+set -eu
+cd "$(dirname "$0")"
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./internal/harness/...
+
+echo "ci.sh: all checks passed"

@@ -103,6 +103,33 @@ func TestNachobenchEndToEnd(t *testing.T) {
 	}
 }
 
+// TestNachobenchParallelDeterminism checks the -j contract at the process
+// level: stdout is byte-identical for any worker count, and the timing
+// summary stays on stderr where it cannot perturb captured reports.
+func TestNachobenchParallelDeterminism(t *testing.T) {
+	bin := build(t, "cmd/nachobench")
+
+	outputs := make(map[string]string)
+	for _, j := range []string{"1", "4"} {
+		cmd := exec.Command(bin, "-exp", "fig6", "-bench", "sha", "-j", j)
+		var stdout, stderr strings.Builder
+		cmd.Stdout, cmd.Stderr = &stdout, &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("-j %s: %v\n%s", j, err, stderr.String())
+		}
+		outputs[j] = stdout.String()
+		if !strings.Contains(stderr.String(), "timing:") {
+			t.Errorf("-j %s: timing summary missing from stderr:\n%s", j, stderr.String())
+		}
+		if strings.Contains(stdout.String(), "timing:") {
+			t.Errorf("-j %s: timing leaked into stdout", j)
+		}
+	}
+	if outputs["1"] != outputs["4"] {
+		t.Errorf("stdout differs between -j 1 and -j 4:\n--- j1\n%s--- j4\n%s", outputs["1"], outputs["4"])
+	}
+}
+
 func TestNachoasmEndToEnd(t *testing.T) {
 	bin := build(t, "cmd/nachoasm")
 

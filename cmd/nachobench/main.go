@@ -4,10 +4,15 @@
 // Table 3 (component ablation), Figure 8 (cache design space) and the
 // Table 1 feature matrix.
 //
+// Each experiment's run matrix is fanned out across -j worker goroutines
+// (default: all CPUs). Reports are byte-identical for every -j value; the
+// per-experiment timing summary goes to stderr so stdout stays exactly
+// reproducible.
+//
 // Usage:
 //
-//	nachobench                  # regenerate everything
-//	nachobench -exp fig5        # one experiment
+//	nachobench                  # regenerate everything, parallel
+//	nachobench -exp fig5 -j 1   # one experiment, sequential
 //	nachobench -exp fig7 -bench aes,sha
 package main
 
@@ -22,11 +27,14 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", `experiment: all, or one of `+strings.Join(nacho.ExperimentNames(), ", "))
-		bench = flag.String("bench", "", "comma-separated benchmark subset (default: the experiment's paper set)")
-		csv   = flag.Bool("csv", false, "emit CSV (the original artifact's log format) instead of tables")
+		exp     = flag.String("exp", "all", `experiment: all, or one of `+strings.Join(nacho.ExperimentNames(), ", "))
+		bench   = flag.String("bench", "", "comma-separated benchmark subset (default: the experiment's paper set)")
+		csv     = flag.Bool("csv", false, "emit CSV (the original artifact's log format) instead of tables")
+		j       = flag.Int("j", 0, "parallel simulation workers (0 = all CPUs, 1 = sequential)")
+		timings = flag.Bool("timings", true, "print per-experiment timing summaries to stderr")
 	)
 	flag.Parse()
+	nacho.SetParallelism(*j)
 
 	var subset []string
 	if *bench != "" {
@@ -41,15 +49,18 @@ func main() {
 		if i > 0 {
 			fmt.Println()
 		}
-		render := nacho.Experiment
-		if *csv {
-			render = nacho.ExperimentCSV
-		}
-		out, err := render(name, subset)
+		out, err := nacho.RunExperiment(name, subset)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "nachobench:", err)
 			os.Exit(1)
 		}
-		fmt.Print(out)
+		if *csv {
+			fmt.Print(out.CSV)
+		} else {
+			fmt.Print(out.Text)
+		}
+		if *timings && out.Timing != "" {
+			fmt.Fprintf(os.Stderr, "%s %s\n", name, out.Timing)
+		}
 	}
 }

@@ -390,6 +390,10 @@ func (o oneShot) NextFailureAfter(cycle uint64) uint64 {
 	return power.NoFailure
 }
 
+func (o oneShot) Key() string { return "oneshot(" + o.inner.Key() + ")" }
+
+func (o oneShot) Clone() power.Schedule { return oneShot{o.inner.Clone()} }
+
 func TestStackOverflowDetected(t *testing.T) {
 	_, err := run(t, "_start:\n li sp, 0x20000\n nop\n ebreak\n", systems.KindVolatile, emu.Config{})
 	if err == nil || !strings.Contains(err.Error(), "stack pointer") {

@@ -18,6 +18,11 @@ type Report struct {
 	Note   string
 	Header []string
 	Rows   [][]string
+	// Timing is the harness timing summary of the regeneration (run count,
+	// cache hits, summed per-run wall time, total harness wall time). It
+	// varies run to run, so String and CSV deliberately exclude it: report
+	// output stays byte-identical across repeats and worker counts.
+	Timing string
 }
 
 // CSV renders the report in the comma-separated form the original
@@ -43,7 +48,8 @@ func (r *Report) CSV() string {
 	return b.String()
 }
 
-// String renders the report as an aligned text table.
+// String renders the report as an aligned text table. Rows may be ragged:
+// cells beyond the header get their own columns, short rows end early.
 func (r *Report) String() string {
 	widths := make([]int, len(r.Header))
 	for i, h := range r.Header {
@@ -51,7 +57,10 @@ func (r *Report) String() string {
 	}
 	for _, row := range r.Rows {
 		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
+			if i == len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
 				widths[i] = len(cell)
 			}
 		}
@@ -82,27 +91,6 @@ func (r *Report) String() string {
 	return b.String()
 }
 
-// runCache stores results of completed runs so experiments sharing
-// configurations (e.g. the volatile baselines) pay for them once.
-type runCache struct {
-	m map[string]emu.Result
-}
-
-func newRunCache() *runCache { return &runCache{m: make(map[string]emu.Result)} }
-
-func (rc *runCache) get(p *program.Program, kind systems.Kind, cfg RunConfig) (emu.Result, error) {
-	key := fmt.Sprintf("%s/%s/%d/%d/%v/%d", p.Name, kind, cfg.CacheSize, cfg.Ways, cfg.Schedule, cfg.ForcedCheckpointPeriod)
-	if res, ok := rc.m[key]; ok {
-		return res, nil
-	}
-	res, err := Run(p, kind, cfg)
-	if err != nil {
-		return res, err
-	}
-	rc.m[key] = res
-	return res, nil
-}
-
 func fmtRatio(v float64) string { return fmt.Sprintf("%.3f", v) }
 
 func fmtPct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
@@ -116,7 +104,10 @@ var fig5Systems = []systems.Kind{
 // Fig5 regenerates Figure 5: execution time for every benchmark and system,
 // 2-way caches of 256 B and 512 B, normalized to the fully volatile system.
 func Fig5(benchmarks []string) (*Report, error) {
-	rc := newRunCache()
+	return regenerate(func(rc *runCache) (*Report, error) { return fig5(rc, benchmarks) })
+}
+
+func fig5(rc *runCache, benchmarks []string) (*Report, error) {
 	rep := &Report{
 		Title:  "Figure 5: execution time normalized to a fully volatile system",
 		Note:   "2-way set-associative caches; Clank is cacheless and size-independent",
@@ -159,7 +150,10 @@ func Fig6Benchmarks() []string {
 // PROWL and NACHO at 256 B and 512 B (ReplayCache creates none without power
 // failures and is excluded, as in the paper).
 func Fig6(benchmarks []string) (*Report, error) {
-	rc := newRunCache()
+	return regenerate(func(rc *runCache) (*Report, error) { return fig6(rc, benchmarks) })
+}
+
+func fig6(rc *runCache, benchmarks []string) (*Report, error) {
 	rep := &Report{
 		Title:  "Figure 6: checkpoints created, normalized to Clank",
 		Note:   "ReplayCache excluded (no checkpoints without power failures)",
@@ -198,7 +192,10 @@ func Fig6(benchmarks []string) (*Report, error) {
 // Fig7 regenerates Figure 7: NVM byte transfers (reads+writes) normalized to
 // Clank; PROWL, ReplayCache and NACHO use a 512 B data cache.
 func Fig7(benchmarks []string) (*Report, error) {
-	rc := newRunCache()
+	return regenerate(func(rc *runCache) (*Report, error) { return fig7(rc, benchmarks) })
+}
+
+func fig7(rc *runCache, benchmarks []string) (*Report, error) {
 	rep := &Report{
 		Title:  "Figure 7: NVM byte transfers normalized to Clank (512 B caches)",
 		Header: []string{"benchmark", "clank(bytes)", "prowl", "replaycache", "nacho"},
@@ -237,7 +234,10 @@ var Table2OnDurationsMs = []float64{5, 10, 50, 100}
 // power failures, relative to failure-free NACHO, with a forward-progress
 // checkpoint at half the on-duration.
 func Table2(benchmarks []string) (*Report, error) {
-	rc := newRunCache()
+	return regenerate(func(rc *runCache) (*Report, error) { return table2(rc, benchmarks) })
+}
+
+func table2(rc *runCache, benchmarks []string) (*Report, error) {
 	rep := &Report{
 		Title:  "Table 2: NACHO re-execution overhead vs failure-free NACHO (512 B, 2-way, 50 MHz)",
 		Note:   "periodic power failures; forced checkpoint every on-duration/2",
@@ -284,7 +284,10 @@ func Table3Benchmarks() []string {
 // the possible-WAR detector alone (PW), stack tracking alone (ST), and the
 // complete system (N).
 func Table3(benchmarks []string) (*Report, error) {
-	rc := newRunCache()
+	return regenerate(func(rc *runCache) (*Report, error) { return table3(rc, benchmarks) })
+}
+
+func table3(rc *runCache, benchmarks []string) (*Report, error) {
 	rep := &Report{
 		Title:  "Table 3: reduction vs Naive NACHO (512 B, 2-way)",
 		Note:   "PW = possible-WAR detection only, ST = stack tracking only, N = NACHO",
@@ -344,7 +347,10 @@ func Table3(benchmarks []string) (*Report, error) {
 // Fig8 regenerates Figure 8: NACHO's design space — cache sizes 256/512/1024
 // bytes and 2/4 ways — normalized to the volatile system.
 func Fig8(benchmarks []string) (*Report, error) {
-	rc := newRunCache()
+	return regenerate(func(rc *runCache) (*Report, error) { return fig8(rc, benchmarks) })
+}
+
+func fig8(rc *runCache, benchmarks []string) (*Report, error) {
 	rep := &Report{
 		Title:  "Figure 8: NACHO cache design space, normalized to a fully volatile system",
 		Header: []string{"benchmark", "256B/2w", "512B/2w", "1024B/2w", "256B/4w", "512B/4w", "1024B/4w"},

@@ -23,6 +23,30 @@ func TestReportRendering(t *testing.T) {
 	}
 }
 
+// TestReportRaggedRows is the regression test for the ragged-row panic: the
+// width pass used to guard i < len(widths) but the render loop indexed
+// widths[i] unguarded, so any row wider than the header panicked String.
+func TestReportRaggedRows(t *testing.T) {
+	rep := &harness.Report{
+		Title:  "ragged",
+		Header: []string{"only"},
+		Rows:   [][]string{{"a", "beyond", "the-header"}, {}, {"b"}},
+	}
+	s := rep.String()
+	for _, want := range []string{"only", "beyond", "the-header"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String dropped cell %q:\n%s", want, s)
+		}
+	}
+	csv := rep.CSV()
+	if !strings.Contains(csv, "a,beyond,the-header") {
+		t.Errorf("CSV dropped wide row: %q", csv)
+	}
+	if len(strings.Split(strings.TrimSuffix(csv, "\n"), "\n")) != 4 {
+		t.Errorf("CSV row count wrong: %q", csv)
+	}
+}
+
 func TestFig5ShapeProperties(t *testing.T) {
 	// One benchmark keeps the test fast; the shape assertions are the
 	// paper's headline claims.

@@ -22,6 +22,10 @@ var extThresholds = []int{0, 8, 16, 32, 64}
 // checkpoints for a bound on any single checkpoint's size (capacitor
 // sizing).
 func ExtAdaptive(benchmarks []string) (*Report, error) {
+	return regenerate(func(rc *runCache) (*Report, error) { return extAdaptive(rc, benchmarks) })
+}
+
+func extAdaptive(rc *runCache, benchmarks []string) (*Report, error) {
 	rep := &Report{
 		Title:  "Extension (Section 8): adaptive checkpointing — dirty-line threshold sweep (NACHO, 512 B, 2-way)",
 		Note:   "threshold 0 = policy off; max-ckpt bounds the energy any one checkpoint needs",
@@ -35,7 +39,7 @@ func ExtAdaptive(benchmarks []string) (*Report, error) {
 		for _, th := range extThresholds {
 			cfg := DefaultRunConfig()
 			cfg.DirtyThreshold = th
-			res, err := Run(p, systems.KindNACHO, cfg)
+			res, err := rc.get(p, systems.KindNACHO, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -55,6 +59,10 @@ func ExtAdaptive(benchmarks []string) (*Report, error) {
 // including NACHO under energy prediction (single-buffered checkpoints,
 // halving checkpoint NVM writes).
 func ExtEnergy(benchmarks []string) (*Report, error) {
+	return regenerate(func(rc *runCache) (*Report, error) { return extEnergy(rc, benchmarks) })
+}
+
+func extEnergy(rc *runCache, benchmarks []string) (*Report, error) {
 	model := energy.DefaultModel()
 	rep := &Report{
 		Title: "Extension (Section 8): rough energy model (uJ per run; normalized to volatile)",
@@ -68,14 +76,14 @@ func ExtEnergy(benchmarks []string) (*Report, error) {
 		if !ok {
 			return nil, fmt.Errorf("unknown benchmark %q", name)
 		}
-		base, err := Run(p, systems.KindVolatile, DefaultRunConfig())
+		base, err := rc.get(p, systems.KindVolatile, DefaultRunConfig())
 		if err != nil {
 			return nil, err
 		}
 		baseUJ := model.Estimate(base.Counters).TotalUJ()
 		row := []string{name, fmt.Sprintf("%.1f", baseUJ)}
 		for _, kind := range kinds {
-			res, err := Run(p, kind, DefaultRunConfig())
+			res, err := rc.get(p, kind, DefaultRunConfig())
 			if err != nil {
 				return nil, err
 			}
@@ -83,7 +91,7 @@ func ExtEnergy(benchmarks []string) (*Report, error) {
 		}
 		cfg := DefaultRunConfig()
 		cfg.EnergyPrediction = true
-		res, err := Run(p, systems.KindNACHO, cfg)
+		res, err := rc.get(p, systems.KindNACHO, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -96,6 +104,10 @@ func ExtEnergy(benchmarks []string) (*Report, error) {
 // ExtWriteThrough compares NACHO's write-back design against the
 // write-through cache model of Section 8's limitations discussion.
 func ExtWriteThrough(benchmarks []string) (*Report, error) {
+	return regenerate(func(rc *runCache) (*Report, error) { return extWriteThrough(rc, benchmarks) })
+}
+
+func extWriteThrough(rc *runCache, benchmarks []string) (*Report, error) {
 	rep := &Report{
 		Title:  "Extension (Section 8): write-back NACHO vs a write-through cache with exact WAR tracking (512 B, 2-way)",
 		Header: []string{"benchmark", "system", "cycles", "checkpoints", "nvm-writes(B)", "hit-rate"},
@@ -106,7 +118,7 @@ func ExtWriteThrough(benchmarks []string) (*Report, error) {
 			return nil, fmt.Errorf("unknown benchmark %q", name)
 		}
 		for _, kind := range []systems.Kind{systems.KindNACHO, systems.KindWriteThrough} {
-			res, err := Run(p, kind, DefaultRunConfig())
+			res, err := rc.get(p, kind, DefaultRunConfig())
 			if err != nil {
 				return nil, err
 			}
@@ -127,6 +139,10 @@ func ExtWriteThrough(benchmarks []string) (*Report, error) {
 // paper's 50 ms and 100 ms on-durations a meaningful number of failures (the
 // standard benchmarks finish in 10-40 ms — see EXPERIMENTS.md).
 func ExtTable2Long() (*Report, error) {
+	return regenerate(extTable2Long)
+}
+
+func extTable2Long(rc *runCache) (*Report, error) {
 	benchmarks := []string{"coremark-long", "picojpeg-long", "aes-long", "sha-long", "adpcm-long"}
 	rep := &Report{
 		Title:  "Extension: Table 2 on the scaled -long benchmarks (NACHO, 512 B, 2-way)",
@@ -140,7 +156,7 @@ func ExtTable2Long() (*Report, error) {
 		if !ok {
 			return nil, fmt.Errorf("unknown benchmark %q", name)
 		}
-		res, err := Run(p, systems.KindNACHO, DefaultRunConfig())
+		res, err := rc.get(p, systems.KindNACHO, DefaultRunConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -154,7 +170,7 @@ func ExtTable2Long() (*Report, error) {
 			period := cost.CyclesForMillis(ms)
 			cfg.Schedule = power.Periodic{Period: period}
 			cfg.ForcedCheckpointPeriod = period / 2
-			res, err := Run(p, systems.KindNACHO, cfg)
+			res, err := rc.get(p, systems.KindNACHO, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -171,6 +187,10 @@ func ExtTable2Long() (*Report, error) {
 // exact-address detector — every extra unsafe eviction is a false positive)
 // and reports the execution-time cost of the difference.
 func ExtFalsePositives(benchmarks []string) (*Report, error) {
+	return regenerate(func(rc *runCache) (*Report, error) { return extFalsePositives(rc, benchmarks) })
+}
+
+func extFalsePositives(rc *runCache, benchmarks []string) (*Report, error) {
 	rep := &Report{
 		Title:  "Extension: WAR-detection false positives — NACHO vs Oracle NACHO (2-way)",
 		Note:   "false positives = NACHO's unsafe evictions beyond the perfect detector's",
@@ -184,11 +204,11 @@ func ExtFalsePositives(benchmarks []string) (*Report, error) {
 		for _, size := range []int{256, 512} {
 			cfg := DefaultRunConfig()
 			cfg.CacheSize = size
-			oracle, err := Run(p, systems.KindOracleNACHO, cfg)
+			oracle, err := rc.get(p, systems.KindOracleNACHO, cfg)
 			if err != nil {
 				return nil, err
 			}
-			nacho, err := Run(p, systems.KindNACHO, cfg)
+			nacho, err := rc.get(p, systems.KindNACHO, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -211,6 +231,10 @@ func ExtFalsePositives(benchmarks []string) (*Report, error) {
 // nSeeds schedules with mean on-duration 5 ms and reports min/mean/max
 // overhead versus the failure-free run.
 func ExtSeedVariance(benchmarks []string) (*Report, error) {
+	return regenerate(func(rc *runCache) (*Report, error) { return extSeedVariance(rc, benchmarks) })
+}
+
+func extSeedVariance(rc *runCache, benchmarks []string) (*Report, error) {
 	const nSeeds = 8
 	rep := &Report{
 		Title:  "Extension: overhead variability over random power schedules (NACHO, 512 B, mean 5 ms on-duration)",
@@ -224,7 +248,7 @@ func ExtSeedVariance(benchmarks []string) (*Report, error) {
 		if !ok {
 			return nil, fmt.Errorf("unknown benchmark %q", name)
 		}
-		base, err := Run(p, systems.KindNACHO, DefaultRunConfig())
+		base, err := rc.get(p, systems.KindNACHO, DefaultRunConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -233,7 +257,7 @@ func ExtSeedVariance(benchmarks []string) (*Report, error) {
 			cfg := DefaultRunConfig()
 			cfg.Schedule = power.NewUniform(period/2, period*3/2, seed)
 			cfg.ForcedCheckpointPeriod = period / 2
-			res, err := Run(p, systems.KindNACHO, cfg)
+			res, err := rc.get(p, systems.KindNACHO, cfg)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,225 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nacho/internal/emu"
+	"nacho/internal/mem"
+	"nacho/internal/program"
+	"nacho/internal/systems"
+)
+
+// The experiment matrix is embarrassingly parallel: every run is an
+// independent deterministic simulation. This file fans a matrix out across a
+// bounded worker pool and funnels the results through a singleflight run
+// cache, so regenerating the paper's evaluation scales with the core count
+// while every report stays byte-identical to the sequential path.
+
+// workerCount is the pool size used by regenerate; 0 is replaced lazily by
+// runtime.NumCPU.
+var workerCount atomic.Int64
+
+// SetWorkers sets the number of worker goroutines used to regenerate
+// experiments and returns the previous setting. n <= 0 resets to
+// runtime.NumCPU(). 1 disables the pool entirely (fully sequential
+// execution). Reports are identical for every setting; only wall time
+// changes.
+func SetWorkers(n int) int {
+	if n <= 0 {
+		n = runtime.NumCPU()
+	}
+	prev := workerCount.Swap(int64(n))
+	if prev == 0 {
+		return runtime.NumCPU()
+	}
+	return int(prev)
+}
+
+// Workers reports the current worker-pool size.
+func Workers() int {
+	if n := workerCount.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.NumCPU()
+}
+
+// runKey is the structured cache identity of one run. It must cover every
+// RunConfig field that can influence the simulation result: the previous
+// fmt.Sprintf key formatted the Schedule interface with %v (lossy for
+// pointer schedules) and omitted DirtyThreshold, EnergyPrediction, Cost,
+// ForcedCheckpointMargin and MaxInstructions, so e.g. the dirty-threshold
+// sweep could alias every threshold to one stale cached result.
+type runKey struct {
+	prog                   string
+	kind                   systems.Kind
+	cacheSize              int
+	ways                   int
+	schedule               string // Schedule.Key(); "none" when nil
+	forcedCheckpointPeriod uint64
+	forcedCheckpointMargin uint64
+	maxInstructions        uint64
+	verify                 bool
+	cost                   mem.CostModel
+	dirtyThreshold         int
+	energyPrediction       bool
+}
+
+func keyFor(p *program.Program, kind systems.Kind, cfg RunConfig) runKey {
+	sched := "none"
+	if cfg.Schedule != nil {
+		sched = cfg.Schedule.Key()
+	}
+	return runKey{
+		prog:                   p.Name,
+		kind:                   kind,
+		cacheSize:              cfg.CacheSize,
+		ways:                   cfg.Ways,
+		schedule:               sched,
+		forcedCheckpointPeriod: cfg.ForcedCheckpointPeriod,
+		forcedCheckpointMargin: cfg.ForcedCheckpointMargin,
+		maxInstructions:        cfg.MaxInstructions,
+		verify:                 cfg.Verify,
+		cost:                   cfg.Cost,
+		dirtyThreshold:         cfg.DirtyThreshold,
+		energyPrediction:       cfg.EnergyPrediction,
+	}
+}
+
+// job is one cell of an experiment matrix.
+type job struct {
+	p    *program.Program
+	kind systems.Kind
+	cfg  RunConfig
+}
+
+// cacheEntry is a singleflight slot: the first getter runs the simulation,
+// later getters block on done and read the stored result.
+type cacheEntry struct {
+	done chan struct{}
+	res  emu.Result
+	err  error
+}
+
+// runCache deduplicates runs within one experiment so configurations shared
+// across rows (e.g. the Volatile normalizer) execute exactly once, even when
+// many workers request them concurrently. In collect mode it records the
+// requested jobs instead of running them (see regenerate).
+type runCache struct {
+	mu      sync.Mutex
+	entries map[runKey]*cacheEntry
+
+	collect bool
+	seen    map[runKey]bool
+	jobs    []job
+
+	runs    int           // simulations executed
+	hits    int           // cache hits, including singleflight waits
+	runTime time.Duration // summed per-run wall time across all workers
+}
+
+func newRunCache() *runCache {
+	return &runCache{entries: make(map[runKey]*cacheEntry), seen: make(map[runKey]bool)}
+}
+
+func (rc *runCache) get(p *program.Program, kind systems.Kind, cfg RunConfig) (emu.Result, error) {
+	if cfg.Trace != nil {
+		// Tracing is a side effect a cached result would swallow.
+		return Run(p, kind, cfg)
+	}
+	key := keyFor(p, kind, cfg)
+	if rc.collect {
+		rc.mu.Lock()
+		if !rc.seen[key] {
+			rc.seen[key] = true
+			rc.jobs = append(rc.jobs, job{p, kind, cfg})
+		}
+		rc.mu.Unlock()
+		return emu.Result{}, nil
+	}
+	rc.mu.Lock()
+	if e, ok := rc.entries[key]; ok {
+		rc.hits++
+		rc.mu.Unlock()
+		<-e.done
+		return e.res, e.err
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	rc.entries[key] = e
+	rc.runs++
+	rc.mu.Unlock()
+
+	start := time.Now()
+	e.res, e.err = Run(p, kind, cfg)
+	dur := time.Since(start)
+	close(e.done)
+
+	rc.mu.Lock()
+	rc.runTime += dur
+	rc.mu.Unlock()
+	return e.res, e.err
+}
+
+// prewarm executes jobs across nWorkers goroutines. Run errors are not
+// returned here: they stay in the cache and resurface — on the same run, in
+// deterministic order — during the sequential assembly pass.
+func (rc *runCache) prewarm(jobs []job, nWorkers int) {
+	if nWorkers > len(jobs) {
+		nWorkers = len(jobs)
+	}
+	if nWorkers < 1 {
+		return
+	}
+	ch := make(chan job)
+	var wg sync.WaitGroup
+	for i := 0; i < nWorkers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				rc.get(j.p, j.kind, j.cfg)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// regenerate runs one experiment builder against a fresh run cache. With
+// more than one worker configured it first invokes the builder in collect
+// mode to enumerate the run matrix, fans the matrix out across the pool, and
+// then replays the builder against the warm cache — so row assembly (and
+// therefore the report) is always in deterministic sequential order, no
+// matter in which order the workers finish. The builder must request the
+// same runs on both passes; every builder in this package does, because the
+// matrix depends only on the benchmark list, never on run results.
+func regenerate(build func(rc *runCache) (*Report, error)) (*Report, error) {
+	start := time.Now()
+	nWorkers := Workers()
+	rc := newRunCache()
+	if nWorkers > 1 {
+		dry := newRunCache()
+		dry.collect = true
+		if _, err := build(dry); err == nil {
+			rc.prewarm(dry.jobs, nWorkers)
+		}
+		// On a dry-pass error (e.g. an unknown benchmark) nothing is
+		// prewarmed; the sequential pass reports the error at the same
+		// deterministic point as a single-worker run.
+	}
+	rep, err := build(rc)
+	if err != nil {
+		return nil, err
+	}
+	rc.mu.Lock()
+	rep.Timing = fmt.Sprintf("timing: %d runs (%d cache hits), %v simulated across %d workers, %v harness wall time",
+		rc.runs, rc.hits, rc.runTime.Round(time.Millisecond), nWorkers, time.Since(start).Round(time.Millisecond))
+	rc.mu.Unlock()
+	return rep, nil
+}

@@ -1,0 +1,146 @@
+package harness
+
+import (
+	"sync"
+	"testing"
+
+	"nacho/internal/power"
+	"nacho/internal/program"
+	"nacho/internal/systems"
+)
+
+// TestRunKeyCoversAllResultAffectingFields is the regression net for the old
+// fmt.Sprintf cache key, which silently omitted half of RunConfig: every
+// field that can change a simulation result must change the key.
+func TestRunKeyCoversAllResultAffectingFields(t *testing.T) {
+	p, ok := program.ByName("crc")
+	if !ok {
+		t.Fatal("crc benchmark missing")
+	}
+	base := keyFor(p, systems.KindNACHO, DefaultRunConfig())
+	muts := []struct {
+		name string
+		f    func(*RunConfig)
+	}{
+		{"CacheSize", func(c *RunConfig) { c.CacheSize = 1024 }},
+		{"Ways", func(c *RunConfig) { c.Ways = 4 }},
+		{"Schedule", func(c *RunConfig) { c.Schedule = power.Periodic{Period: 1000} }},
+		{"ForcedCheckpointPeriod", func(c *RunConfig) { c.ForcedCheckpointPeriod = 500 }},
+		{"ForcedCheckpointMargin", func(c *RunConfig) { c.ForcedCheckpointMargin = 64 }},
+		{"MaxInstructions", func(c *RunConfig) { c.MaxInstructions = 1 << 20 }},
+		{"Verify", func(c *RunConfig) { c.Verify = false }},
+		{"Cost", func(c *RunConfig) { c.Cost.NVMCycles = 9 }},
+		{"DirtyThreshold", func(c *RunConfig) { c.DirtyThreshold = 8 }},
+		{"EnergyPrediction", func(c *RunConfig) { c.EnergyPrediction = true }},
+	}
+	for _, m := range muts {
+		cfg := DefaultRunConfig()
+		m.f(&cfg)
+		if keyFor(p, systems.KindNACHO, cfg) == base {
+			t.Errorf("RunConfig.%s does not contribute to the cache key", m.name)
+		}
+	}
+	if keyFor(p, systems.KindClank, DefaultRunConfig()) == base {
+		t.Error("system kind does not contribute to the cache key")
+	}
+	if q, ok := program.ByName("sha"); ok {
+		if keyFor(q, systems.KindNACHO, DefaultRunConfig()) == base {
+			t.Error("benchmark does not contribute to the cache key")
+		}
+	}
+}
+
+// TestRunKeyScheduleIdentity checks the Schedule.Key contract end to end:
+// pointer schedules with equal parameters share a key (the old %v key never
+// matched them, defeating the cache), while any parameter difference —
+// notably the seed, which the X6 variance experiment sweeps — splits it.
+func TestRunKeyScheduleIdentity(t *testing.T) {
+	p, _ := program.ByName("crc")
+	withSched := func(s power.Schedule) runKey {
+		cfg := DefaultRunConfig()
+		cfg.Schedule = s
+		return keyFor(p, systems.KindNACHO, cfg)
+	}
+	if withSched(power.NewUniform(10, 50, 1)) != withSched(power.NewUniform(10, 50, 1)) {
+		t.Error("equal-parameter Uniform schedules got distinct keys (pointer identity leaked)")
+	}
+	if withSched(power.NewUniform(10, 50, 1)) == withSched(power.NewUniform(10, 50, 2)) {
+		t.Error("seed does not contribute to the cache key")
+	}
+	if withSched(power.Periodic{Period: 100}) == withSched(power.Periodic{Period: 200}) {
+		t.Error("period does not contribute to the cache key")
+	}
+	if withSched(power.Periodic{Period: 100}) == withSched(power.NewAt(100)) {
+		t.Error("schedule type does not contribute to the cache key")
+	}
+}
+
+// TestRunCacheDirtyThresholdRegression reproduces the original bug: two
+// configs differing only in DirtyThreshold used to share one cache entry, so
+// the X1 threshold sweep could read a stale result. They must run
+// separately, and identical configs must still hit.
+func TestRunCacheDirtyThresholdRegression(t *testing.T) {
+	rc := newRunCache()
+	p, ok := program.ByName("quicksort")
+	if !ok {
+		t.Fatal("quicksort benchmark missing")
+	}
+	plain, err := rc.get(p, systems.KindNACHO, DefaultRunConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultRunConfig()
+	cfg.DirtyThreshold = 8
+	adaptive, err := rc.get(p, systems.KindNACHO, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.runs != 2 {
+		t.Fatalf("configs differing only in DirtyThreshold aliased to %d cache entries", rc.runs)
+	}
+	if adaptive.Counters == plain.Counters {
+		t.Error("adaptive run returned the plain run's counters (stale cache result)")
+	}
+	if _, err := rc.get(p, systems.KindNACHO, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if rc.runs != 2 || rc.hits != 1 {
+		t.Errorf("identical config re-ran: %d runs, %d hits", rc.runs, rc.hits)
+	}
+}
+
+// TestRunCacheSingleflight issues the same run from many goroutines at once;
+// exactly one simulation may execute, with every other caller blocking on
+// and sharing its result.
+func TestRunCacheSingleflight(t *testing.T) {
+	rc := newRunCache()
+	p, _ := program.ByName("crc")
+	const callers = 8
+	results := make([]uint64, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := rc.get(p, systems.KindVolatile, DefaultRunConfig())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res.Counters.Cycles
+		}()
+	}
+	wg.Wait()
+	if rc.runs != 1 {
+		t.Errorf("singleflight executed %d simulations for one key", rc.runs)
+	}
+	if rc.hits != callers-1 {
+		t.Errorf("hits = %d, want %d", rc.hits, callers-1)
+	}
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d saw %d cycles, caller 0 saw %d", i, results[i], results[0])
+		}
+	}
+}

@@ -99,8 +99,16 @@ func RunImage(img *program.Image, kind systems.Kind, cfg RunConfig, checkGolden 
 		systems.AttachVerifier(sys, ver)
 	}
 
+	// A stateful schedule (a seeded rand.Rand) would mutate across runs and
+	// race across goroutines; the clone confines the run's RNG position to
+	// this machine, so one RunConfig value can be shared freely.
+	sched := cfg.Schedule
+	if sched != nil {
+		sched = sched.Clone()
+	}
+
 	machine := emu.New(sys, img.Text, program.TextBase, img.Entry, program.StackTop, emu.Config{
-		Schedule:               cfg.Schedule,
+		Schedule:               sched,
 		ForcedCheckpointPeriod: cfg.ForcedCheckpointPeriod,
 		ForcedCheckpointMargin: cfg.ForcedCheckpointMargin,
 		MaxInstructions:        cfg.MaxInstructions,

@@ -5,8 +5,10 @@
 package power
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 )
 
 // NoFailure is the sentinel returned by schedules that never fail.
@@ -20,6 +22,19 @@ type Schedule interface {
 	// NextFailureAfter returns the cycle of the first failure strictly after
 	// the given cycle, or NoFailure.
 	NextFailureAfter(cycle uint64) uint64
+
+	// Key returns a stable identity of the schedule's parameters. Two
+	// schedules with equal keys must produce identical failure sequences; the
+	// experiment harness uses the key to decide whether two runs may share a
+	// cached result, so a lossy key silently aliases distinct experiments.
+	Key() string
+
+	// Clone returns an independent schedule that replays the same failure
+	// sequence from cycle 0. Stateless schedules may return themselves;
+	// stateful ones (seeded RNGs) must return a fresh value so that reusing
+	// one schedule value across runs — sequentially or concurrently — neither
+	// mutates shared state nor depends on run order.
+	Clone() Schedule
 }
 
 // None is the always-on power supply used for the failure-free experiments
@@ -28,6 +43,12 @@ type None struct{}
 
 // NextFailureAfter always reports that no failure will occur.
 func (None) NextFailureAfter(uint64) uint64 { return NoFailure }
+
+// Key identifies the always-on supply.
+func (None) Key() string { return "none" }
+
+// Clone returns the schedule itself; None is stateless.
+func (n None) Clone() Schedule { return n }
 
 // Periodic fails every Period active cycles: at Period, 2*Period, ...
 // It reproduces the paper's fixed on-durations of 5/10/50/100 ms.
@@ -42,6 +63,12 @@ func (p Periodic) NextFailureAfter(cycle uint64) uint64 {
 	}
 	return (cycle/p.Period + 1) * p.Period
 }
+
+// Key identifies the schedule by its period.
+func (p Periodic) Key() string { return fmt.Sprintf("periodic(%d)", p.Period) }
+
+// Clone returns the schedule itself; Periodic is stateless.
+func (p Periodic) Clone() Schedule { return p }
 
 // Uniform draws i.i.d. on-durations uniformly from [Min, Max] cycles using a
 // deterministic seed, modelling the harvested-energy variability described in
@@ -95,6 +122,14 @@ func (u *Uniform) NextFailureAfter(cycle uint64) uint64 {
 	return u.next
 }
 
+// Key identifies the schedule by its bounds and seed; the drawn sequence is a
+// pure function of all three.
+func (u *Uniform) Key() string { return fmt.Sprintf("uniform(%d,%d,%d)", u.Min, u.Max, u.Seed) }
+
+// Clone returns a fresh schedule replaying the same seeded sequence from
+// cycle 0, leaving the original's RNG position untouched.
+func (u *Uniform) Clone() Schedule { return NewUniform(u.Min, u.Max, u.Seed) }
+
 // At fails at exactly the given active-time instants (sorted internally).
 // It is the precision tool of the incorruptibility sweeps: tests place a
 // failure at every individual cycle of a program.
@@ -118,3 +153,21 @@ func (a At) NextFailureAfter(cycle uint64) uint64 {
 	}
 	return a.instants[i]
 }
+
+// Key identifies the schedule by its sorted instants.
+func (a At) Key() string {
+	var b strings.Builder
+	b.WriteString("at(")
+	for i, x := range a.instants {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", x)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Clone returns the schedule itself; the instants are never mutated after
+// NewAt.
+func (a At) Clone() Schedule { return a }

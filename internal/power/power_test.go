@@ -83,3 +83,78 @@ func TestAtSchedule(t *testing.T) {
 		t.Error("empty At schedule fired")
 	}
 }
+
+func TestScheduleKeys(t *testing.T) {
+	keys := []string{
+		None{}.Key(),
+		Periodic{Period: 100}.Key(),
+		Periodic{Period: 200}.Key(),
+		NewUniform(10, 50, 1).Key(),
+		NewUniform(10, 50, 2).Key(),
+		NewUniform(10, 51, 1).Key(),
+		NewUniform(11, 50, 1).Key(),
+		NewAt(5, 10).Key(),
+		NewAt(5, 11).Key(),
+	}
+	seen := map[string]int{}
+	for i, k := range keys {
+		if j, dup := seen[k]; dup {
+			t.Errorf("schedules %d and %d share key %q", j, i, k)
+		}
+		seen[k] = i
+	}
+	if NewUniform(10, 50, 1).Key() != NewUniform(10, 50, 1).Key() {
+		t.Error("equal-parameter Uniform schedules have distinct keys")
+	}
+	if NewAt(10, 5).Key() != NewAt(5, 10).Key() {
+		t.Error("At key depends on argument order, not the failure sequence")
+	}
+}
+
+func TestUniformCloneReplaysFromStart(t *testing.T) {
+	orig := NewUniform(10, 50, 42)
+	var seq []uint64
+	var cycle uint64
+	for i := 0; i < 5; i++ {
+		cycle = orig.NextFailureAfter(cycle)
+		seq = append(seq, cycle)
+	}
+
+	clone := orig.Clone()
+	var c uint64
+	for i := 0; i < 5; i++ {
+		c = clone.NextFailureAfter(c)
+		if c != seq[i] {
+			t.Fatalf("clone step %d = %d, want %d", i, c, seq[i])
+		}
+	}
+
+	// Advancing the clone must not have perturbed the original: its next
+	// answers track a reference schedule advanced identically.
+	ref := NewUniform(10, 50, 42)
+	rc := uint64(0)
+	for i := 0; i < 5; i++ {
+		rc = ref.NextFailureAfter(rc)
+	}
+	for i := 0; i < 5; i++ {
+		cycle = orig.NextFailureAfter(cycle)
+		rc = ref.NextFailureAfter(rc)
+		if cycle != rc {
+			t.Fatalf("original diverged after clone use: %d vs %d", cycle, rc)
+		}
+	}
+}
+
+func TestStatelessClonesAreIdentities(t *testing.T) {
+	if _, ok := (None{}).Clone().(None); !ok {
+		t.Error("None.Clone changed type")
+	}
+	p := Periodic{Period: 7}
+	if p.Clone() != Schedule(p) {
+		t.Error("Periodic.Clone changed value")
+	}
+	a := NewAt(3, 9)
+	if a.Clone().NextFailureAfter(0) != 3 {
+		t.Error("At.Clone lost instants")
+	}
+}

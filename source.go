@@ -108,6 +108,42 @@ func experimentReport(name string, benchmarks []string) (*harness.Report, error)
 	return nil, fmt.Errorf("nacho: unknown experiment %q", name)
 }
 
+// ExperimentOutput is one regenerated table or figure in both render forms,
+// plus the harness timing summary of the regeneration.
+type ExperimentOutput struct {
+	// Text is the aligned text table, CSV the comma-separated form the
+	// original artifact's scripts log (Appendix A.6). Both are byte-identical
+	// across repeats and parallelism settings.
+	Text string
+	CSV  string
+	// Timing summarizes the regeneration: simulations run, cache hits,
+	// summed per-run wall time across all workers, and total harness wall
+	// time (their ratio is the parallel speedup). It varies run to run and is
+	// never part of Text or CSV.
+	Timing string
+}
+
+// RunExperiment regenerates one of the paper's tables or figures, fanning
+// the run matrix across Parallelism() workers. Valid names are listed by
+// ExperimentNames. benchmarks narrows the benchmark set; nil means the
+// experiment's paper-default set.
+func RunExperiment(name string, benchmarks []string) (*ExperimentOutput, error) {
+	rep, err := experimentReport(name, benchmarks)
+	if err != nil {
+		return nil, err
+	}
+	return &ExperimentOutput{Text: rep.String(), CSV: rep.CSV(), Timing: rep.Timing}, nil
+}
+
+// SetParallelism sets the number of worker goroutines experiment
+// regeneration uses and returns the previous setting. n <= 0 resets to
+// runtime.NumCPU(); 1 runs fully sequentially. Every report is
+// byte-identical regardless of the setting; only wall time changes.
+func SetParallelism(n int) int { return harness.SetWorkers(n) }
+
+// Parallelism reports the current experiment worker count.
+func Parallelism() int { return harness.Workers() }
+
 // Experiment regenerates one of the paper's tables or figures as a text
 // report. Valid names are listed by ExperimentNames. benchmarks narrows the
 // benchmark set; nil means the experiment's paper-default set.
