@@ -19,6 +19,10 @@ fi
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/harness/...
+go test -race ./internal/harness/... ./internal/core/ ./internal/systems/
+
+# Benchmark smoke: the probe hot paths must at least run. One iteration is
+# enough to catch a broken benchmark; timing regressions are judged manually.
+go test -bench=. -benchtime=1x ./internal/cache/ ./internal/track/
 
 echo "ci.sh: all checks passed"

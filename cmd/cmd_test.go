@@ -60,6 +60,16 @@ func TestNachosimEndToEnd(t *testing.T) {
 		t.Errorf("intermittent output missing failures:\n%s", out)
 	}
 
+	out, err = run(t, bin, "-bench", "crc", "-probe-stats", "-onduration", "1")
+	if err != nil {
+		t.Fatalf("-probe-stats: %v\n%s", err, out)
+	}
+	for _, want := range []string{"checkpoint intervals", "closed by", "power-failure", "verdicts"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-probe-stats output missing %q:\n%s", want, out)
+		}
+	}
+
 	if out, err = run(t, bin, "-bench", "bogus"); err == nil {
 		t.Errorf("unknown benchmark accepted:\n%s", out)
 	}

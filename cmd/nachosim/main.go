@@ -30,6 +30,7 @@ func main() {
 		noVerify   = flag.Bool("noverify", false, "disable shadow-memory and WAR verification")
 		trace      = flag.String("trace", "", "write a per-instruction execution trace to this file")
 		threshold  = flag.Int("dirty-threshold", 0, "adaptive checkpointing threshold (0 = off)")
+		probeStats = flag.Bool("probe-stats", false, "collect and print per-checkpoint-interval statistics")
 		energyPred = flag.Bool("energy-prediction", false, "single-buffered checkpoints under guaranteed energy")
 		list       = flag.Bool("list", false, "list benchmarks and systems, then exit")
 		runFile    = flag.String("run", "", "assemble and run a user RV32IM .s file instead of a benchmark")
@@ -60,6 +61,7 @@ func main() {
 		DisableVerify:    *noVerify,
 		DirtyThreshold:   *threshold,
 		EnergyPrediction: *energyPred,
+		ProbeStats:       *probeStats,
 	}
 	if *trace != "" {
 		f, err := os.Create(*trace)
@@ -115,6 +117,41 @@ func main() {
 	if len(res.Output) > 0 {
 		fmt.Printf("output           %q\n", res.Output)
 	}
+	if res.ProbeStats != nil {
+		printProbeStats(res.ProbeStats)
+	}
+}
+
+// maxIntervalRows bounds the per-interval table; longer runs keep the totals
+// and note how many rows were elided.
+const maxIntervalRows = 32
+
+func printProbeStats(ps *nacho.ProbeStats) {
+	fmt.Printf("\ncheckpoint intervals (%d", len(ps.Intervals))
+	if ps.Dropped > 0 {
+		fmt.Printf(" stored, %d more in totals only", ps.Dropped)
+	}
+	fmt.Printf("):\n")
+	fmt.Printf("  %-5s %12s %12s %10s %10s %6s %6s %6s  %s\n",
+		"#", "start", "cycles", "nvm-rd-B", "nvm-wr-B", "safe", "unsafe", "lines", "closed by")
+	for i, iv := range ps.Intervals {
+		if i == maxIntervalRows {
+			fmt.Printf("  ... %d more intervals\n", len(ps.Intervals)-maxIntervalRows)
+			break
+		}
+		closedBy := iv.Kind
+		if iv.PowerFailure {
+			closedBy = "power-failure"
+		}
+		fmt.Printf("  %-5d %12d %12d %10d %10d %6d %6d %6d  %s\n",
+			i, iv.StartCycle, iv.EndCycle-iv.StartCycle,
+			iv.NVMReadBytes, iv.NVMWriteBytes,
+			iv.WriteBacks.Safe, iv.WriteBacks.Unsafe, iv.CheckpointLines, closedBy)
+	}
+	w := ps.TotalWriteBacks
+	fmt.Printf("interval totals  %d B read, %d B written\n", ps.TotalNVMReadBytes, ps.TotalNVMWriteBytes)
+	fmt.Printf("verdicts         %d safe, %d unsafe, %d dropped-stack, %d write-through, %d async\n",
+		w.Safe, w.Unsafe, w.DroppedStack, w.WriteThrough, w.Async)
 }
 
 func fatal(err error) {

@@ -9,7 +9,11 @@
 // data based on a hash of the memory address").
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"nacho/internal/sim"
+)
 
 // LineSize is the cache line size in bytes (fixed at four, paper Section 5.3).
 const LineSize = 4
@@ -34,6 +38,7 @@ type Cache struct {
 	ways    int
 	numSets int
 	stamp   uint64
+	probe   sim.Probe
 }
 
 // New creates a cache of sizeBytes capacity and the given associativity.
@@ -127,12 +132,18 @@ func (c *Cache) Touch(l *Line) {
 	l.lru = c.stamp
 }
 
+// AttachProbe wires an observer for line fills (nil detaches).
+func (c *Cache) AttachProbe(p sim.Probe) { c.probe = p }
+
 // Install points the line at addr's word. Metadata bits are left for the
 // controller to manage; the line becomes valid and most recently used.
 func (c *Cache) Install(l *Line, addr uint32) {
 	l.Valid = true
 	l.Tag = addr >> 2
 	c.Touch(l)
+	if c.probe != nil {
+		c.probe.OnLineFill(sim.FillEvent{Addr: addr &^ 3})
+	}
 }
 
 // ForEach visits every line (checkpoint flush walks).

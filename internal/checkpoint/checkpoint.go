@@ -41,6 +41,7 @@ type Store struct {
 	base     uint32
 	maxLines int
 	seq      uint32 // next sequence number to commit
+	probe    sim.Probe
 }
 
 // NewStore lays out a checkpoint area at base for up to maxLines dirty lines
@@ -49,6 +50,11 @@ type Store struct {
 func NewStore(nvm *mem.NVM, base uint32, maxLines int) *Store {
 	return &Store{nvm: nvm, base: base, maxLines: maxLines, seq: 1}
 }
+
+// AttachProbe wires an observer for checkpoint-begin events (nil detaches).
+// Commit events are emitted by the owning system's onCommit callback, which
+// knows the checkpoint's cause; the store only knows when staging starts.
+func (s *Store) AttachProbe(p sim.Probe) { s.probe = p }
 
 // slotWords is the size of one slot in words.
 func (s *Store) slotWords() uint32 { return offLines + 2*uint32(s.maxLines) }
@@ -100,6 +106,9 @@ func (s *Store) Checkpoint(snap sim.Snapshot, lines []Line, onCommit func()) {
 	if len(lines) > s.maxLines {
 		panic(fmt.Sprintf("checkpoint: %d lines exceeds capacity %d", len(lines), s.maxLines))
 	}
+	if s.probe != nil {
+		s.probe.OnCheckpointBegin(sim.CheckpointEvent{Cycle: s.nvm.Now(), Lines: len(lines)})
+	}
 	slot := s.inactiveSlot()
 
 	// Stage phase: invisible until commit.
@@ -138,6 +147,9 @@ func (s *Store) Checkpoint(snap sim.Snapshot, lines []Line, onCommit func()) {
 func (s *Store) CheckpointSingleBuffered(snap sim.Snapshot, lines []Line, onCommit func()) {
 	if len(lines) > s.maxLines {
 		panic(fmt.Sprintf("checkpoint: %d lines exceeds capacity %d", len(lines), s.maxLines))
+	}
+	if s.probe != nil {
+		s.probe.OnCheckpointBegin(sim.CheckpointEvent{Cycle: s.nvm.Now(), Lines: len(lines)})
 	}
 	slot := 1 - s.inactiveSlot() // overwrite the active slot in place
 	for _, l := range lines {

@@ -22,7 +22,6 @@ import (
 	"nacho/internal/metrics"
 	"nacho/internal/sim"
 	"nacho/internal/track"
-	"nacho/internal/verify"
 )
 
 // WARMode selects how the controller decides whether a dirty write-back is
@@ -94,10 +93,10 @@ type Controller struct {
 	nvm   *mem.NVM
 	ckpt  *checkpoint.Store
 
-	clk  sim.Clock
-	regs sim.RegSource
-	c    *metrics.Counters
-	obs  *verify.Verifier
+	clk   sim.Clock
+	regs  sim.RegSource
+	c     *metrics.Counters
+	probe sim.Probe
 
 	tracker    *track.Tracker // exact mode only
 	sp         uint32
@@ -141,15 +140,22 @@ func (k *Controller) Attach(clk sim.Clock, regs sim.RegSource, c *metrics.Counte
 	k.ckpt.Init(regs.RegSnapshot())
 }
 
-// SetVerifier wires the optional correctness verifier (nil disables checks).
-func (k *Controller) SetVerifier(v *verify.Verifier) { k.obs = v }
+// AttachProbe implements sim.System: the observer sees the controller's
+// access, write-back, and checkpoint events plus the events of the components
+// it owns (cache fills, NVM traffic, checkpoint staging). nil detaches.
+func (k *Controller) AttachProbe(p sim.Probe) {
+	k.probe = p
+	k.cache.AttachProbe(p)
+	k.nvm.AttachProbe(p)
+	k.ckpt.AttachProbe(p)
+}
 
 // Cache exposes the underlying cache for white-box tests.
 func (k *Controller) Cache() *cache.Cache { return k.cache }
 
 // Load implements sim.System.
 func (k *Controller) Load(addr uint32, size int) uint32 {
-	line := k.access(addr, accessRead, size)
+	line, hit := k.access(addr, accessRead, size)
 	// Exact-mode tracking observes the access *after* the cache handled it:
 	// if the miss checkpointed, the interval reset and the in-flight read
 	// belongs to the new interval (it re-executes after a rollback to that
@@ -158,39 +164,53 @@ func (k *Controller) Load(addr uint32, size int) uint32 {
 		k.tracker.ObserveRead(addr, size)
 	}
 	k.clk.Advance(k.opts.Cost.HitCycles)
-	return line.ReadData(addr, size)
+	v := line.ReadData(addr, size)
+	if k.probe != nil {
+		k.probe.OnAccess(sim.AccessEvent{Cycle: k.clk.Now(), Addr: addr, Size: size, Value: v, Class: classOf(hit)})
+	}
+	return v
 }
 
 // Store implements sim.System.
 func (k *Controller) Store(addr uint32, size int, val uint32) {
-	line := k.access(addr, accessWrite, size)
+	line, hit := k.access(addr, accessWrite, size)
 	if k.tracker != nil {
 		k.tracker.ObserveWrite(addr, size)
 	}
 	k.clk.Advance(k.opts.Cost.HitCycles)
+	adaptive := false
 	if k.opts.DirtyThreshold > 0 && !line.Dirty {
 		k.dirtyCount++
-		if k.dirtyCount > k.opts.DirtyThreshold {
-			// Adaptive policy: flush before the dirty set grows beyond the
-			// configured energy budget. The current line is written after
-			// the flush, so it stays dirty in the new interval.
-			line.WriteData(addr, size, val)
-			line.Dirty = true
-			k.checkpoint(false)
-			k.c.AdaptiveCkpts++
-			return
-		}
+		adaptive = k.dirtyCount > k.opts.DirtyThreshold
 	}
 	line.WriteData(addr, size, val)
 	line.Dirty = true
+	if adaptive {
+		// Adaptive policy: flush before the dirty set grows beyond the
+		// configured energy budget. The dirty set (including this line)
+		// persists with the checkpoint and the new interval starts clean.
+		k.checkpoint(ckptAdaptive)
+		k.c.AdaptiveCkpts++
+	}
+	if k.probe != nil {
+		k.probe.OnAccess(sim.AccessEvent{Cycle: k.clk.Now(), Addr: addr, Size: size, Value: val, Store: true, Class: classOf(hit)})
+	}
+}
+
+// classOf maps a cache probe outcome to the access event class.
+func classOf(hit bool) sim.AccessClass {
+	if hit {
+		return sim.AccessHit
+	}
+	return sim.AccessMiss
 }
 
 // access is Algorithm 1's MemoryAccess procedure.
-func (k *Controller) access(addr uint32, t accessType, size int) *cache.Line {
+func (k *Controller) access(addr uint32, t accessType, size int) (*cache.Line, bool) {
 	line := k.cache.Probe(addr)
 	if line == nil {
 		k.c.CacheMisses++
-		return k.miss(addr, t, size)
+		return k.miss(addr, t, size), false
 	}
 	k.c.CacheHits++
 	if k.opts.WARMode == WARCacheBits && !line.PW && !line.RD && !line.Dirty {
@@ -198,7 +218,7 @@ func (k *Controller) access(addr uint32, t accessType, size int) *cache.Line {
 		k.updateLine(line, addr, t, size)
 	}
 	k.cache.Touch(line)
-	return line
+	return line, true
 }
 
 // miss is Algorithm 1's CacheMiss procedure.
@@ -217,19 +237,21 @@ func (k *Controller) miss(addr uint32, t accessType, size int) *cache.Line {
 			k.c.DroppedStackLines++
 			line.Dirty = false
 			k.noteClean()
+			k.emitWriteBack(victimAddr, sim.VerdictDroppedStack)
 		case k.unsafeWriteBack(line):
 			// Read-dominated write-back: checkpoint flushes every dirty
 			// line (including this one) and clears all WAR bits.
 			k.c.UnsafeEvictions++
-			k.checkpoint(false)
+			k.emitWriteBack(victimAddr, sim.VerdictUnsafe)
+			k.checkpoint(ckptEvict)
 		default:
 			// Write-dominated: safe to evict straight to NVM.
 			k.c.SafeEvictions++
 			k.c.Evictions++
 			k.nvm.Write(victimAddr, 4, line.Data)
-			k.obs.NVMWriteBack(victimAddr, 4)
 			line.Dirty = false
 			k.noteClean()
+			k.emitWriteBack(victimAddr, sim.VerdictSafe)
 		}
 	}
 	if k.opts.WARMode == WARCacheBits {
@@ -287,6 +309,13 @@ func (k *Controller) unsafeWriteBack(line *cache.Line) bool {
 	}
 }
 
+// emitWriteBack reports one dirty-victim verdict to the probe.
+func (k *Controller) emitWriteBack(addr uint32, v sim.Verdict) {
+	if k.probe != nil {
+		k.probe.OnWriteBack(sim.WriteBackEvent{Cycle: k.clk.Now(), Addr: addr, Size: 4, Verdict: v})
+	}
+}
+
 // noteClean maintains the adaptive policy's dirty-line count when a line
 // becomes clean outside a checkpoint.
 func (k *Controller) noteClean() {
@@ -302,14 +331,24 @@ func (k *Controller) inUnusedStack(addr uint32) bool {
 	return k.opts.StackTracking && addr >= k.spMin && addr < k.sp
 }
 
+// ckptCause records why a checkpoint was taken; it shapes the commit event.
+type ckptCause int
+
+const (
+	ckptEvict    ckptCause = iota // unsafe dirty eviction (Algorithm 1)
+	ckptForced                    // periodic forward-progress checkpoint
+	ckptAdaptive                  // dirty-threshold adaptive policy (Section 8)
+)
+
 // checkpoint is Algorithm 1's Checkpoint procedure: double-buffered flush of
 // all live dirty lines plus the register file, then clear every WAR bit.
-func (k *Controller) checkpoint(forced bool) {
+func (k *Controller) checkpoint(cause ckptCause) {
 	var lines []checkpoint.Line
 	k.cache.ForEach(func(l *cache.Line) {
 		if l.Valid && l.Dirty {
 			if k.inUnusedStack(l.Addr()) {
 				k.c.DroppedStackLines++
+				k.emitWriteBack(l.Addr(), sim.VerdictDroppedStack)
 				return
 			}
 			lines = append(lines, checkpoint.Line{Addr: l.Addr(), Data: l.Data})
@@ -326,19 +365,32 @@ func (k *Controller) checkpoint(forced bool) {
 	}
 	commit(k.regs.RegSnapshot(), lines, func() {
 		// At the commit instant this checkpoint becomes the reboot target:
-		// account it and move the verifier's rollback point, even if the
-		// redo phase is cut short by a power failure.
-		k.c.RecordInterval(k.clk.Now() - k.lastCommit)
-		k.lastCommit = k.clk.Now()
+		// account it and notify observers (the verifier moves its rollback
+		// point here), even if the redo phase is cut short by a power
+		// failure.
+		now := k.clk.Now()
+		interval := now - k.lastCommit
+		k.c.RecordInterval(interval)
+		k.lastCommit = now
 		k.c.Checkpoints++
 		k.c.CheckpointLines += uint64(len(lines))
 		if n := uint64(len(lines)); n > k.c.MaxCheckpointLines {
 			k.c.MaxCheckpointLines = n
 		}
-		if forced {
+		if cause == ckptForced {
 			k.c.ForcedCkpts++
 		}
-		k.obs.IntervalBoundary()
+		if k.probe != nil {
+			k.probe.OnCheckpointCommit(sim.CheckpointEvent{
+				Cycle:         now,
+				Kind:          sim.CheckpointCommit,
+				Lines:         len(lines),
+				Forced:        cause == ckptForced,
+				Adaptive:      cause == ckptAdaptive,
+				Interval:      interval,
+				IntervalValid: true,
+			})
+		}
 	})
 	k.cache.ForEach(func(l *cache.Line) {
 		l.Dirty, l.RD, l.PW = false, false, false
@@ -352,7 +404,7 @@ func (k *Controller) checkpoint(forced bool) {
 
 // ForceCheckpoint implements sim.System (periodic forward-progress
 // checkpoints during intermittent runs).
-func (k *Controller) ForceCheckpoint() { k.checkpoint(true) }
+func (k *Controller) ForceCheckpoint() { k.checkpoint(ckptForced) }
 
 // NotifySP implements sim.System: stack tracking keeps the minimum stack
 // pointer seen since the last checkpoint.

@@ -344,7 +344,9 @@ func TestNoFalseNegativesRandomStreams(t *testing.T) {
 		}
 		r := newRig(t, cacheSize, ways, WARCacheBits, rng.Intn(2) == 0)
 		ver := verify.New(r.nvm.Space(), verify.Config{RollbackOnFailure: true, CheckWAR: true})
-		r.k.SetVerifier(ver)
+		// The verifier is now a probe: the controller's access and write-back
+		// events feed it directly, no manual mirroring needed.
+		r.k.AttachProbe(ver)
 
 		// Stack discipline: the paper's stack-tracking optimization assumes a
 		// freshly (re)allocated slot is always written before it is read
@@ -388,8 +390,7 @@ func TestNoFalseNegativesRandomStreams(t *testing.T) {
 					addr &^= uint32(size - 1)
 				}
 				if isRead {
-					v := r.k.Load(addr, size)
-					ver.CPURead(addr, size, v)
+					r.k.Load(addr, size)
 				} else {
 					v := rng.Uint32()
 					switch size {
@@ -399,7 +400,6 @@ func TestNoFalseNegativesRandomStreams(t *testing.T) {
 						v &= 0xFFFF
 					}
 					r.k.Store(addr, size, v)
-					ver.CPUWrite(addr, size, v)
 				}
 			}
 		}

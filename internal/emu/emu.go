@@ -1,9 +1,9 @@
 // Package emu implements the RV32IM processor emulator: the role ICEmu plays
 // in the paper (Section 5.1). It executes programs instruction by
 // instruction against a pluggable memory system (sim.System), owns the
-// simulation clock and the power-failure schedule, duplicates every data
-// access into the correctness verifier, and runs the reboot/restore path
-// after each power failure.
+// simulation clock and the power-failure schedule, reports retired
+// instructions, MMIO accesses, power failures, and restores to the attached
+// sim.Probe, and runs the reboot/restore path after each power failure.
 //
 // Cost model (Section 5.2): every instruction retires in one base cycle —
 // the in-order single-issue E21-style pipeline — and data accesses add the
@@ -15,14 +15,12 @@ package emu
 import (
 	"errors"
 	"fmt"
-	"io"
 
 	"nacho/internal/isa"
 	"nacho/internal/mem"
 	"nacho/internal/metrics"
 	"nacho/internal/power"
 	"nacho/internal/sim"
-	"nacho/internal/verify"
 )
 
 // Memory-mapped I/O registers. Stores to these bypass the memory system.
@@ -50,13 +48,11 @@ type Config struct {
 	ForcedCheckpointMargin uint64
 	// MaxInstructions aborts runaway programs; 0 means a generous default.
 	MaxInstructions uint64
-	// Verifier, when non-nil, receives every CPU access (shadow memory) and
-	// power event. Systems additionally report write-backs to it.
-	Verifier *verify.Verifier
-	// Trace, when non-nil, receives one line per retired instruction
-	// (cycle, pc, disassembly) plus reboot markers — the debugging view
-	// ICEmu's plugins provide in the paper's setup.
-	Trace io.Writer
+	// Probe, when non-nil, receives the emulator's own events: instruction
+	// retirement, MMIO accesses, power failures, and restores. Attach the
+	// same probe to the memory system (sim.System.AttachProbe) to observe
+	// the full event stream of a run.
+	Probe sim.Probe
 }
 
 const defaultMaxInstructions = 2_000_000_000
@@ -83,7 +79,7 @@ type Machine struct {
 
 	sys   sim.System
 	sched power.Schedule
-	ver   *verify.Verifier
+	probe sim.Probe
 	cfg   Config
 
 	cycle       uint64
@@ -128,7 +124,7 @@ func New(sys sim.System, text []isa.Instr, textBase, entry, initialSP uint32, cf
 		initialSP: initialSP,
 		sys:       sys,
 		sched:     cfg.Schedule,
-		ver:       cfg.Verifier,
+		probe:     cfg.Probe,
 		cfg:       cfg,
 	}
 	m.resetToEntry()
@@ -235,13 +231,7 @@ func (m *Machine) Run() (Result, error) {
 		res.Result = m.results[len(m.results)-1]
 	}
 	res.Counters.Cycles = m.cycle
-	if runErr != nil {
-		return res, runErr
-	}
-	if m.ver != nil {
-		return res, m.ver.Err()
-	}
-	return res, nil
+	return res, runErr
 }
 
 // runSlice executes instructions until halt or the next power failure.
@@ -275,30 +265,28 @@ func (m *Machine) runSlice() (err error) {
 	return nil
 }
 
-// traceInstr emits one trace line for the in-flight instruction.
-func (m *Machine) traceInstr(in isa.Instr) {
-	fmt.Fprintf(m.cfg.Trace, "%10d  %08x  %v\n", m.cycle, m.pc, in)
-}
-
 // reboot runs the power-failure and restore path. Failures are disabled
 // while restoring: the device reboots only once its storage capacitor holds
 // enough energy for the restore sequence (the paper's forward-progress
 // assumption).
 func (m *Machine) reboot() {
-	if m.cfg.Trace != nil {
-		fmt.Fprintf(m.cfg.Trace, "%10d  -- power failure, rebooting --\n", m.cycle)
+	if m.probe != nil {
+		m.probe.OnPowerFailure(sim.PowerEvent{Cycle: m.cycle})
 	}
 	m.c.PowerFailures++
 	m.failEnabled = false
 	m.sys.PowerFailure()
-	m.ver.PowerFailure()
 	start := m.cycle
-	if snap, ok := m.sys.Restore(); ok {
+	snap, ok := m.sys.Restore()
+	if ok {
 		m.applySnapshot(snap)
 	} else {
 		m.resetToEntry()
 	}
 	m.c.RestoreCycles += m.cycle - start
+	if m.probe != nil {
+		m.probe.OnRestore(sim.RestoreEvent{Cycle: m.cycle, Cycles: m.cycle - start, OK: ok})
+	}
 	m.failEnabled = true
 	m.nextFailure = m.sched.NextFailureAfter(m.cycle)
 	if m.cfg.ForcedCheckpointPeriod > 0 {
@@ -332,19 +320,20 @@ func (m *Machine) setReg(r isa.Reg, v uint32) {
 	}
 }
 
-// load issues a data read through the memory system (or MMIO) and feeds the
-// shadow verifier with the raw zero-extended value.
+// load issues a data read through the memory system (or MMIO). Cacheable
+// accesses are reported by the serving system; only MMIO is emitted here.
 func (m *Machine) load(addr uint32, size int) (uint32, error) {
 	if err := mem.CheckAligned(addr, size); err != nil {
 		return 0, fmt.Errorf("emu: pc 0x%08x: %w", m.pc, err)
 	}
 	if addr >= MMIOBase && addr < MMIOBase+0x1000 {
 		m.Advance(1)
+		if m.probe != nil {
+			m.probe.OnAccess(sim.AccessEvent{Cycle: m.cycle, Addr: addr, Size: size, Class: sim.AccessMMIO})
+		}
 		return 0, nil
 	}
-	v := m.sys.Load(addr, size)
-	m.ver.CPURead(addr, size, v)
-	return v, nil
+	return m.sys.Load(addr, size), nil
 }
 
 func (m *Machine) store(addr uint32, size int, val uint32) error {
@@ -362,6 +351,9 @@ func (m *Machine) store(addr uint32, size int, val uint32) error {
 		case PutcharAddr:
 			m.output = append(m.output, byte(val))
 		}
+		if m.probe != nil {
+			m.probe.OnAccess(sim.AccessEvent{Cycle: m.cycle, Addr: addr, Size: size, Value: val, Store: true, Class: sim.AccessMMIO})
+		}
 		return nil
 	}
 	switch size {
@@ -371,6 +363,5 @@ func (m *Machine) store(addr uint32, size int, val uint32) error {
 		val &= 0xFFFF
 	}
 	m.sys.Store(addr, size, val)
-	m.ver.CPUWrite(addr, size, val)
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nacho/internal/isa"
+	"nacho/internal/sim"
 )
 
 // step executes one instruction. Effects are ordered so that a power failure
@@ -14,11 +15,15 @@ func (m *Machine) step() error {
 	if err != nil {
 		return err
 	}
-	if m.cfg.Trace != nil {
-		m.traceInstr(in)
-	}
+	issue := m.cycle
 	m.Advance(1) // base cycle (in-order single-issue pipeline)
 	m.c.Instructions++
+	if m.probe != nil {
+		// Cycle is the issue instant, matching the historical trace format;
+		// emission waits until the base cycle is charged so an instruction
+		// killed by a power failure in that cycle never appears retired.
+		m.probe.OnRetire(sim.RetireEvent{Cycle: issue, PC: m.pc, Instr: in})
+	}
 
 	rs1 := m.regs[in.Rs1]
 	rs2 := m.regs[in.Rs2]

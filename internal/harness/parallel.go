@@ -126,8 +126,8 @@ func newRunCache() *runCache {
 }
 
 func (rc *runCache) get(p *program.Program, kind systems.Kind, cfg RunConfig) (emu.Result, error) {
-	if cfg.Trace != nil {
-		// Tracing is a side effect a cached result would swallow.
+	if cfg.Trace != nil || cfg.Probe != nil {
+		// Tracing and probing are side effects a cached result would swallow.
 		return Run(p, kind, cfg)
 	}
 	key := keyFor(p, kind, cfg)

@@ -1,0 +1,179 @@
+package harness_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nacho/internal/energy"
+	"nacho/internal/harness"
+	"nacho/internal/power"
+	"nacho/internal/program"
+	"nacho/internal/sim"
+	"nacho/internal/systems"
+)
+
+// goldenBytes loads a pre-refactor report snapshot from testdata.
+func goldenBytes(t *testing.T, name string) string {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestReportsMatchPreRefactorGoldens is the probe refactor's byte-identity
+// regression gate: Figure 5 and Table 3 must render exactly the bytes the
+// pre-probe wiring produced (goldens generated at commit time with one
+// worker). The experiment runs execute with the verifier attached — as a
+// probe now, as a hardwired observer then — so any drift in event routing,
+// emission order, or cycle accounting shows up here.
+func TestReportsMatchPreRefactorGoldens(t *testing.T) {
+	prev := harness.SetWorkers(1)
+	defer harness.SetWorkers(prev)
+
+	fig5, err := harness.Fig5([]string{"crc", "sha", "towers"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fig5.String(), goldenBytes(t, "fig5_golden.txt"); got != want {
+		t.Errorf("Fig5 output drifted from pre-refactor golden:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	table3, err := harness.Table3([]string{"crc", "towers", "quicksort"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := table3.String(), goldenBytes(t, "table3_golden.txt"); got != want {
+		t.Errorf("Table3 output drifted from pre-refactor golden:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestProbeAttachmentDoesNotPerturbRuns asserts attaching an observer leaves
+// the simulation bit-for-bit unchanged: counters (cycles included) and the
+// result word must match between a probed and an unprobed run.
+func TestProbeAttachmentDoesNotPerturbRuns(t *testing.T) {
+	for _, kind := range systems.AllKinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			t.Parallel()
+			p, ok := program.ByName("crc")
+			if !ok {
+				t.Fatal("crc benchmark missing")
+			}
+			cfg := harness.DefaultRunConfig()
+			plain, err := harness.Run(p, kind, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Probe = &sim.IntervalStats{}
+			probed, err := harness.Run(p, kind, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plain.Result != probed.Result {
+				t.Errorf("result word changed under probing: %08x vs %08x", plain.Result, probed.Result)
+			}
+			if diff := plain.Counters.Diff(probed.Counters); len(diff) != 0 {
+				t.Errorf("counters changed under probing: %v", diff)
+			}
+		})
+	}
+}
+
+// TestCounterProbeMatchesDirectCounters is the stream-completeness property:
+// on a failure-free run, a metrics.Counters derived purely from probe events
+// must equal the directly-maintained production counters, for every
+// benchmark under every system. Cycles is the one intentional exception —
+// the emulator stamps it from its clock at end of run, not from an event.
+//
+// (Under power failures the two can legitimately diverge: events are emitted
+// for *completed* actions, so an action cut down mid-flight by a failure has
+// charged cycles but emitted nothing.)
+func TestCounterProbeMatchesDirectCounters(t *testing.T) {
+	for _, p := range program.All() {
+		for _, kind := range systems.AllKinds() {
+			p, kind := p, kind
+			t.Run(p.Name+"/"+string(kind), func(t *testing.T) {
+				t.Parallel()
+				cfg := harness.DefaultRunConfig()
+				cp := sim.NewCounterProbe()
+				cfg.Probe = cp
+				res, err := harness.Run(p, kind, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				derived := cp.Counters()
+				derived.Cycles = res.Counters.Cycles
+				if diff := derived.Diff(res.Counters); len(diff) != 0 {
+					t.Errorf("probe-derived counters diverge from direct counters:\n  %v", diff)
+				}
+			})
+		}
+	}
+}
+
+// TestEnergyMeterMatchesEstimate checks the event-driven energy meter against
+// the counter-folding estimate: on a failure-free run they must agree exactly
+// (same integer event counts scaled by the same coefficients).
+func TestEnergyMeterMatchesEstimate(t *testing.T) {
+	model := energy.DefaultModel()
+	for _, kind := range []systems.Kind{
+		systems.KindVolatile, systems.KindClank, systems.KindPROWL,
+		systems.KindReplayCache, systems.KindNACHO, systems.KindWriteThrough,
+	} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			t.Parallel()
+			p, ok := program.ByName("towers")
+			if !ok {
+				t.Fatal("towers benchmark missing")
+			}
+			cfg := harness.DefaultRunConfig()
+			meter := energy.NewMeter(model)
+			cfg.Probe = meter
+			res, err := harness.Run(p, kind, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := meter.Breakdown(), model.Estimate(res.Counters); got != want {
+				t.Errorf("meter breakdown %+v != counter estimate %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestVerifierAsProbeUnderFailures is the refactor's end-to-end safety net:
+// the verifier now sees the run purely through the probe pipeline, sharing
+// it with other observers. Every benchmark on every recovering system, with
+// periodic power failures injected, must still finish with shadow-memory
+// equality, zero unrepaired WAR violations, and the reference checksum
+// (harness.Run enforces all three), with a second probe attached alongside.
+func TestVerifierAsProbeUnderFailures(t *testing.T) {
+	kinds := []systems.Kind{
+		systems.KindClank, systems.KindPROWL, systems.KindReplayCache,
+		systems.KindNaiveNACHO, systems.KindNACHO, systems.KindOracleNACHO,
+		systems.KindNACHOPW, systems.KindNACHOST, systems.KindWriteThrough,
+	}
+	for _, p := range program.All() {
+		for _, kind := range kinds {
+			p, kind := p, kind
+			t.Run(p.Name+"/"+string(kind), func(t *testing.T) {
+				t.Parallel()
+				cfg := harness.DefaultRunConfig()
+				const onDuration = 60_000
+				cfg.Schedule = power.Periodic{Period: onDuration}
+				cfg.ForcedCheckpointPeriod = onDuration / 2
+				cfg.Probe = &sim.IntervalStats{}
+				res, err := harness.Run(p, kind, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Counters.PowerFailures == 0 {
+					t.Fatal("expected at least one power failure")
+				}
+			})
+		}
+	}
+}

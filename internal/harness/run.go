@@ -11,7 +11,9 @@ import (
 	"nacho/internal/mem"
 	"nacho/internal/power"
 	"nacho/internal/program"
+	"nacho/internal/sim"
 	"nacho/internal/systems"
+	"nacho/internal/trace"
 	"nacho/internal/verify"
 )
 
@@ -35,8 +37,13 @@ type RunConfig struct {
 	DirtyThreshold   int
 	EnergyPrediction bool
 
-	// Trace receives a per-instruction execution trace when non-nil.
+	// Trace receives a per-instruction execution trace when non-nil
+	// (rendered through the buffered trace.Recorder probe).
 	Trace io.Writer
+	// Probe, when non-nil, observes the run's full event stream alongside
+	// the verifier and trace recorder (see sim.Probe). Probed runs bypass
+	// the parallel harness's run cache.
+	Probe sim.Probe
 	// ForcedCheckpointMargin is passed to the emulator (see emu.Config).
 	ForcedCheckpointMargin uint64
 }
@@ -93,10 +100,28 @@ func RunImage(img *program.Image, kind systems.Kind, cfg RunConfig, checkGolden 
 		return emu.Result{}, err
 	}
 
+	// Instrumentation is one probe pipeline: verifier, trace recorder, and
+	// caller probe all observe the same event stream. Combine keeps the
+	// no-instrumentation fast path emission-free (a nil probe everywhere).
 	var ver *verify.Verifier
 	if cfg.Verify {
 		ver = verify.New(space, systems.VerifyConfigFor(kind))
-		systems.AttachVerifier(sys, ver)
+	}
+	var rec *trace.Recorder
+	if cfg.Trace != nil {
+		rec = trace.NewRecorder(cfg.Trace)
+	}
+	var observers []sim.Probe
+	if ver != nil {
+		observers = append(observers, ver)
+	}
+	if rec != nil {
+		observers = append(observers, rec)
+	}
+	observers = append(observers, cfg.Probe)
+	probe := sim.Combine(observers...)
+	if probe != nil {
+		sys.AttachProbe(probe)
 	}
 
 	// A stateful schedule (a seeded rand.Rand) would mutate across runs and
@@ -112,13 +137,20 @@ func RunImage(img *program.Image, kind systems.Kind, cfg RunConfig, checkGolden 
 		ForcedCheckpointPeriod: cfg.ForcedCheckpointPeriod,
 		ForcedCheckpointMargin: cfg.ForcedCheckpointMargin,
 		MaxInstructions:        cfg.MaxInstructions,
-		Verifier:               ver,
-		Trace:                  cfg.Trace,
+		Probe:                  probe,
 	})
 	res, err := machine.Run()
+	if rec != nil {
+		// Flush errors mirror the old unbuffered Fprintf path, whose write
+		// errors were likewise not fatal to the run.
+		rec.Flush()
+	}
 	name := img.Program.Name
 	if err != nil {
 		return res, fmt.Errorf("%s on %s: %w", name, kind, err)
+	}
+	if verr := ver.Err(); verr != nil {
+		return res, fmt.Errorf("%s on %s: %w", name, kind, verr)
 	}
 	if cfg.Verify && checkGolden {
 		if res.ExitCode != 0 {

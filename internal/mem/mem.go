@@ -131,6 +131,7 @@ type NVM struct {
 	cost  CostModel
 	clk   sim.Clock
 	c     *metrics.Counters
+	probe sim.Probe
 }
 
 // NewNVM wraps a space with the paper's NVM latency and accounting. The
@@ -146,11 +147,26 @@ func (n *NVM) Attach(clk sim.Clock, c *metrics.Counters) {
 	n.c = c
 }
 
+// AttachProbe wires an observer for charged NVM traffic (nil detaches).
+func (n *NVM) AttachProbe(p sim.Probe) { n.probe = p }
+
+// Now is the current simulation cycle, or 0 before Attach (used by owners
+// that need a timestamp but hold no clock of their own).
+func (n *NVM) Now() uint64 {
+	if n.clk == nil {
+		return 0
+	}
+	return n.clk.Now()
+}
+
 // Read performs a charged NVM read of size bytes.
 func (n *NVM) Read(addr uint32, size int) uint32 {
 	n.c.NVMReads++
 	n.c.NVMReadBytes += uint64(size)
 	n.clk.Advance(n.cost.NVMCycles)
+	if n.probe != nil {
+		n.probe.OnNVM(sim.NVMEvent{Cycle: n.clk.Now(), Addr: addr, Bytes: size})
+	}
 	return n.space.Read(addr, size)
 }
 
@@ -159,6 +175,9 @@ func (n *NVM) Write(addr uint32, size int, val uint32) {
 	n.c.NVMWrites++
 	n.c.NVMWriteBytes += uint64(size)
 	n.clk.Advance(n.cost.NVMCycles)
+	if n.probe != nil {
+		n.probe.OnNVM(sim.NVMEvent{Cycle: n.clk.Now(), Addr: addr, Bytes: size, Write: true})
+	}
 	n.space.Write(addr, size, val)
 }
 
@@ -213,5 +232,8 @@ func (s *Space) WriteRaw(addr uint32, size int, val uint32) { s.Write(addr, size
 func (n *NVM) WriteAsync(addr uint32, size int, val uint32) {
 	n.c.NVMWrites++
 	n.c.NVMWriteBytes += uint64(size)
+	if n.probe != nil {
+		n.probe.OnNVM(sim.NVMEvent{Cycle: n.Now(), Addr: addr, Bytes: size, Write: true})
+	}
 	n.space.Write(addr, size, val)
 }

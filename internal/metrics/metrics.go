@@ -7,6 +7,7 @@ package metrics
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 )
 
@@ -120,6 +121,21 @@ func (c *Counters) HitRate() float64 {
 		return 0
 	}
 	return float64(c.CacheHits) / float64(total)
+}
+
+// Diff lists the fields on which two counter sets disagree, as
+// "Field: got vs want" lines (a testing aid; empty means equal).
+func (c Counters) Diff(o Counters) []string {
+	var out []string
+	cv, ov := reflect.ValueOf(c), reflect.ValueOf(o)
+	t := cv.Type()
+	for i := 0; i < t.NumField(); i++ {
+		a, b := cv.Field(i).Interface(), ov.Field(i).Interface()
+		if a != b {
+			out = append(out, fmt.Sprintf("%s: %v vs %v", t.Field(i).Name, a, b))
+		}
+	}
+	return out
 }
 
 // String renders the counters as an aligned human-readable block.

@@ -86,6 +86,11 @@ type System interface {
 	// the run's counters. It must be called once before execution.
 	Attach(clk Clock, regs RegSource, c *metrics.Counters)
 
+	// AttachProbe wires an event observer into the system and every
+	// component it owns (cache, NVM, checkpoint store); nil detaches. Call
+	// it before execution; the no-probe path must stay emission-free.
+	AttachProbe(p Probe)
+
 	// Load performs a data read of size bytes (1, 2 or 4, naturally aligned).
 	Load(addr uint32, size int) uint32
 	// Store performs a data write of size bytes (1, 2 or 4, naturally aligned).

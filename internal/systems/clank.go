@@ -6,7 +6,6 @@ import (
 	"nacho/internal/metrics"
 	"nacho/internal/sim"
 	"nacho/internal/track"
-	"nacho/internal/verify"
 )
 
 // Clank is the idealized version of Clank [27] used by the paper
@@ -20,10 +19,10 @@ type Clank struct {
 	ckpt    *checkpoint.Store
 	tracker *track.Tracker
 
-	clk  sim.Clock
-	regs sim.RegSource
-	c    *metrics.Counters
-	obs  *verify.Verifier
+	clk   sim.Clock
+	regs  sim.RegSource
+	c     *metrics.Counters
+	probe sim.Probe
 }
 
 // NewClank builds the baseline over the given NVM. checkpointBase locates
@@ -46,13 +45,21 @@ func (k *Clank) Attach(clk sim.Clock, regs sim.RegSource, c *metrics.Counters) {
 	k.ckpt.Init(regs.RegSnapshot())
 }
 
-// SetVerifier wires the optional correctness verifier.
-func (k *Clank) SetVerifier(v *verify.Verifier) { k.obs = v }
+// AttachProbe implements sim.System.
+func (k *Clank) AttachProbe(p sim.Probe) {
+	k.probe = p
+	k.nvm.AttachProbe(p)
+	k.ckpt.AttachProbe(p)
+}
 
 // Load implements sim.System: a direct NVM read.
 func (k *Clank) Load(addr uint32, size int) uint32 {
 	k.tracker.ObserveRead(addr, size)
-	return k.nvm.Read(addr, size)
+	v := k.nvm.Read(addr, size)
+	if k.probe != nil {
+		k.probe.OnAccess(sim.AccessEvent{Cycle: k.clk.Now(), Addr: addr, Size: size, Value: v, Class: sim.AccessNVM})
+	}
+	return v
 }
 
 // Store implements sim.System: a direct NVM write, preceded by a register
@@ -63,7 +70,10 @@ func (k *Clank) Store(addr uint32, size int, val uint32) {
 	}
 	k.tracker.ObserveWrite(addr, size)
 	k.nvm.Write(addr, size, val)
-	k.obs.NVMWriteBack(addr, size)
+	if k.probe != nil {
+		k.probe.OnWriteBack(sim.WriteBackEvent{Cycle: k.clk.Now(), Addr: addr, Size: size, Verdict: sim.VerdictWriteThrough})
+		k.probe.OnAccess(sim.AccessEvent{Cycle: k.clk.Now(), Addr: addr, Size: size, Value: val, Store: true, Class: sim.AccessNVM})
+	}
 }
 
 func (k *Clank) checkpoint(forced bool) {
@@ -72,7 +82,9 @@ func (k *Clank) checkpoint(forced bool) {
 		if forced {
 			k.c.ForcedCkpts++
 		}
-		k.obs.IntervalBoundary()
+		if k.probe != nil {
+			k.probe.OnCheckpointCommit(sim.CheckpointEvent{Cycle: k.clk.Now(), Kind: sim.CheckpointCommit, Forced: forced})
+		}
 	})
 	k.tracker.Reset()
 }

@@ -8,7 +8,6 @@ import (
 	"nacho/internal/mem"
 	"nacho/internal/metrics"
 	"nacho/internal/sim"
-	"nacho/internal/verify"
 )
 
 // PROWL models the consistency-aware replacement policy of Hoseinghorban et
@@ -33,10 +32,10 @@ type PROWL struct {
 	ckpt *checkpoint.Store
 	cost mem.CostModel
 
-	clk  sim.Clock
-	regs sim.RegSource
-	c    *metrics.Counters
-	obs  *verify.Verifier
+	clk   sim.Clock
+	regs  sim.RegSource
+	c     *metrics.Counters
+	probe sim.Probe
 }
 
 // NewPROWL builds a 2-way skewed cache of sizeBytes data capacity.
@@ -66,8 +65,13 @@ func (p *PROWL) Attach(clk sim.Clock, regs sim.RegSource, c *metrics.Counters) {
 	p.ckpt.Init(regs.RegSnapshot())
 }
 
-// SetVerifier wires the optional correctness verifier.
-func (p *PROWL) SetVerifier(v *verify.Verifier) { p.obs = v }
+// AttachProbe implements sim.System. PROWL owns its line storage directly
+// (skewed 2-way, no cache.Cache), so it emits its own fill events.
+func (p *PROWL) AttachProbe(probe sim.Probe) {
+	p.probe = probe
+	p.nvm.AttachProbe(probe)
+	p.ckpt.AttachProbe(probe)
+}
 
 // index computes the per-way skewed hash of a line address.
 func (p *PROWL) index(way int, addr uint32) int {
@@ -89,8 +93,8 @@ func (p *PROWL) touch(l *cache.Line) {
 	l.SetLRU(p.stamp)
 }
 
-// probe returns the hit line or nil.
-func (p *PROWL) probe(addr uint32) *cache.Line {
+// lookup returns the hit line or nil.
+func (p *PROWL) lookup(addr uint32) *cache.Line {
 	tag := addr >> 2
 	for w := 0; w < 2; w++ {
 		if l := p.slot(w, addr); l.Valid && l.Tag == tag {
@@ -123,24 +127,31 @@ func (p *PROWL) victim(addr uint32) *cache.Line {
 
 // Load implements sim.System.
 func (p *PROWL) Load(addr uint32, size int) uint32 {
-	line := p.access(addr, true, size)
+	line, hit := p.access(addr, true, size)
 	p.clk.Advance(p.cost.HitCycles)
-	return line.ReadData(addr, size)
+	v := line.ReadData(addr, size)
+	if p.probe != nil {
+		p.probe.OnAccess(sim.AccessEvent{Cycle: p.clk.Now(), Addr: addr, Size: size, Value: v, Class: accessClass(hit)})
+	}
+	return v
 }
 
 // Store implements sim.System.
 func (p *PROWL) Store(addr uint32, size int, val uint32) {
-	line := p.access(addr, false, size)
+	line, hit := p.access(addr, false, size)
 	p.clk.Advance(p.cost.HitCycles)
 	line.WriteData(addr, size, val)
 	line.Dirty = true
+	if p.probe != nil {
+		p.probe.OnAccess(sim.AccessEvent{Cycle: p.clk.Now(), Addr: addr, Size: size, Value: val, Store: true, Class: accessClass(hit)})
+	}
 }
 
-func (p *PROWL) access(addr uint32, isRead bool, size int) *cache.Line {
-	if line := p.probe(addr); line != nil {
+func (p *PROWL) access(addr uint32, isRead bool, size int) (*cache.Line, bool) {
+	if line := p.lookup(addr); line != nil {
 		p.c.CacheHits++
 		p.touch(line)
-		return line
+		return line, true
 	}
 	p.c.CacheMisses++
 	line := p.victim(addr)
@@ -153,6 +164,9 @@ func (p *PROWL) access(addr uint32, isRead bool, size int) *cache.Line {
 			// No WAR detector: a forced dirty eviction requires a
 			// checkpoint to stay incorruptible.
 			p.c.UnsafeEvictions++
+			if p.probe != nil {
+				p.probe.OnWriteBack(sim.WriteBackEvent{Cycle: p.clk.Now(), Addr: line.Addr(), Size: 4, Verdict: sim.VerdictUnsafe})
+			}
 			p.checkpoint(false)
 		}
 	}
@@ -165,7 +179,10 @@ func (p *PROWL) access(addr uint32, isRead bool, size int) *cache.Line {
 	} else {
 		line.Data = 0
 	}
-	return line
+	if p.probe != nil {
+		p.probe.OnLineFill(sim.FillEvent{Addr: addr &^ 3})
+	}
+	return line, false
 }
 
 // relocate tries to free a slot for addr by migrating one of its two dirty
@@ -203,10 +220,15 @@ func (p *PROWL) checkpoint(forced bool) {
 	p.ckpt.Checkpoint(p.regs.RegSnapshot(), lines, func() {
 		p.c.Checkpoints++
 		p.c.CheckpointLines += uint64(len(lines))
+		if n := uint64(len(lines)); n > p.c.MaxCheckpointLines {
+			p.c.MaxCheckpointLines = n
+		}
 		if forced {
 			p.c.ForcedCkpts++
 		}
-		p.obs.IntervalBoundary()
+		if p.probe != nil {
+			p.probe.OnCheckpointCommit(sim.CheckpointEvent{Cycle: p.clk.Now(), Kind: sim.CheckpointCommit, Lines: len(lines), Forced: forced})
+		}
 	})
 	p.forEach(func(l *cache.Line) { l.Dirty = false })
 }

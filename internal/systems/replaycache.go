@@ -7,7 +7,6 @@ import (
 	"nacho/internal/metrics"
 	"nacho/internal/sim"
 	"nacho/internal/track"
-	"nacho/internal/verify"
 )
 
 // wbQueueDepth is the number of outstanding asynchronous write-backs the
@@ -46,10 +45,10 @@ type ReplayCache struct {
 	regionSeq   uint32
 	regionStart uint64 // cycle the current region began
 
-	clk  sim.Clock
-	regs sim.RegSource
-	c    *metrics.Counters
-	obs  *verify.Verifier
+	clk   sim.Clock
+	regs  sim.RegSource
+	c     *metrics.Counters
+	probe sim.Probe
 }
 
 // NewReplayCache builds the system with the given cache geometry.
@@ -79,15 +78,24 @@ func (r *ReplayCache) Attach(clk sim.Clock, regs sim.RegSource, c *metrics.Count
 	r.ckpt.Init(regs.RegSnapshot())
 }
 
-// SetVerifier wires the optional correctness verifier.
-func (r *ReplayCache) SetVerifier(v *verify.Verifier) { r.obs = v }
+// AttachProbe implements sim.System.
+func (r *ReplayCache) AttachProbe(p sim.Probe) {
+	r.probe = p
+	r.cache.AttachProbe(p)
+	r.nvm.AttachProbe(p)
+	r.ckpt.AttachProbe(p)
+}
 
 // Load implements sim.System.
 func (r *ReplayCache) Load(addr uint32, size int) uint32 {
 	r.tracker.ObserveRead(addr, size)
-	line := r.access(addr, true, size)
+	line, hit := r.access(addr, true, size)
 	r.clk.Advance(r.cost.HitCycles)
-	return line.ReadData(addr, size)
+	v := line.ReadData(addr, size)
+	if r.probe != nil {
+		r.probe.OnAccess(sim.AccessEvent{Cycle: r.clk.Now(), Addr: addr, Size: size, Value: v, Class: accessClass(hit)})
+	}
+	return v
 }
 
 // Store implements sim.System: a store that would violate the current
@@ -98,17 +106,28 @@ func (r *ReplayCache) Store(addr uint32, size int, val uint32) {
 		r.endRegion()
 	}
 	r.tracker.ObserveWrite(addr, size)
-	line := r.access(addr, false, size)
+	line, hit := r.access(addr, false, size)
 	r.clk.Advance(r.cost.HitCycles)
 	line.WriteData(addr, size, val)
 	line.Dirty = true
+	if r.probe != nil {
+		r.probe.OnAccess(sim.AccessEvent{Cycle: r.clk.Now(), Addr: addr, Size: size, Value: val, Store: true, Class: accessClass(hit)})
+	}
 }
 
-func (r *ReplayCache) access(addr uint32, isRead bool, size int) *cache.Line {
+// accessClass maps a cache probe outcome to the access event class.
+func accessClass(hit bool) sim.AccessClass {
+	if hit {
+		return sim.AccessHit
+	}
+	return sim.AccessMiss
+}
+
+func (r *ReplayCache) access(addr uint32, isRead bool, size int) (*cache.Line, bool) {
 	if line := r.cache.Probe(addr); line != nil {
 		r.c.CacheHits++
 		r.cache.Touch(line)
-		return line
+		return line, true
 	}
 	r.c.CacheMisses++
 	line := r.cache.Victim(addr)
@@ -116,7 +135,11 @@ func (r *ReplayCache) access(addr uint32, isRead bool, size int) *cache.Line {
 		// Non-blocking write-back: enqueue, no checkpoint ever needed —
 		// region replay guarantees recovery.
 		r.c.Evictions++
-		r.enqueue(line.Addr(), line.Data)
+		victimAddr := line.Addr()
+		r.enqueue(victimAddr, line.Data)
+		if r.probe != nil {
+			r.probe.OnWriteBack(sim.WriteBackEvent{Cycle: r.clk.Now(), Addr: victimAddr, Size: 4, Verdict: sim.VerdictAsync})
+		}
 	}
 	r.cache.Install(line, addr)
 	line.Dirty = false
@@ -125,7 +148,7 @@ func (r *ReplayCache) access(addr uint32, isRead bool, size int) *cache.Line {
 	} else {
 		line.Data = 0
 	}
-	return line
+	return line, false
 }
 
 // enqueue issues an asynchronous NVM write. The value lands functionally at
@@ -177,7 +200,9 @@ func (r *ReplayCache) endRegion() {
 	r.tracker.Reset()
 	r.regionStart = r.clk.Now()
 	r.c.Regions++
-	r.obs.IntervalBoundary()
+	if r.probe != nil {
+		r.probe.OnCheckpointCommit(sim.CheckpointEvent{Cycle: r.clk.Now(), Kind: sim.CheckpointRegion})
+	}
 }
 
 // NotifySP implements sim.System (no stack tracking).
@@ -201,6 +226,11 @@ func (r *ReplayCache) PowerFailure() {
 	r.queue = r.queue[:0]
 	r.ckpt.Checkpoint(r.regs.RegSnapshot(), nil, nil)
 	r.c.Checkpoints++
+	if r.probe != nil {
+		// A JIT save is NOT an interval boundary: execution resumes in
+		// place, so rollback-sensitive observers must ignore it.
+		r.probe.OnCheckpointCommit(sim.CheckpointEvent{Cycle: r.clk.Now(), Kind: sim.CheckpointJIT})
+	}
 	r.cache.InvalidateAll()
 	r.tracker.Reset()
 }

@@ -103,19 +103,6 @@ func Build(kind Kind, space *mem.Space, cfg Config) (sim.System, error) {
 	return nil, fmt.Errorf("systems: unknown kind %q", kind)
 }
 
-// Verifiable is implemented by systems that report write-backs and interval
-// boundaries to the correctness verifier.
-type Verifiable interface {
-	SetVerifier(*verify.Verifier)
-}
-
-// AttachVerifier wires a verifier into the system if it supports one.
-func AttachVerifier(s sim.System, v *verify.Verifier) {
-	if vb, ok := s.(Verifiable); ok {
-		vb.SetVerifier(v)
-	}
-}
-
 // VerifyConfigFor returns the verification semantics matching a system's
 // recovery model: checkpoint/rollback systems rewind the shadow and must
 // never write back read-dominated data; ReplayCache's JIT/region model

@@ -9,7 +9,6 @@ import (
 	"nacho/internal/mem"
 	"nacho/internal/metrics"
 	"nacho/internal/sim"
-	"nacho/internal/verify"
 )
 
 // Volatile is the normalization baseline of Figure 5: a system whose main
@@ -21,6 +20,7 @@ type Volatile struct {
 	cost  mem.CostModel
 	clk   sim.Clock
 	c     *metrics.Counters
+	probe sim.Probe
 }
 
 // NewVolatile builds the baseline over the given memory image.
@@ -41,7 +41,11 @@ func (v *Volatile) Attach(clk sim.Clock, _ sim.RegSource, c *metrics.Counters) {
 func (v *Volatile) Load(addr uint32, size int) uint32 {
 	v.c.CacheHits++
 	v.clk.Advance(v.cost.HitCycles)
-	return v.space.Read(addr, size)
+	val := v.space.Read(addr, size)
+	if v.probe != nil {
+		v.probe.OnAccess(sim.AccessEvent{Cycle: v.clk.Now(), Addr: addr, Size: size, Value: val, Class: sim.AccessHit})
+	}
+	return val
 }
 
 // Store implements sim.System: an SRAM access.
@@ -49,6 +53,9 @@ func (v *Volatile) Store(addr uint32, size int, val uint32) {
 	v.c.CacheHits++
 	v.clk.Advance(v.cost.HitCycles)
 	v.space.Write(addr, size, val)
+	if v.probe != nil {
+		v.probe.OnAccess(sim.AccessEvent{Cycle: v.clk.Now(), Addr: addr, Size: size, Value: val, Store: true, Class: sim.AccessHit})
+	}
 }
 
 // NotifySP implements sim.System (no stack tracking).
@@ -67,6 +74,6 @@ func (v *Volatile) Restore() (sim.Snapshot, bool) { return sim.Snapshot{}, false
 // Mem implements sim.System.
 func (v *Volatile) Mem() sim.MemReaderWriter { return v.space }
 
-// SetVerifier accepts a verifier for interface symmetry; the volatile
-// baseline needs only shadow checking, which the emulator drives.
-func (v *Volatile) SetVerifier(*verify.Verifier) {}
+// AttachProbe implements sim.System: the baseline owns no cache, NVM, or
+// checkpoint store — only its own access events flow.
+func (v *Volatile) AttachProbe(p sim.Probe) { v.probe = p }

@@ -7,7 +7,6 @@ import (
 	"nacho/internal/metrics"
 	"nacho/internal/sim"
 	"nacho/internal/track"
-	"nacho/internal/verify"
 )
 
 // WriteThrough is this reproduction's Section 8 extension: the write-through
@@ -31,10 +30,10 @@ type WriteThrough struct {
 	ckpt    *checkpoint.Store
 	cost    mem.CostModel
 
-	clk  sim.Clock
-	regs sim.RegSource
-	c    *metrics.Counters
-	obs  *verify.Verifier
+	clk   sim.Clock
+	regs  sim.RegSource
+	c     *metrics.Counters
+	probe sim.Probe
 }
 
 // NewWriteThrough builds the system with the given read-cache geometry.
@@ -62,14 +61,21 @@ func (w *WriteThrough) Attach(clk sim.Clock, regs sim.RegSource, c *metrics.Coun
 	w.ckpt.Init(regs.RegSnapshot())
 }
 
-// SetVerifier wires the optional correctness verifier.
-func (w *WriteThrough) SetVerifier(v *verify.Verifier) { w.obs = v }
+// AttachProbe implements sim.System.
+func (w *WriteThrough) AttachProbe(p sim.Probe) {
+	w.probe = p
+	w.cache.AttachProbe(p)
+	w.nvm.AttachProbe(p)
+	w.ckpt.AttachProbe(p)
+}
 
 // Load implements sim.System: served from the read cache when possible.
 func (w *WriteThrough) Load(addr uint32, size int) uint32 {
 	w.tracker.ObserveRead(addr, size)
 	line := w.cache.Probe(addr)
+	class := sim.AccessHit
 	if line == nil {
+		class = sim.AccessMiss
 		w.c.CacheMisses++
 		line = w.cache.Victim(addr)
 		// Lines are never dirty: replacement is free.
@@ -80,7 +86,11 @@ func (w *WriteThrough) Load(addr uint32, size int) uint32 {
 		w.cache.Touch(line)
 	}
 	w.clk.Advance(w.cost.HitCycles)
-	return line.ReadData(addr, size)
+	v := line.ReadData(addr, size)
+	if w.probe != nil {
+		w.probe.OnAccess(sim.AccessEvent{Cycle: w.clk.Now(), Addr: addr, Size: size, Value: v, Class: class})
+	}
+	return v
 }
 
 // Store implements sim.System: write-through with no allocation; a WAR
@@ -90,14 +100,21 @@ func (w *WriteThrough) Store(addr uint32, size int, val uint32) {
 		w.checkpoint(false)
 	}
 	w.tracker.ObserveWrite(addr, size)
+	class := sim.AccessNVM // store miss: straight through, no allocation
 	if line := w.cache.Probe(addr); line != nil {
+		class = sim.AccessHit
 		w.c.CacheHits++
 		w.cache.Touch(line)
 		line.WriteData(addr, size, val)
 	}
 	w.nvm.Write(addr, size, val)
-	w.obs.NVMWriteBack(addr, size)
+	if w.probe != nil {
+		w.probe.OnWriteBack(sim.WriteBackEvent{Cycle: w.clk.Now(), Addr: addr, Size: size, Verdict: sim.VerdictWriteThrough})
+	}
 	w.clk.Advance(w.cost.HitCycles)
+	if w.probe != nil {
+		w.probe.OnAccess(sim.AccessEvent{Cycle: w.clk.Now(), Addr: addr, Size: size, Value: val, Store: true, Class: class})
+	}
 }
 
 func (w *WriteThrough) checkpoint(forced bool) {
@@ -106,7 +123,9 @@ func (w *WriteThrough) checkpoint(forced bool) {
 		if forced {
 			w.c.ForcedCkpts++
 		}
-		w.obs.IntervalBoundary()
+		if w.probe != nil {
+			w.probe.OnCheckpointCommit(sim.CheckpointEvent{Cycle: w.clk.Now(), Kind: sim.CheckpointCommit, Forced: forced})
+		}
 	})
 	w.tracker.Reset()
 }

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+
+	"nacho/internal/isa"
+	"nacho/internal/sim"
+)
+
+var testInstrs = []isa.Instr{
+	{Op: isa.ADDI, Rd: isa.Reg(10), Rs1: isa.Reg(10), Imm: 5},
+	{Op: isa.LW, Rd: isa.Reg(11), Rs1: isa.Reg(2), Imm: -8},
+	{Op: isa.SW, Rs1: isa.Reg(2), Rs2: isa.Reg(11), Imm: 12},
+}
+
+// TestRecorderFormat pins the output byte-for-byte to the emulator's old
+// unbuffered format: "%10d  %08x  %v\n" per instruction and the reboot
+// marker on power failures.
+func TestRecorderFormat(t *testing.T) {
+	var got, want bytes.Buffer
+	r := NewRecorder(&got)
+	cycle := uint64(1)
+	for i, in := range testInstrs {
+		pc := 0x1000 + uint32(4*i)
+		r.OnRetire(sim.RetireEvent{Cycle: cycle, PC: pc, Instr: in})
+		fmt.Fprintf(&want, "%10d  %08x  %v\n", cycle, pc, in)
+		cycle += 3
+	}
+	r.OnPowerFailure(sim.PowerEvent{Cycle: cycle})
+	fmt.Fprintf(&want, "%10d  -- power failure, rebooting --\n", cycle)
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("trace output:\n%q\nwant:\n%q", got.String(), want.String())
+	}
+}
+
+// countingWriter counts Write calls — the property the buffered recorder
+// exists for.
+type countingWriter struct {
+	io.Writer
+	writes int
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	return w.Writer.Write(p)
+}
+
+// TestRecorderBuffers proves the recorder does not pay one Write per
+// instruction: tracing many instructions costs a handful of chunked writes.
+func TestRecorderBuffers(t *testing.T) {
+	const n = 3 * bufEntries
+	cw := &countingWriter{Writer: io.Discard}
+	r := NewRecorder(cw)
+	for i := 0; i < n; i++ {
+		r.OnRetire(sim.RetireEvent{Cycle: uint64(i), PC: 0x1000, Instr: testInstrs[0]})
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if want := n/bufEntries + 1; cw.writes > want {
+		t.Errorf("%d instructions took %d writes, want at most %d", n, cw.writes, want)
+	}
+}
+
+// errWriter fails every write.
+type errWriter struct{ err error }
+
+func (w errWriter) Write([]byte) (int, error) { return 0, w.err }
+
+func TestRecorderSurfacesWriteError(t *testing.T) {
+	sentinel := errors.New("disk full")
+	r := NewRecorder(errWriter{sentinel})
+	r.OnRetire(sim.RetireEvent{Instr: testInstrs[0]})
+	if err := r.Flush(); !errors.Is(err, sentinel) {
+		t.Errorf("Flush() = %v, want %v", err, sentinel)
+	}
+	// Later flushes keep reporting the first error and must not panic.
+	r.OnRetire(sim.RetireEvent{Instr: testInstrs[0]})
+	if err := r.Flush(); !errors.Is(err, sentinel) {
+		t.Errorf("second Flush() = %v, want %v", err, sentinel)
+	}
+}
+
+// BenchmarkRecorder vs BenchmarkUnbufferedFprintf quantifies the refactor's
+// win: the old trace path formatted and wrote each instruction individually.
+func BenchmarkRecorder(b *testing.B) {
+	r := NewRecorder(io.Discard)
+	ev := sim.RetireEvent{Cycle: 123456, PC: 0x1040, Instr: testInstrs[0]}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.OnRetire(ev)
+	}
+	r.Flush()
+}
+
+func BenchmarkUnbufferedFprintf(b *testing.B) {
+	ev := sim.RetireEvent{Cycle: 123456, PC: 0x1040, Instr: testInstrs[0]}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fmt.Fprintf(io.Discard, "%10d  %08x  %v\n", ev.Cycle, ev.PC, ev.Instr)
+	}
+}

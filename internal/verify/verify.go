@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"nacho/internal/mem"
+	"nacho/internal/sim"
 	"nacho/internal/track"
 )
 
@@ -77,9 +78,13 @@ type Config struct {
 	MaxViolations int
 }
 
-// Verifier implements the safety checks. Attach its hooks to the emulator and
-// the system under test; a nil *Verifier is valid and disables all checking.
+// Verifier implements the safety checks as a sim.Probe: attach it to the
+// system under test (and the emulator) through AttachProbe and it consumes
+// the event stream — CPU accesses feed the shadow memory, write-back events
+// feed the WAR check, checkpoint commits move the rollback point. A nil
+// *Verifier is valid and disables all checking.
 type Verifier struct {
+	sim.NopProbe
 	cfg     Config
 	shadow  *mem.Space
 	journal map[uint32]byte // first pre-image of each byte since last boundary
@@ -172,6 +177,51 @@ func (v *Verifier) PowerFailure() {
 		v.tracker.Reset()
 	}
 }
+
+// OnAccess implements sim.Probe: loads check against the shadow, stores
+// update it. MMIO accesses bypass the memory system and are not part of the
+// data image, so they are ignored.
+func (v *Verifier) OnAccess(e sim.AccessEvent) {
+	if v == nil || e.Class == sim.AccessMMIO {
+		return
+	}
+	if e.Store {
+		v.CPUWrite(e.Addr, e.Size, e.Value)
+	} else {
+		v.CPURead(e.Addr, e.Size, e.Value)
+	}
+}
+
+// OnWriteBack implements sim.Probe: physical write-backs (safe evictions,
+// write-through stores, asynchronous queue writes) run the WAR check.
+// Unsafe and dropped-stack verdicts never reach NVM directly — the former is
+// flushed inside a checkpoint, the latter discarded — so they are not
+// write-backs to check.
+func (v *Verifier) OnWriteBack(e sim.WriteBackEvent) {
+	if v == nil {
+		return
+	}
+	switch e.Verdict {
+	case sim.VerdictSafe, sim.VerdictWriteThrough, sim.VerdictAsync:
+		v.NVMWriteBack(e.Addr, e.Size)
+	}
+}
+
+// OnCheckpointCommit implements sim.Probe: committed checkpoints and
+// completed regions are interval boundaries; ReplayCache's JIT save is not
+// (its shadow must survive the failure unrewound).
+func (v *Verifier) OnCheckpointCommit(e sim.CheckpointEvent) {
+	if v == nil {
+		return
+	}
+	switch e.Kind {
+	case sim.CheckpointCommit, sim.CheckpointRegion:
+		v.IntervalBoundary()
+	}
+}
+
+// OnPowerFailure implements sim.Probe.
+func (v *Verifier) OnPowerFailure(sim.PowerEvent) { v.PowerFailure() }
 
 // Violations returns everything recorded so far.
 func (v *Verifier) Violations() []Violation {

@@ -24,10 +24,12 @@ import (
 	"io"
 	"time"
 
+	"nacho/internal/emu"
 	"nacho/internal/harness"
 	"nacho/internal/mem"
 	"nacho/internal/power"
 	"nacho/internal/program"
+	"nacho/internal/sim"
 	"nacho/internal/systems"
 )
 
@@ -107,6 +109,11 @@ type Config struct {
 	EnergyPrediction bool
 	// Trace, when non-nil, receives a per-instruction execution trace.
 	Trace io.Writer
+	// ProbeStats collects per-checkpoint-interval statistics through the
+	// probe event pipeline (NVM traffic and write-back verdicts between
+	// consecutive persistence points); the result carries them in
+	// Result.ProbeStats. Slows the run slightly: every event is observed.
+	ProbeStats bool
 }
 
 func (c Config) withDefaults() Config {
@@ -180,6 +187,77 @@ type Result struct {
 
 	AdaptiveCkpts      uint64 // checkpoints forced by the dirty-threshold policy
 	MaxCheckpointLines uint64 // largest single checkpoint (capacitor sizing)
+
+	// ProbeStats is set when Config.ProbeStats was enabled.
+	ProbeStats *ProbeStats
+}
+
+// WriteBackCounts histograms write-back events by safety verdict.
+type WriteBackCounts struct {
+	Safe         uint64 // write-dominated dirty evictions written straight to NVM
+	Unsafe       uint64 // read-dominated dirty evictions (checkpoint triggered)
+	DroppedStack uint64 // dirty dead-stack lines discarded
+	WriteThrough uint64 // stores written through to NVM
+	Async        uint64 // evictions queued on a non-blocking write-back port
+}
+
+// Interval summarizes one checkpoint interval: the stretch of execution
+// between two consecutive persistence points.
+type Interval struct {
+	StartCycle, EndCycle uint64
+	NVMReadBytes         uint64
+	NVMWriteBytes        uint64
+	WriteBacks           WriteBackCounts
+	CheckpointLines      int    // dirty-line payload of the closing checkpoint
+	Kind                 string // "commit", "region", "jit", or "end" (end of run)
+	PowerFailure         bool   // interval cut short by a power failure
+}
+
+// ProbeStats is the per-checkpoint-interval view of a run, collected through
+// the probe pipeline (Config.ProbeStats).
+type ProbeStats struct {
+	Intervals []Interval
+	Dropped   int // intervals beyond the storage cap (still in the totals)
+
+	TotalNVMReadBytes  uint64
+	TotalNVMWriteBytes uint64
+	TotalWriteBacks    WriteBackCounts
+}
+
+func publicWriteBacks(w [sim.NumVerdicts]uint64) WriteBackCounts {
+	return WriteBackCounts{
+		Safe:         w[sim.VerdictSafe],
+		Unsafe:       w[sim.VerdictUnsafe],
+		DroppedStack: w[sim.VerdictDroppedStack],
+		WriteThrough: w[sim.VerdictWriteThrough],
+		Async:        w[sim.VerdictAsync],
+	}
+}
+
+func publicProbeStats(s *sim.IntervalStats) *ProbeStats {
+	out := &ProbeStats{
+		Dropped:            s.Dropped,
+		TotalNVMReadBytes:  s.TotalNVMReadBytes,
+		TotalNVMWriteBytes: s.TotalNVMWriteBytes,
+		TotalWriteBacks:    publicWriteBacks(s.TotalWriteBacks),
+	}
+	for _, iv := range s.Intervals {
+		kind := iv.Kind.String()
+		if iv.EndOfRun {
+			kind = "end"
+		}
+		out.Intervals = append(out.Intervals, Interval{
+			StartCycle:      iv.Start,
+			EndCycle:        iv.End,
+			NVMReadBytes:    iv.NVMReadBytes,
+			NVMWriteBytes:   iv.NVMWriteBytes,
+			WriteBacks:      publicWriteBacks(iv.WriteBacks),
+			CheckpointLines: iv.Lines,
+			Kind:            kind,
+			PowerFailure:    iv.PowerFailure,
+		})
+	}
+	return out
 }
 
 // NVMBytes is the paper's NVM-transfer metric: bytes moved in either
@@ -209,17 +287,31 @@ func Run(cfg Config) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("nacho: unknown benchmark %q (see Benchmarks())", cfg.Benchmark)
 	}
-	res, err := harness.Run(p, systems.Kind(cfg.System), cfg.runConfig())
+	rc := cfg.runConfig()
+	var stats *sim.IntervalStats
+	if cfg.ProbeStats {
+		stats = &sim.IntervalStats{}
+		rc.Probe = stats
+	}
+	res, err := harness.Run(p, systems.Kind(cfg.System), rc)
 	if err != nil {
 		return nil, err
 	}
+	return newResult(res, stats), nil
+}
+
+// newResult maps an internal run result (and optional interval statistics)
+// into the public Result.
+func newResult(res emu.Result, stats *sim.IntervalStats) *Result {
 	c := res.Counters
-	return &Result{
+	out := &Result{
 		ExitCode:           res.ExitCode,
 		ResultWord:         res.Result,
 		Output:             res.Output,
 		Cycles:             c.Cycles,
 		Instructions:       c.Instructions,
+		Loads:              c.Loads,
+		Stores:             c.Stores,
 		Checkpoints:        c.Checkpoints,
 		CheckpointLines:    c.CheckpointLines,
 		NVMReads:           c.NVMReads,
@@ -235,5 +327,10 @@ func Run(cfg Config) (*Result, error) {
 		PowerFailures:      c.PowerFailures,
 		AdaptiveCkpts:      c.AdaptiveCkpts,
 		MaxCheckpointLines: c.MaxCheckpointLines,
-	}, nil
+	}
+	if stats != nil {
+		stats.Finish(c.Cycles)
+		out.ProbeStats = publicProbeStats(stats)
+	}
+	return out
 }

@@ -5,6 +5,7 @@ import (
 
 	"nacho/internal/harness"
 	"nacho/internal/program"
+	"nacho/internal/sim"
 	"nacho/internal/systems"
 )
 
@@ -40,33 +41,17 @@ func RunSource(name, source string, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := harness.RunImage(img, systems.Kind(cfg.System), cfg.runConfig(), false)
+	rc := cfg.runConfig()
+	var stats *sim.IntervalStats
+	if cfg.ProbeStats {
+		stats = &sim.IntervalStats{}
+		rc.Probe = stats
+	}
+	res, err := harness.RunImage(img, systems.Kind(cfg.System), rc, false)
 	if err != nil {
 		return nil, err
 	}
-	c := res.Counters
-	return &Result{
-		ExitCode:           res.ExitCode,
-		ResultWord:         res.Result,
-		Output:             res.Output,
-		Cycles:             c.Cycles,
-		Instructions:       c.Instructions,
-		Checkpoints:        c.Checkpoints,
-		CheckpointLines:    c.CheckpointLines,
-		NVMReads:           c.NVMReads,
-		NVMWrites:          c.NVMWrites,
-		NVMReadBytes:       c.NVMReadBytes,
-		NVMWriteBytes:      c.NVMWriteBytes,
-		CacheHits:          c.CacheHits,
-		CacheMisses:        c.CacheMisses,
-		SafeEvictions:      c.SafeEvictions,
-		UnsafeEvictions:    c.UnsafeEvictions,
-		DroppedStackLines:  c.DroppedStackLines,
-		Regions:            c.Regions,
-		PowerFailures:      c.PowerFailures,
-		AdaptiveCkpts:      c.AdaptiveCkpts,
-		MaxCheckpointLines: c.MaxCheckpointLines,
-	}, nil
+	return newResult(res, stats), nil
 }
 
 // experimentReport resolves an experiment name to its regenerated report.
