@@ -23,6 +23,10 @@ go test -race ./internal/harness/... ./internal/core/ ./internal/systems/
 
 # Benchmark smoke: the probe hot paths must at least run. One iteration is
 # enough to catch a broken benchmark; timing regressions are judged manually.
-go test -bench=. -benchtime=1x ./internal/cache/ ./internal/track/
+go test -bench=. -benchtime=1x ./internal/cache/ ./internal/track/ ./internal/telemetry/
+
+# Telemetry end-to-end: serve, sweep, scrape mid-flight, validate every
+# exposition line, then check the Perfetto export loads as trace-event JSON.
+go test -run 'TestServeTelemetryEndToEnd|TestPerfettoExport' .
 
 echo "ci.sh: all checks passed"

@@ -4,6 +4,7 @@
 package cmd_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -173,5 +174,62 @@ func TestNachoasmEndToEnd(t *testing.T) {
 	os.WriteFile(bad, []byte("_start:\n bogus\n"), 0o644)
 	if out, err = run(t, bin, bad); err == nil {
 		t.Errorf("bad source accepted:\n%s", out)
+	}
+}
+
+// TestNachosimTelemetryFlags covers -perfetto (the file must be loadable
+// trace-event JSON spanning the run) and -serve (the bound address is
+// announced on stderr and the endpoints answer while the process lives).
+func TestNachosimTelemetryFlags(t *testing.T) {
+	bin := build(t, "cmd/nachosim")
+
+	traceFile := filepath.Join(t.TempDir(), "trace.json")
+	out, err := run(t, bin, "-bench", "crc", "-onduration", "1", "-perfetto", traceFile)
+	if err != nil {
+		t.Fatalf("-perfetto: %v\n%s", err, out)
+	}
+	data, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("-perfetto wrote invalid JSON: %v", err)
+	}
+	counts := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		counts[e.Ph]++
+	}
+	if counts["M"] == 0 || counts["X"] == 0 || counts["i"] == 0 {
+		t.Errorf("trace phases = %v, want metadata, slices and instants", counts)
+	}
+
+	out, err = run(t, bin, "-bench", "towers", "-serve", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("-serve: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "telemetry on http://127.0.0.1:") {
+		t.Errorf("-serve did not announce its address:\n%s", out)
+	}
+
+	if out, err = run(t, bin, "-bench", "crc", "-serve", "256.0.0.1:http"); err == nil {
+		t.Errorf("bad -serve address accepted:\n%s", out)
+	}
+}
+
+// TestNachobenchServeFlag smoke-tests the sweep-side telemetry server.
+func TestNachobenchServeFlag(t *testing.T) {
+	bin := build(t, "cmd/nachobench")
+	out, err := run(t, bin, "-exp", "fig6", "-bench", "crc", "-serve", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("-serve: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "telemetry on http://127.0.0.1:") {
+		t.Errorf("-serve did not announce its address:\n%s", out)
 	}
 }

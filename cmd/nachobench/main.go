@@ -32,9 +32,20 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV (the original artifact's log format) instead of tables")
 		j       = flag.Int("j", 0, "parallel simulation workers (0 = all CPUs, 1 = sequential)")
 		timings = flag.Bool("timings", true, "print per-experiment timing summaries to stderr")
+		serve   = flag.String("serve", "", "serve live telemetry (/metrics, /status, /debug/pprof) on this address during the sweep")
 	)
 	flag.Parse()
 	nacho.SetParallelism(*j)
+
+	if *serve != "" {
+		ts, err := nacho.ServeTelemetry(*serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nachobench:", err)
+			os.Exit(1)
+		}
+		defer ts.Close()
+		fmt.Fprintf(os.Stderr, "nachobench: telemetry on http://%s\n", ts.Addr())
+	}
 
 	var subset []string
 	if *bench != "" {

@@ -34,6 +34,8 @@ func main() {
 		energyPred = flag.Bool("energy-prediction", false, "single-buffered checkpoints under guaranteed energy")
 		list       = flag.Bool("list", false, "list benchmarks and systems, then exit")
 		runFile    = flag.String("run", "", "assemble and run a user RV32IM .s file instead of a benchmark")
+		perfetto   = flag.String("perfetto", "", "write the run as Perfetto/Chrome trace-event JSON to this file")
+		serve      = flag.String("serve", "", "serve live telemetry (/metrics, /status, /debug/pprof) on this address during the run")
 	)
 	flag.Parse()
 
@@ -70,6 +72,23 @@ func main() {
 		}
 		defer f.Close()
 		cfg.Trace = f
+	}
+	if *perfetto != "" {
+		f, err := os.Create(*perfetto)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		cfg.Perfetto = f
+	}
+	if *serve != "" {
+		ts, err := nacho.ServeTelemetry(*serve)
+		if err != nil {
+			fatal(err)
+		}
+		defer ts.Close()
+		fmt.Fprintf(os.Stderr, "nachosim: telemetry on http://%s\n", ts.Addr())
+		cfg.Telemetry = ts
 	}
 
 	var (

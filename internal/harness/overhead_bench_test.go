@@ -1,0 +1,43 @@
+package harness_test
+
+import (
+	"testing"
+
+	"nacho/internal/harness"
+	"nacho/internal/program"
+	"nacho/internal/sim"
+	"nacho/internal/systems"
+	"nacho/internal/telemetry"
+)
+
+// These benchmarks bound the observability cost on a whole simulation:
+// BenchmarkRunNoProbe is the detached fast path (a nil-check branch per event
+// site plus three per-run atomics), BenchmarkRunTelemetryProbe adds the full
+// metrics adapter. Compare them to see what a live /metrics feed costs; the
+// no-probe number is the one that must stay flat release to release.
+func benchmarkRun(b *testing.B, probe sim.Probe) {
+	p, ok := program.ByName("crc")
+	if !ok {
+		b.Fatal("crc benchmark missing")
+	}
+	img, err := p.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := harness.DefaultRunConfig()
+	cfg.Verify = false
+	cfg.Probe = probe
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.RunImage(img, systems.KindNACHO, cfg, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunNoProbe(b *testing.B) { benchmarkRun(b, nil) }
+
+func BenchmarkRunTelemetryProbe(b *testing.B) {
+	benchmarkRun(b, telemetry.NewProbe(telemetry.NewRegistry()))
+}

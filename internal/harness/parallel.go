@@ -116,9 +116,10 @@ type runCache struct {
 	seen    map[runKey]bool
 	jobs    []job
 
-	runs    int           // simulations executed
-	hits    int           // cache hits, including singleflight waits
-	runTime time.Duration // summed per-run wall time across all workers
+	runs     int           // simulations executed
+	hits     int           // cache hits, including singleflight waits
+	bypassed int           // probed/traced runs that skipped the cache
+	runTime  time.Duration // summed per-run wall time across all workers
 }
 
 func newRunCache() *runCache {
@@ -128,6 +129,10 @@ func newRunCache() *runCache {
 func (rc *runCache) get(p *program.Program, kind systems.Kind, cfg RunConfig) (emu.Result, error) {
 	if cfg.Trace != nil || cfg.Probe != nil {
 		// Tracing and probing are side effects a cached result would swallow.
+		rc.mu.Lock()
+		rc.bypassed++
+		rc.mu.Unlock()
+		pool.cacheBypassed.Add(1)
 		return Run(p, kind, cfg)
 	}
 	key := keyFor(p, kind, cfg)
@@ -143,6 +148,7 @@ func (rc *runCache) get(p *program.Program, kind systems.Kind, cfg RunConfig) (e
 	rc.mu.Lock()
 	if e, ok := rc.entries[key]; ok {
 		rc.hits++
+		pool.cacheHits.Add(1)
 		rc.mu.Unlock()
 		<-e.done
 		return e.res, e.err
@@ -177,12 +183,14 @@ func (rc *runCache) prewarm(jobs []job, nWorkers int) {
 	var wg sync.WaitGroup
 	for i := 0; i < nWorkers; i++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for j := range ch {
+				workerStarted(worker, j)
 				rc.get(j.p, j.kind, j.cfg)
+				workerDone(worker)
 			}
-		}()
+		}(i)
 	}
 	for _, j := range jobs {
 		ch <- j
@@ -206,8 +214,13 @@ func regenerate(build func(rc *runCache) (*Report, error)) (*Report, error) {
 	if nWorkers > 1 {
 		dry := newRunCache()
 		dry.collect = true
-		if _, err := build(dry); err == nil {
+		if dryRep, err := build(dry); err == nil {
+			// The dry pass already assembled the report skeleton, so the
+			// experiment title and matrix size are known before any
+			// simulation starts — /status can show sweep progress live.
+			beginExperiment(dryRep.Title, len(dry.jobs))
 			rc.prewarm(dry.jobs, nWorkers)
+			defer endExperiment()
 		}
 		// On a dry-pass error (e.g. an unknown benchmark) nothing is
 		// prewarmed; the sequential pass reports the error at the same
@@ -220,6 +233,9 @@ func regenerate(build func(rc *runCache) (*Report, error)) (*Report, error) {
 	rc.mu.Lock()
 	rep.Timing = fmt.Sprintf("timing: %d runs (%d cache hits), %v simulated across %d workers, %v harness wall time",
 		rc.runs, rc.hits, rc.runTime.Round(time.Millisecond), nWorkers, time.Since(start).Round(time.Millisecond))
+	if rc.bypassed > 0 {
+		rep.Timing += fmt.Sprintf("; %d probed runs bypassed the run cache", rc.bypassed)
+	}
 	rc.mu.Unlock()
 	return rep, nil
 }

@@ -139,7 +139,9 @@ func RunImage(img *program.Image, kind systems.Kind, cfg RunConfig, checkGolden 
 		MaxInstructions:        cfg.MaxInstructions,
 		Probe:                  probe,
 	})
+	runStarted()
 	res, err := machine.Run()
+	runCompleted(res.Counters.Cycles)
 	if rec != nil {
 		// Flush errors mirror the old unbuffered Fprintf path, whose write
 		// errors were likewise not fatal to the run.

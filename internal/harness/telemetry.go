@@ -1,0 +1,162 @@
+package harness
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nacho/internal/telemetry"
+)
+
+// Live observability of the harness: every run and the worker pool update a
+// process-wide set of atomics, which RegisterMetrics exposes as Prometheus
+// series and Status snapshots as the /status JSON document. The accounting is
+// per-run (three atomic adds around a whole simulation), so it costs nothing
+// measurable against the per-event hot path and stays on unconditionally.
+var pool struct {
+	runsStarted     atomic.Uint64
+	runsCompleted   atomic.Uint64
+	cacheHits       atomic.Uint64
+	cacheBypassed   atomic.Uint64 // probed/traced runs that skipped the run cache
+	simulatedCycles atomic.Uint64
+	workersBusy     atomic.Int64
+	firstRunNano    atomic.Int64 // wall clock of the first run, for cycles/sec
+
+	mu         sync.Mutex
+	experiment string
+	jobsTotal  int
+	jobsDone   uint64
+	activeJobs map[int]WorkerJob // worker id -> current job
+}
+
+// runStarted accounts the start of one simulation.
+func runStarted() {
+	pool.runsStarted.Add(1)
+	pool.firstRunNano.CompareAndSwap(0, time.Now().UnixNano())
+}
+
+// runCompleted accounts one finished simulation and its simulated cycles.
+func runCompleted(cycles uint64) {
+	pool.runsCompleted.Add(1)
+	pool.simulatedCycles.Add(cycles)
+}
+
+// beginExperiment publishes the experiment an upcoming prewarm fan-out
+// belongs to; endExperiment clears it.
+func beginExperiment(title string, jobs int) {
+	pool.mu.Lock()
+	pool.experiment = title
+	pool.jobsTotal = jobs
+	pool.jobsDone = 0
+	pool.mu.Unlock()
+}
+
+func endExperiment() {
+	pool.mu.Lock()
+	pool.experiment = ""
+	pool.jobsTotal = 0
+	pool.jobsDone = 0
+	pool.mu.Unlock()
+}
+
+// workerStarted/workerDone bracket one prewarm job on one worker.
+func workerStarted(worker int, j job) {
+	pool.workersBusy.Add(1)
+	pool.mu.Lock()
+	if pool.activeJobs == nil {
+		pool.activeJobs = make(map[int]WorkerJob)
+	}
+	pool.activeJobs[worker] = WorkerJob{Worker: worker, Program: j.p.Name, System: string(j.kind)}
+	pool.mu.Unlock()
+}
+
+func workerDone(worker int) {
+	pool.workersBusy.Add(-1)
+	pool.mu.Lock()
+	delete(pool.activeJobs, worker)
+	pool.jobsDone++
+	pool.mu.Unlock()
+}
+
+// WorkerJob is one in-flight worker-pool job in a Status snapshot.
+type WorkerJob struct {
+	Worker  int    `json:"worker"`
+	Program string `json:"program"`
+	System  string `json:"system"`
+}
+
+// PoolStatus is the live harness progress document served at /status.
+type PoolStatus struct {
+	Workers               int         `json:"workers"`
+	Busy                  int         `json:"busy"`
+	RunsStarted           uint64      `json:"runs_started"`
+	RunsCompleted         uint64      `json:"runs_completed"`
+	CacheHits             uint64      `json:"cache_hits"`
+	CacheBypassedProbed   uint64      `json:"cache_bypassed_probed"`
+	SimulatedCycles       uint64      `json:"simulated_cycles"`
+	SimulatedCyclesPerSec float64     `json:"simulated_cycles_per_sec"`
+	Experiment            string      `json:"experiment,omitempty"`
+	ExperimentJobs        int         `json:"experiment_jobs"`
+	ExperimentJobsDone    uint64      `json:"experiment_jobs_done"`
+	ActiveJobs            []WorkerJob `json:"active_jobs"`
+}
+
+// Status snapshots the harness's live progress. It is safe to call from any
+// goroutine at any time, including mid-sweep.
+func Status() PoolStatus {
+	st := PoolStatus{
+		Workers:             Workers(),
+		Busy:                int(pool.workersBusy.Load()),
+		RunsStarted:         pool.runsStarted.Load(),
+		RunsCompleted:       pool.runsCompleted.Load(),
+		CacheHits:           pool.cacheHits.Load(),
+		CacheBypassedProbed: pool.cacheBypassed.Load(),
+		SimulatedCycles:     pool.simulatedCycles.Load(),
+		ActiveJobs:          []WorkerJob{},
+	}
+	if first := pool.firstRunNano.Load(); first != 0 {
+		if secs := time.Since(time.Unix(0, first)).Seconds(); secs > 0 {
+			st.SimulatedCyclesPerSec = float64(st.SimulatedCycles) / secs
+		}
+	}
+	pool.mu.Lock()
+	st.Experiment = pool.experiment
+	st.ExperimentJobs = pool.jobsTotal
+	st.ExperimentJobsDone = pool.jobsDone
+	for _, j := range pool.activeJobs {
+		st.ActiveJobs = append(st.ActiveJobs, j)
+	}
+	pool.mu.Unlock()
+	sort.Slice(st.ActiveJobs, func(i, k int) bool { return st.ActiveJobs[i].Worker < st.ActiveJobs[k].Worker })
+	return st
+}
+
+// RegisterMetrics exposes the harness accounting in r as nacho_harness_*
+// series. The Func variants read the live atomics at scrape time, so the
+// series track a running sweep with no extra work on the run path.
+func RegisterMetrics(r *telemetry.Registry) {
+	r.NewCounterFunc("nacho_harness_runs_started_total",
+		"Simulations started.", pool.runsStarted.Load)
+	r.NewCounterFunc("nacho_harness_runs_completed_total",
+		"Simulations completed (with or without error).", pool.runsCompleted.Load)
+	r.NewCounterFunc("nacho_harness_cache_hits_total",
+		"Run-cache hits, including singleflight waits.", pool.cacheHits.Load)
+	r.NewCounterFunc("nacho_harness_cache_bypassed_probed_total",
+		"Probed or traced runs that bypassed the run cache.", pool.cacheBypassed.Load)
+	r.NewCounterFunc("nacho_harness_simulated_cycles_total",
+		"Simulated cycles summed across completed runs.", pool.simulatedCycles.Load)
+	r.NewGaugeFunc("nacho_harness_workers",
+		"Configured worker-pool size.", func() float64 { return float64(Workers()) })
+	r.NewGaugeFunc("nacho_harness_workers_busy",
+		"Workers currently executing a run.", func() float64 { return float64(pool.workersBusy.Load()) })
+	r.NewGaugeFunc("nacho_harness_experiment_jobs",
+		"Unique runs in the experiment currently regenerating.",
+		func() float64 { pool.mu.Lock(); defer pool.mu.Unlock(); return float64(pool.jobsTotal) })
+	r.NewGaugeFunc("nacho_harness_experiment_jobs_done",
+		"Prewarm jobs finished in the experiment currently regenerating.",
+		func() float64 { pool.mu.Lock(); defer pool.mu.Unlock(); return float64(pool.jobsDone) })
+	r.NewGaugeFunc("nacho_harness_simulated_cycles_per_sec",
+		"Aggregate simulation throughput since the first run.",
+		func() float64 { return Status().SimulatedCyclesPerSec })
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"reflect"
 	"strings"
+	"unicode"
 )
 
 // Counters accumulates every observable event of one simulation run.
@@ -138,24 +139,44 @@ func (c Counters) Diff(o Counters) []string {
 	return out
 }
 
-// String renders the counters as an aligned human-readable block.
+// String renders the counters as an aligned human-readable block. It walks
+// the struct fields the same way Diff does, so a newly added counter can
+// never silently drop out of the rendering (the old hand-maintained row list
+// omitted Loads, Stores, AbortedCkpts, AdaptiveCkpts, Regions, RestoreCycles,
+// MaxCheckpointLines and the interval histogram).
 func (c *Counters) String() string {
 	var b strings.Builder
-	row := func(name string, v uint64) { fmt.Fprintf(&b, "  %-22s %12d\n", name, v) }
-	row("cycles", c.Cycles)
-	row("instructions", c.Instructions)
-	row("checkpoints", c.Checkpoints)
-	row("checkpoint lines", c.CheckpointLines)
-	row("nvm reads (words)", c.NVMReads)
-	row("nvm writes (words)", c.NVMWrites)
-	row("nvm bytes read", c.NVMReadBytes)
-	row("nvm bytes written", c.NVMWriteBytes)
-	row("cache hits", c.CacheHits)
-	row("cache misses", c.CacheMisses)
-	row("safe evictions", c.SafeEvictions)
-	row("unsafe evictions", c.UnsafeEvictions)
-	row("dropped stack lines", c.DroppedStackLines)
-	row("power failures", c.PowerFailures)
-	row("forced checkpoints", c.ForcedCkpts)
+	v := reflect.ValueOf(*c)
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		name, fv := t.Field(i).Name, v.Field(i)
+		if fv.Kind() == reflect.Array { // IntervalHist
+			parts := make([]string, fv.Len())
+			for j := range parts {
+				parts[j] = fmt.Sprintf("%d", fv.Index(j).Uint())
+			}
+			fmt.Fprintf(&b, "  %-22s %12s  (<1k / <10k / <100k / >=100k cycles)\n",
+				fieldLabel(name), strings.Join(parts, "/"))
+			continue
+		}
+		fmt.Fprintf(&b, "  %-22s %12d\n", fieldLabel(name), fv.Uint())
+	}
+	return b.String()
+}
+
+// fieldLabel renders a counter field name as a spaced lowercase label,
+// keeping acronym runs intact: NVMReadBytes -> "nvm read bytes",
+// MaxCheckpointLines -> "max checkpoint lines".
+func fieldLabel(name string) string {
+	runes := []rune(name)
+	var b strings.Builder
+	for i, r := range runes {
+		startsWord := i > 0 && unicode.IsUpper(r) &&
+			(!unicode.IsUpper(runes[i-1]) || (i+1 < len(runes) && unicode.IsLower(runes[i+1])))
+		if startsWord {
+			b.WriteByte(' ')
+		}
+		b.WriteRune(unicode.ToLower(r))
+	}
 	return b.String()
 }

@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -85,5 +87,95 @@ func TestMaxCheckpointLinesAdd(t *testing.T) {
 	sum.Add(Counters{MaxCheckpointLines: 5})
 	if sum.MaxCheckpointLines != 9 {
 		t.Errorf("max = %d, want 9", sum.MaxCheckpointLines)
+	}
+}
+
+// fillDistinct sets every counter field to a distinct value via the same
+// reflective walk Diff and String use.
+func fillDistinct(c *Counters) {
+	v := reflect.ValueOf(c).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		if f.Kind() == reflect.Array {
+			for j := 0; j < f.Len(); j++ {
+				f.Index(j).SetUint(uint64(100*(i+1) + j))
+			}
+			continue
+		}
+		f.SetUint(uint64(100 * (i + 1)))
+	}
+}
+
+// TestStringIncludesEveryField is the regression net for the old
+// hand-maintained String, which silently omitted eight fields (Loads, Stores,
+// AbortedCkpts, AdaptiveCkpts, Regions, RestoreCycles, MaxCheckpointLines and
+// the interval histogram): every field's distinct value must render.
+func TestStringIncludesEveryField(t *testing.T) {
+	var c Counters
+	fillDistinct(&c)
+	s := c.String()
+	v := reflect.ValueOf(c)
+	tp := v.Type()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		if f.Kind() == reflect.Array {
+			for j := 0; j < f.Len(); j++ {
+				if want := fmt.Sprintf("%d", f.Index(j).Uint()); !strings.Contains(s, want) {
+					t.Errorf("String() missing %s[%d] = %s:\n%s", tp.Field(i).Name, j, want, s)
+				}
+			}
+			continue
+		}
+		if want := fmt.Sprintf("%d", f.Uint()); !strings.Contains(s, want) {
+			t.Errorf("String() missing %s = %s:\n%s", tp.Field(i).Name, want, s)
+		}
+	}
+}
+
+// TestStringGolden pins the exact rendering, field order included.
+func TestStringGolden(t *testing.T) {
+	var c Counters
+	fillDistinct(&c)
+	want := `  cycles                          100
+  instructions                    200
+  loads                           300
+  stores                          400
+  checkpoints                     500
+  checkpoint lines                600
+  max checkpoint lines            700
+  aborted ckpts                   800
+  forced ckpts                    900
+  adaptive ckpts                 1000
+  nvm reads                      1100
+  nvm writes                     1200
+  nvm read bytes                 1300
+  nvm write bytes                1400
+  cache hits                     1500
+  cache misses                   1600
+  evictions                      1700
+  safe evictions                 1800
+  unsafe evictions               1900
+  dropped stack lines            2000
+  regions                        2100
+  interval hist          2200/2201/2202/2203  (<1k / <10k / <100k / >=100k cycles)
+  power failures                 2300
+  restore cycles                 2400
+`
+	if got := c.String(); got != want {
+		t.Errorf("String() drifted from golden:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestFieldLabel(t *testing.T) {
+	for name, want := range map[string]string{
+		"Cycles":             "cycles",
+		"NVMReadBytes":       "nvm read bytes",
+		"MaxCheckpointLines": "max checkpoint lines",
+		"AbortedCkpts":       "aborted ckpts",
+		"IntervalHist":       "interval hist",
+	} {
+		if got := fieldLabel(name); got != want {
+			t.Errorf("fieldLabel(%q) = %q, want %q", name, got, want)
+		}
 	}
 }

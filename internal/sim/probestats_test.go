@@ -1,0 +1,131 @@
+package sim
+
+import "testing"
+
+// Edge cases of the interval accounting: runs that never commit a
+// checkpoint, failures aborting an in-flight checkpoint, and the final
+// partial interval. In each case the interval totals must agree with the
+// event-derived counters — both observe the same completed-action stream, so
+// they can never disagree, failures or not.
+
+// TestIntervalStatsNoCheckpointEver: a run with NVM traffic and write-backs
+// but no persistence point at all collapses into one EndOfRun interval
+// holding every total.
+func TestIntervalStatsNoCheckpointEver(t *testing.T) {
+	s := &IntervalStats{}
+	cp := NewCounterProbe()
+	p := Combine(s, cp)
+	p.OnNVM(NVMEvent{Cycle: 10, Bytes: 8, Write: false})
+	p.OnNVM(NVMEvent{Cycle: 20, Bytes: 16, Write: true})
+	p.OnWriteBack(WriteBackEvent{Cycle: 30, Verdict: VerdictSafe})
+	s.Finish(500)
+
+	if s.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", s.Count())
+	}
+	iv := s.Intervals[0]
+	if !iv.EndOfRun || iv.PowerFailure || iv.Start != 0 || iv.End != 500 {
+		t.Errorf("tail interval wrong: %+v", iv)
+	}
+	if iv.NVMReadBytes != 8 || iv.NVMWriteBytes != 16 || iv.WriteBacks[VerdictSafe] != 1 {
+		t.Errorf("tail interval traffic wrong: %+v", iv)
+	}
+	c := cp.Counters()
+	if s.TotalNVMReadBytes != c.NVMReadBytes || s.TotalNVMWriteBytes != c.NVMWriteBytes {
+		t.Errorf("interval NVM totals (%d/%d) disagree with counter probe (%d/%d)",
+			s.TotalNVMReadBytes, s.TotalNVMWriteBytes, c.NVMReadBytes, c.NVMWriteBytes)
+	}
+	if c.Checkpoints != 0 {
+		t.Errorf("counter probe saw %d checkpoints, want 0", c.Checkpoints)
+	}
+}
+
+// TestIntervalStatsEmptyRun: no events and Finish(0) is zero intervals — an
+// idle tail must not be fabricated.
+func TestIntervalStatsEmptyRun(t *testing.T) {
+	s := &IntervalStats{}
+	s.Finish(0)
+	if s.Count() != 0 {
+		t.Errorf("Count = %d, want 0 for an empty run", s.Count())
+	}
+}
+
+// TestIntervalStatsFailureAbortsInFlightCheckpoint: a power failure between
+// OnCheckpointBegin and the commit that never came closes the interval as
+// PowerFailure (a begin is not a persistence point), and the counter-probe
+// view agrees: no checkpoint, one failure.
+func TestIntervalStatsFailureAbortsInFlightCheckpoint(t *testing.T) {
+	s := &IntervalStats{}
+	cp := NewCounterProbe()
+	p := Combine(s, cp)
+	p.OnNVM(NVMEvent{Cycle: 40, Bytes: 4, Write: true})
+	p.OnCheckpointBegin(CheckpointEvent{Cycle: 90, Lines: 7})
+	// Staging writes charged before the failure hit.
+	p.OnNVM(NVMEvent{Cycle: 95, Bytes: 32, Write: true})
+	p.OnPowerFailure(PowerEvent{Cycle: 100})
+	p.OnRestore(RestoreEvent{Cycle: 150, Cycles: 50, OK: false})
+	p.OnCheckpointCommit(CheckpointEvent{Cycle: 300, Kind: CheckpointCommit, Lines: 2})
+	s.Finish(400)
+
+	if s.Count() != 3 {
+		t.Fatalf("Count = %d, want 3 (failure-cut, commit-closed, tail)", s.Count())
+	}
+	first := s.Intervals[0]
+	if !first.PowerFailure || first.End != 100 || first.NVMWriteBytes != 36 {
+		t.Errorf("failure-cut interval wrong: %+v", first)
+	}
+	if first.Lines != 0 {
+		t.Errorf("aborted staging leaked its line count into the interval: %+v", first)
+	}
+	second := s.Intervals[1]
+	if second.PowerFailure || second.Kind != CheckpointCommit || second.Start != 100 || second.End != 300 || second.Lines != 2 {
+		t.Errorf("commit-closed interval wrong: %+v", second)
+	}
+	c := cp.Counters()
+	if c.Checkpoints != 1 || c.PowerFailures != 1 || c.RestoreCycles != 50 {
+		t.Errorf("counter probe: %d checkpoints, %d failures, %d restore cycles; want 1/1/50",
+			c.Checkpoints, c.PowerFailures, c.RestoreCycles)
+	}
+	// Interval boundaries and direct counters agree: commits + failures,
+	// plus the end-of-run tail.
+	if want := int(c.Checkpoints+c.PowerFailures) + 1; s.Count() != want {
+		t.Errorf("Count = %d, want checkpoints+failures+tail = %d", s.Count(), want)
+	}
+}
+
+// TestIntervalStatsFinalPartialInterval: work after the last commit lands in
+// the EndOfRun tail with its own traffic, and the totals still match the
+// event-derived counters.
+func TestIntervalStatsFinalPartialInterval(t *testing.T) {
+	s := &IntervalStats{}
+	cp := NewCounterProbe()
+	p := Combine(s, cp)
+	p.OnNVM(NVMEvent{Cycle: 10, Bytes: 8, Write: true})
+	p.OnCheckpointCommit(CheckpointEvent{Cycle: 100, Kind: CheckpointCommit, Lines: 1})
+	p.OnNVM(NVMEvent{Cycle: 150, Bytes: 24, Write: false})
+	p.OnWriteBack(WriteBackEvent{Cycle: 160, Verdict: VerdictUnsafe})
+	s.Finish(200)
+
+	if s.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", s.Count())
+	}
+	tail := s.Intervals[1]
+	if !tail.EndOfRun || tail.Start != 100 || tail.End != 200 {
+		t.Errorf("tail interval wrong: %+v", tail)
+	}
+	if tail.NVMReadBytes != 24 || tail.WriteBacks[VerdictUnsafe] != 1 {
+		t.Errorf("tail interval traffic wrong: %+v", tail)
+	}
+	c := cp.Counters()
+	if s.TotalNVMReadBytes != c.NVMReadBytes || s.TotalNVMWriteBytes != c.NVMWriteBytes {
+		t.Errorf("interval NVM totals (%d/%d) disagree with counter probe (%d/%d)",
+			s.TotalNVMReadBytes, s.TotalNVMWriteBytes, c.NVMReadBytes, c.NVMWriteBytes)
+	}
+	wbTotal := uint64(0)
+	for _, n := range s.TotalWriteBacks {
+		wbTotal += n
+	}
+	if wbTotal != c.UnsafeEvictions+c.SafeEvictions {
+		t.Errorf("write-back totals %d disagree with counters", wbTotal)
+	}
+}

@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file renders a Registry in the two exposition formats: the Prometheus
+// text format (version 0.0.4, the format every Prometheus-compatible scraper
+// accepts) and a JSON snapshot for ad-hoc consumers. Both are point-in-time
+// reads of the lock-free metric values; a scrape concurrent with a running
+// simulation sees a consistent-enough cut (each sample individually atomic).
+
+// PrometheusContentType is the Content-Type of WritePrometheus output.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format: one # HELP / # TYPE block per family, histograms as
+// cumulative _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	families := append([]*family(nil), r.families...)
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	for _, f := range families {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			if f.kind == kindHistogram {
+				writeHistogram(&b, f.name, s)
+				continue
+			}
+			fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labelsStr, formatValue(s.value()))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders one histogram series: cumulative buckets with
+// inclusive le bounds, then the implicit +Inf bucket, sum and count.
+func writeHistogram(b *strings.Builder, name string, s *series) {
+	h := s.hist
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, mergeLabel(s.labelsStr, "le", strconv.FormatUint(bound, 10)), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, mergeLabel(s.labelsStr, "le", "+Inf"), cum)
+	fmt.Fprintf(b, "%s_sum%s %d\n", name, s.labelsStr, h.Sum())
+	fmt.Fprintf(b, "%s_count%s %d\n", name, s.labelsStr, h.Count())
+}
+
+// mergeLabel appends one label pair to a pre-rendered label string.
+func mergeLabel(labels, name, value string) string {
+	pair := fmt.Sprintf("%s=%q", name, value)
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+// formatValue renders a sample value the way Prometheus expects: integral
+// values without an exponent, everything else in shortest-float form.
+func formatValue(v float64) string {
+	if v == float64(uint64(v)) {
+		return strconv.FormatUint(uint64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes newlines and backslashes per the text-format spec.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Bucket is one cumulative histogram bucket in a JSON snapshot.
+type Bucket struct {
+	// Le is the inclusive upper bound, "+Inf" for the catch-all bucket.
+	Le string `json:"le"`
+	// Count is cumulative, matching the Prometheus bucket semantics.
+	Count uint64 `json:"count"`
+}
+
+// HistogramValue is the JSON form of one histogram series.
+type HistogramValue struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Sample is one metric series in a JSON snapshot.
+type Sample struct {
+	Name      string            `json:"name"`
+	Kind      string            `json:"kind"`
+	Labels    map[string]string `json:"labels,omitempty"`
+	Value     float64           `json:"value"`
+	Histogram *HistogramValue   `json:"histogram,omitempty"`
+}
+
+// Snapshot returns a point-in-time copy of every registered series, in
+// registration order.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.RLock()
+	families := append([]*family(nil), r.families...)
+	r.mu.RUnlock()
+
+	var out []Sample
+	for _, f := range families {
+		for _, s := range f.series {
+			sample := Sample{Name: f.name, Kind: f.kind.String()}
+			if len(s.labels) > 0 {
+				sample.Labels = make(map[string]string, len(s.labels))
+				for _, l := range s.labels {
+					sample.Labels[l.Name] = l.Value
+				}
+			}
+			if f.kind == kindHistogram {
+				h := s.hist
+				hv := &HistogramValue{Count: h.Count(), Sum: h.Sum()}
+				cum := uint64(0)
+				for i, bound := range h.bounds {
+					cum += h.counts[i].Load()
+					hv.Buckets = append(hv.Buckets, Bucket{Le: strconv.FormatUint(bound, 10), Count: cum})
+				}
+				cum += h.counts[len(h.bounds)].Load()
+				hv.Buckets = append(hv.Buckets, Bucket{Le: "+Inf", Count: cum})
+				sample.Histogram = hv
+				sample.Value = float64(h.Count())
+			} else {
+				sample.Value = s.value()
+			}
+			out = append(out, sample)
+		}
+	}
+	return out
+}
+
+// WriteJSON renders the snapshot as an indented JSON array.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

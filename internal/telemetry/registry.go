@@ -1,0 +1,275 @@
+// Package telemetry is the export layer over the simulation's observability
+// seams: a concurrency-safe metrics registry with Prometheus-text and JSON
+// exposition, a sim.Probe adapter that feeds the registry from the event
+// stream, a Chrome-trace-event/Perfetto renderer for visual timelines, and an
+// HTTP server exposing all of it live (/metrics, /status, /debug/pprof).
+//
+// The registry hot path — Counter.Add, Gauge.Set, Histogram.Observe — is a
+// handful of atomic operations and performs no allocation (pinned by the
+// benchmarks in bench_test.go), so a telemetry probe can observe a simulation
+// without perturbing it and one registry can be shared by every worker of a
+// parallel sweep.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is usable, but
+// counters are normally created registered via Registry.NewCounter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down, stored as a float64.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments the gauge by d (d may be negative).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts integer observations into fixed buckets. Bounds are
+// inclusive upper limits (Prometheus `le` semantics); an implicit +Inf bucket
+// catches everything beyond the last bound. Observations, sum and count are
+// all atomic; Observe is a linear scan over the (small, fixed) bound slice
+// plus three atomic adds — no allocation, no lock.
+type Histogram struct {
+	bounds []uint64        // sorted inclusive upper bounds
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	sum    atomic.Uint64
+	count  atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Label is one constant name="value" pair attached to a metric series.
+type Label struct{ Name, Value string }
+
+// kind is the exposition type of a metric family.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// series is one labelled sample stream within a family. Exactly one of the
+// value sources is set.
+type series struct {
+	labels    []Label
+	labelsStr string // pre-rendered {k="v",...}, "" when unlabelled
+
+	counter   *Counter
+	gauge     *Gauge
+	hist      *Histogram
+	counterFn func() uint64
+	gaugeFn   func() float64
+}
+
+// value returns the series' scalar value at scrape time (histograms are
+// rendered separately).
+func (s *series) value() float64 {
+	switch {
+	case s.counter != nil:
+		return float64(s.counter.Value())
+	case s.gauge != nil:
+		return s.gauge.Value()
+	case s.counterFn != nil:
+		return float64(s.counterFn())
+	case s.gaugeFn != nil:
+		return s.gaugeFn()
+	}
+	return 0
+}
+
+// family groups every series sharing one metric name (one HELP/TYPE block in
+// the Prometheus exposition).
+type family struct {
+	name, help string
+	kind       kind
+	series     []*series
+}
+
+// Registry holds an ordered set of metric families. Registration takes a
+// lock; reads and writes of registered metrics are lock-free. All New*
+// methods panic on an invalid name, a duplicate (name, labels) pair, or a
+// help/type conflict with an existing family — registration mistakes are
+// programmer errors, caught at startup.
+type Registry struct {
+	mu       sync.RWMutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// NewCounter registers and returns a counter.
+func (r *Registry) NewCounter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.register(name, help, kindCounter, &series{labels: labels, counter: c})
+	return c
+}
+
+// NewGauge registers and returns a gauge.
+func (r *Registry) NewGauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, kindGauge, &series{labels: labels, gauge: g})
+	return g
+}
+
+// NewHistogram registers and returns a histogram with the given inclusive
+// upper bounds (must be sorted ascending; the +Inf bucket is implicit).
+func (r *Registry) NewHistogram(name, help string, bounds []uint64, labels ...Label) *Histogram {
+	if !sort.SliceIsSorted(bounds, func(i, j int) bool { return bounds[i] < bounds[j] }) {
+		panic(fmt.Sprintf("telemetry: histogram %q bounds not sorted: %v", name, bounds))
+	}
+	h := &Histogram{bounds: append([]uint64(nil), bounds...), counts: make([]atomic.Uint64, len(bounds)+1)}
+	r.register(name, help, kindHistogram, &series{labels: labels, hist: h})
+	return h
+}
+
+// NewCounterFunc registers a counter whose value is read from fn at scrape
+// time (for pre-existing atomic state maintained elsewhere, e.g. the harness
+// worker pool). fn must be concurrency-safe and monotonic.
+func (r *Registry) NewCounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	r.register(name, help, kindCounter, &series{labels: labels, counterFn: fn})
+}
+
+// NewGaugeFunc registers a gauge whose value is read from fn at scrape time.
+// fn must be concurrency-safe.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, kindGauge, &series{labels: labels, gaugeFn: fn})
+}
+
+func (r *Registry) register(name, help string, k kind, s *series) {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	for _, l := range s.labels {
+		if !validLabelName(l.Name) {
+			panic(fmt.Sprintf("telemetry: metric %q: invalid label name %q", name, l.Name))
+		}
+	}
+	s.labelsStr = renderLabels(s.labels)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.byName[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: k}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	} else {
+		if f.kind != k {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered as %s, was %s", name, k, f.kind))
+		}
+		if f.help != help {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered with different help", name))
+		}
+	}
+	for _, prev := range f.series {
+		if prev.labelsStr == s.labelsStr {
+			panic(fmt.Sprintf("telemetry: duplicate series %s%s", name, s.labelsStr))
+		}
+	}
+	f.series = append(f.series, s)
+}
+
+// renderLabels pre-renders the {k="v",...} suffix once at registration so the
+// exposition path never rebuilds it.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Name, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		alpha := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':'
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		alpha := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_'
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}

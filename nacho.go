@@ -31,6 +31,7 @@ import (
 	"nacho/internal/program"
 	"nacho/internal/sim"
 	"nacho/internal/systems"
+	"nacho/internal/telemetry"
 )
 
 // System selects the memory system to simulate (paper Section 6.1.2).
@@ -114,6 +115,14 @@ type Config struct {
 	// consecutive persistence points); the result carries them in
 	// Result.ProbeStats. Slows the run slightly: every event is observed.
 	ProbeStats bool
+	// Perfetto, when non-nil, receives the run as Chrome trace-event JSON —
+	// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing — with
+	// checkpoint intervals as duration slices, power outages and write-back
+	// verdicts on their own tracks, and an NVM-traffic counter track.
+	Perfetto io.Writer
+	// Telemetry, when non-nil, feeds the run's event stream into the
+	// server's live nacho_sim_* metrics (see ServeTelemetry).
+	Telemetry *TelemetryServer
 }
 
 func (c Config) withDefaults() Config {
@@ -288,16 +297,48 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("nacho: unknown benchmark %q (see Benchmarks())", cfg.Benchmark)
 	}
 	rc := cfg.runConfig()
-	var stats *sim.IntervalStats
-	if cfg.ProbeStats {
-		stats = &sim.IntervalStats{}
-		rc.Probe = stats
-	}
+	stats, tep := cfg.observers(&rc)
 	res, err := harness.Run(p, systems.Kind(cfg.System), rc)
-	if err != nil {
+	if err := finishTrace(tep, res.Counters.Cycles, err); err != nil {
 		return nil, err
 	}
 	return newResult(res, stats), nil
+}
+
+// observers assembles the run's optional probe pipeline from the config: the
+// interval-statistics collector, the Perfetto trace exporter, and the live
+// telemetry feed all observe the same event stream.
+func (c Config) observers(rc *harness.RunConfig) (*sim.IntervalStats, *telemetry.TraceEventProbe) {
+	var (
+		stats  *sim.IntervalStats
+		tep    *telemetry.TraceEventProbe
+		probes []sim.Probe
+	)
+	if c.ProbeStats {
+		stats = &sim.IntervalStats{}
+		probes = append(probes, stats)
+	}
+	if c.Perfetto != nil {
+		tep = telemetry.NewTraceEventProbe(c.Perfetto)
+		probes = append(probes, tep)
+	}
+	if c.Telemetry != nil {
+		probes = append(probes, c.Telemetry.probe)
+	}
+	rc.Probe = sim.Combine(probes...)
+	return stats, tep
+}
+
+// finishTrace terminates a Perfetto export (so the document is loadable even
+// after a failed run) and folds its write error into the run error.
+func finishTrace(tep *telemetry.TraceEventProbe, cycles uint64, runErr error) error {
+	if tep == nil {
+		return runErr
+	}
+	if err := tep.Finish(cycles); err != nil && runErr == nil {
+		return fmt.Errorf("nacho: perfetto export: %w", err)
+	}
+	return runErr
 }
 
 // newResult maps an internal run result (and optional interval statistics)

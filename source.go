@@ -5,7 +5,6 @@ import (
 
 	"nacho/internal/harness"
 	"nacho/internal/program"
-	"nacho/internal/sim"
 	"nacho/internal/systems"
 )
 
@@ -42,13 +41,9 @@ func RunSource(name, source string, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	rc := cfg.runConfig()
-	var stats *sim.IntervalStats
-	if cfg.ProbeStats {
-		stats = &sim.IntervalStats{}
-		rc.Probe = stats
-	}
+	stats, tep := cfg.observers(&rc)
 	res, err := harness.RunImage(img, systems.Kind(cfg.System), rc, false)
-	if err != nil {
+	if err := finishTrace(tep, res.Counters.Cycles, err); err != nil {
 		return nil, err
 	}
 	return newResult(res, stats), nil

@@ -1,0 +1,45 @@
+package nacho
+
+import (
+	"nacho/internal/harness"
+	"nacho/internal/telemetry"
+)
+
+// TelemetryServer is a live observability endpoint for this process's
+// simulations. It serves:
+//
+//	/metrics        Prometheus text exposition (harness + simulation series)
+//	/metrics.json   the same registry as a JSON snapshot
+//	/status         live worker-pool and experiment progress
+//	/debug/pprof/   the standard Go profiler
+//
+// The harness series (nacho_harness_*: runs started/completed, cache hits,
+// busy workers, simulated cycles and throughput) track every run in the
+// process, including experiment sweeps. The simulation series (nacho_sim_*:
+// accesses, write-backs by verdict, checkpoints by kind, power failures, NVM
+// traffic) additionally aggregate the event streams of runs that set
+// Config.Telemetry to this server.
+type TelemetryServer struct {
+	srv   *telemetry.Server
+	reg   *telemetry.Registry
+	probe *telemetry.Probe
+}
+
+// ServeTelemetry starts a telemetry server on addr ("127.0.0.1:0" picks a
+// free port; read it back with Addr). Close it when the run or sweep is done.
+func ServeTelemetry(addr string) (*TelemetryServer, error) {
+	reg := telemetry.NewRegistry()
+	harness.RegisterMetrics(reg)
+	probe := telemetry.NewProbe(reg)
+	srv, err := telemetry.NewServer(addr, reg, func() any { return harness.Status() })
+	if err != nil {
+		return nil, err
+	}
+	return &TelemetryServer{srv: srv, reg: reg, probe: probe}, nil
+}
+
+// Addr returns the server's bound listen address.
+func (t *TelemetryServer) Addr() string { return t.srv.Addr() }
+
+// Close gracefully shuts the server down.
+func (t *TelemetryServer) Close() error { return t.srv.Close() }

@@ -1,0 +1,207 @@
+package nacho_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"nacho"
+)
+
+// promLineRe matches one sample line of the Prometheus text exposition.
+var promLineRe = regexp.MustCompile(
+	`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (\+Inf|-Inf|NaN|-?[0-9.eE+-]+)$`)
+
+// scrape fetches url and parses the body as text exposition, failing the test
+// on any unparseable line.
+func scrape(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	samples := map[string]float64{}
+	for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := promLineRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("unparseable exposition line: %q", line)
+			continue
+		}
+		v, err := strconv.ParseFloat(m[4], 64)
+		if err != nil {
+			t.Errorf("unparseable value in %q: %v", line, err)
+			continue
+		}
+		samples[m[1]+m[2]] = v
+	}
+	return samples
+}
+
+// TestServeTelemetryEndToEnd is the acceptance test for the live telemetry
+// server: scrapable mid-sweep, every /metrics line valid text exposition,
+// /status showing live worker-pool progress, and the nacho_sim_* series fed
+// by a telemetry-attached run.
+func TestServeTelemetryEndToEnd(t *testing.T) {
+	ts, err := nacho.ServeTelemetry("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+	base := "http://" + ts.Addr()
+
+	// A run feeding the sim-event series.
+	if _, err := nacho.Run(nacho.Config{Benchmark: "crc", OnDurationMs: 1, Telemetry: ts}); err != nil {
+		t.Fatal(err)
+	}
+
+	// An experiment sweep in the background; scrape concurrently until it
+	// finishes, validating every line of every mid-sweep exposition.
+	done := make(chan error, 1)
+	go func() {
+		_, err := nacho.RunExperiment("fig5", []string{"crc", "sha"})
+		done <- err
+	}()
+	for running := true; running; {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			running = false
+		case <-time.After(2 * time.Millisecond):
+			scrape(t, base+"/metrics")
+		}
+	}
+
+	samples := scrape(t, base+"/metrics")
+	if samples["nacho_harness_runs_completed_total"] < 1 {
+		t.Errorf("runs_completed = %g, want >= 1", samples["nacho_harness_runs_completed_total"])
+	}
+	if samples["nacho_harness_simulated_cycles_total"] <= 0 {
+		t.Errorf("simulated_cycles = %g, want > 0", samples["nacho_harness_simulated_cycles_total"])
+	}
+	if samples["nacho_sim_instructions_total"] <= 0 {
+		t.Errorf("sim instructions = %g, want > 0 (telemetry-attached run)", samples["nacho_sim_instructions_total"])
+	}
+	if samples["nacho_sim_power_failures_total"] <= 0 {
+		t.Errorf("sim power failures = %g, want > 0 (1 ms on-duration run)", samples["nacho_sim_power_failures_total"])
+	}
+
+	// /status: the live pool document.
+	resp, err := http.Get(base + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var status struct {
+		Workers       int    `json:"workers"`
+		RunsStarted   uint64 `json:"runs_started"`
+		RunsCompleted uint64 `json:"runs_completed"`
+		ActiveJobs    []any  `json:"active_jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatalf("/status decode: %v", err)
+	}
+	if status.Workers < 1 || status.RunsCompleted < 1 {
+		t.Errorf("/status = %+v, want workers and completed runs", status)
+	}
+	if status.ActiveJobs == nil {
+		t.Error("/status active_jobs missing (want [] when idle)")
+	}
+
+	// /metrics.json: a decodable snapshot naming the same series.
+	resp2, err := http.Get(base + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var metricsJSON []struct {
+		Name string `json:"name"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&metricsJSON); err != nil {
+		t.Fatalf("/metrics.json decode: %v", err)
+	}
+	names := map[string]bool{}
+	for _, s := range metricsJSON {
+		names[s.Name] = true
+	}
+	if !names["nacho_harness_runs_completed_total"] || !names["nacho_sim_instructions_total"] {
+		t.Errorf("/metrics.json missing expected series (have %d)", len(metricsJSON))
+	}
+}
+
+// TestPerfettoExport is the acceptance test for Config.Perfetto: a Table 3
+// benchmark under power failures must yield Perfetto-loadable trace-event
+// JSON with named tracks, checkpoint-interval duration slices, and write-back
+// instants.
+func TestPerfettoExport(t *testing.T) {
+	var buf strings.Builder
+	res, err := nacho.Run(nacho.Config{Benchmark: "crc", OnDurationMs: 1, Perfetto: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Name string         `json:"name"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &doc); err != nil {
+		t.Fatalf("perfetto output is not valid JSON: %v", err)
+	}
+	var slices, instants, meta int
+	names := map[string]bool{}
+	var maxEnd float64
+	for _, e := range doc.TraceEvents {
+		names[e.Name] = true
+		switch e.Ph {
+		case "X":
+			slices++
+			if end := e.Ts + e.Dur; end > maxEnd {
+				maxEnd = end
+			}
+		case "i":
+			instants++
+		case "M":
+			meta++
+			// Track names live in the metadata event's args.
+			if n, ok := e.Args["name"].(string); ok {
+				names[n] = true
+			}
+		}
+	}
+	if slices == 0 || meta == 0 {
+		t.Fatalf("trace has %d slices, %d metadata events; want both > 0", slices, meta)
+	}
+	for _, want := range []string{"checkpoint intervals", "power", "write-backs", "commit", "power-failure", "end-of-run"} {
+		if !names[want] {
+			t.Errorf("trace missing event/track name %q", want)
+		}
+	}
+	// The timeline must span the whole run (ts in microseconds at 50 MHz).
+	if wantEnd := float64(res.Cycles) / 50.0; maxEnd < wantEnd {
+		t.Errorf("trace ends at %g us, run ended at %g us", maxEnd, wantEnd)
+	}
+	if res.PowerFailures > 0 && instants == 0 {
+		t.Errorf("no write-back instants in an intermittent run")
+	}
+}
