@@ -29,4 +29,15 @@ go test -bench=. -benchtime=1x ./internal/cache/ ./internal/track/ ./internal/te
 # exposition line, then check the Perfetto export loads as trace-event JSON.
 go test -run 'TestServeTelemetryEndToEnd|TestPerfettoExport' .
 
+# Crash-consistency fuzzing smoke: a short coverage-guided run of the
+# differential oracle (any reported input is a real consistency bug), then
+# a fixed-seed campaign run twice — the report must be byte-identical, and
+# a finding (non-zero exit) fails the gate.
+go test -run Fuzz -fuzz FuzzDifferentialNACHO -fuzztime 10s ./internal/fuzzer/
+go build -o /tmp/nachofuzz.ci ./cmd/nachofuzz
+/tmp/nachofuzz.ci -seeds 64 2>/dev/null >/tmp/nachofuzz.ci.1
+/tmp/nachofuzz.ci -seeds 64 2>/dev/null >/tmp/nachofuzz.ci.2
+diff /tmp/nachofuzz.ci.1 /tmp/nachofuzz.ci.2
+rm -f /tmp/nachofuzz.ci /tmp/nachofuzz.ci.1 /tmp/nachofuzz.ci.2
+
 echo "ci.sh: all checks passed"

@@ -5,6 +5,7 @@ package cmd_test
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -219,6 +220,142 @@ func TestNachosimTelemetryFlags(t *testing.T) {
 
 	if out, err = run(t, bin, "-bench", "crc", "-serve", "256.0.0.1:http"); err == nil {
 		t.Errorf("bad -serve address accepted:\n%s", out)
+	}
+}
+
+// exitCode extracts the exit status from run's error (-1 if the process
+// never ran or was killed by a signal).
+func exitCode(err error) int {
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		return ee.ExitCode()
+	}
+	return -1
+}
+
+// TestCLIErrorPaths: every command must reject a bad invocation with a
+// non-zero exit status and a diagnostic naming the command and the offending
+// input — the contract shell scripts and CI depend on. Unwritable outputs
+// use a nonexistent parent directory (permission bits are no barrier when
+// tests run as root).
+func TestCLIErrorPaths(t *testing.T) {
+	sim := build(t, "cmd/nachosim")
+	bench := build(t, "cmd/nachobench")
+	asm := build(t, "cmd/nachoasm")
+	fuzz := build(t, "cmd/nachofuzz")
+
+	src := filepath.Join(t.TempDir(), "ok.s")
+	if err := os.WriteFile(src, []byte("_start:\n li a0, 1\nloop:\n j loop\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		bin  string
+		args []string
+		want []string // substrings required in combined output
+	}{
+		{"nachosim unknown flag", sim, []string{"-definitely-not-a-flag"},
+			[]string{"flag provided but not defined", "Usage"}},
+		{"nachosim unknown benchmark", sim, []string{"-bench", "no-such-bench"},
+			[]string{"nachosim:", "no-such-bench"}},
+		{"nachosim unknown system", sim, []string{"-bench", "crc", "-system", "no-such-system"},
+			[]string{"nachosim:", "no-such-system"}},
+		{"nachosim missing -run file", sim, []string{"-run", "/nonexistent/prog.s"},
+			[]string{"nachosim:", "/nonexistent/prog.s"}},
+		{"nachosim unwritable -trace", sim, []string{"-bench", "crc", "-trace", "/nonexistent-dir/t.out"},
+			[]string{"nachosim:", "/nonexistent-dir/t.out"}},
+		{"nachosim unwritable -perfetto", sim, []string{"-bench", "crc", "-perfetto", "/nonexistent-dir/p.json"},
+			[]string{"nachosim:", "/nonexistent-dir/p.json"}},
+		{"nachobench unknown flag", bench, []string{"-definitely-not-a-flag"},
+			[]string{"flag provided but not defined", "Usage"}},
+		{"nachobench unknown experiment", bench, []string{"-exp", "no-such-exp"},
+			[]string{"nachobench:", "no-such-exp"}},
+		{"nachoasm no input", asm, nil,
+			[]string{"usage: nachoasm"}},
+		{"nachoasm two inputs", asm, []string{src, src},
+			[]string{"usage: nachoasm"}},
+		{"nachoasm missing input", asm, []string{"/nonexistent/prog.s"},
+			[]string{"nachoasm:", "/nonexistent/prog.s"}},
+		{"nachoasm unwritable -o", asm, []string{"-o", "/nonexistent-dir/out.bin", src},
+			[]string{"nachoasm:", "/nonexistent-dir/out.bin"}},
+		{"nachofuzz unknown system", fuzz, []string{"-systems", "no-such-system"},
+			[]string{"nachofuzz:", "no-such-system"}},
+		{"nachofuzz volatile rejected", fuzz, []string{"-systems", "volatile"},
+			[]string{"nachofuzz:", "volatile"}},
+		{"nachofuzz bad seed count", fuzz, []string{"-seeds", "-3"},
+			[]string{"nachofuzz:", "-seeds"}},
+		{"nachofuzz missing artifact", fuzz, []string{"-replay", "/nonexistent/finding.json"},
+			[]string{"nachofuzz:", "/nonexistent/finding.json"}},
+		{"nachofuzz stray argument", fuzz, []string{"-seeds", "1", "stray"},
+			[]string{"nachofuzz:", "stray"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := run(t, tc.bin, tc.args...)
+			if err == nil {
+				t.Fatalf("exit 0, want failure:\n%s", out)
+			}
+			if code := exitCode(err); code <= 0 {
+				t.Fatalf("exit code %d, want positive: %v\n%s", code, err, out)
+			}
+			for _, w := range tc.want {
+				if !strings.Contains(out, w) {
+					t.Errorf("output missing %q:\n%s", w, out)
+				}
+			}
+		})
+	}
+}
+
+// TestNachofuzzEndToEnd drives the fuzzing CLI the way CI does: a healthy
+// campaign exits 0 with a deterministic report, a campaign against the
+// deliberately broken system exits 1 and leaves artifacts, and -replay on
+// such an artifact exits 0 after reproducing the finding.
+func TestNachofuzzEndToEnd(t *testing.T) {
+	bin := build(t, "cmd/nachofuzz")
+
+	// The report on stdout must be byte-identical across runs; timing noise
+	// belongs on stderr.
+	outputs := make([]string, 2)
+	for i := range outputs {
+		cmd := exec.Command(bin, "-seeds", "8")
+		var stdout, stderr strings.Builder
+		cmd.Stdout, cmd.Stderr = &stdout, &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("healthy campaign: %v\n%s", err, stderr.String())
+		}
+		if strings.Contains(stdout.String(), "timing:") {
+			t.Errorf("timing leaked into stdout:\n%s", stdout.String())
+		}
+		outputs[i] = stdout.String()
+	}
+	if !strings.Contains(outputs[0], "8 seeds") || !strings.Contains(outputs[0], "0 findings") {
+		t.Errorf("healthy report wrong:\n%s", outputs[0])
+	}
+	if outputs[0] != outputs[1] {
+		t.Errorf("campaign is not deterministic:\n--- first\n%s--- second\n%s", outputs[0], outputs[1])
+	}
+
+	dir := filepath.Join(t.TempDir(), "findings")
+	out, err := run(t, bin, "-seeds", "10", "-systems", "nacho-broken-pw", "-out", dir)
+	if code := exitCode(err); code != 1 {
+		t.Fatalf("broken campaign exit = %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "FINDING") || !strings.Contains(out, "war-violation") {
+		t.Errorf("broken campaign report missing findings:\n%s", out)
+	}
+	arts, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(arts) == 0 {
+		t.Fatalf("no artifacts written to %s (%v)", dir, err)
+	}
+
+	out, err = run(t, bin, "-replay", arts[0])
+	if err != nil {
+		t.Fatalf("-replay: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "reproduced") {
+		t.Errorf("-replay output wrong:\n%s", out)
 	}
 }
 

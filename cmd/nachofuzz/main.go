@@ -1,0 +1,158 @@
+// Command nachofuzz runs the crash-consistency fuzzing campaign: seeded
+// random RV32IM programs through the differential oracle across the memory
+// systems, under randomized power-failure schedules.
+//
+// Usage:
+//
+//	nachofuzz -seeds 256                      # all six systems, default oracle
+//	nachofuzz -seeds 64 -systems nacho,clank  # restrict the system matrix
+//	nachofuzz -duration 30s -out findings/    # time-boxed, write artifacts
+//	nachofuzz -replay findings/war-violation-nacho-seed5.json
+//
+// Without -duration the campaign is deterministic: the same flags produce
+// the same findings report, byte for byte (timing goes to stderr). The
+// exit status is 0 when no findings, 1 when the oracle found divergences,
+// 2 on usage or infrastructure errors. -replay re-executes a finding
+// artifact and exits 0 only if the finding still reproduces.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"nacho/internal/fuzzer"
+	"nacho/internal/harness"
+	"nacho/internal/systems"
+	"nacho/internal/telemetry"
+)
+
+func main() {
+	var (
+		seeds     = flag.Int("seeds", 256, "number of generated programs (seeds seed-base..seed-base+N-1)")
+		seedBase  = flag.Int64("seed-base", 1, "first generator seed")
+		sysList   = flag.String("systems", "all", "comma-separated systems to fuzz, or 'all'")
+		schedules = flag.Int("schedules", 3, "randomized failure schedules per (program, system)")
+		cacheSize = flag.Int("cache", 512, "data cache size in bytes")
+		ways      = flag.Int("ways", 2, "cache associativity")
+		duration  = flag.Duration("duration", 0, "stop after this wall time (0 = run all seeds; makes the report non-deterministic)")
+		minimize  = flag.Bool("minimize", true, "delta-debug findings before reporting")
+		outDir    = flag.String("out", "", "write replayable finding artifacts to this directory")
+		replay    = flag.String("replay", "", "replay a finding artifact instead of fuzzing")
+		workers   = flag.Int("j", 0, "worker goroutines (0 = all cores)")
+		serve     = flag.String("serve", "", "serve live telemetry (nacho_fuzz_*, /metrics, /status) on this address")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "nachofuzz: unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	if *workers != 0 {
+		harness.SetWorkers(*workers)
+	}
+	if *serve != "" {
+		reg := telemetry.NewRegistry()
+		harness.RegisterMetrics(reg)
+		fuzzer.RegisterMetrics(reg)
+		srv, err := telemetry.NewServer(*serve, reg, func() any { return harness.Status() })
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "nachofuzz: telemetry on http://%s\n", srv.Addr())
+	}
+
+	if *replay != "" {
+		os.Exit(runReplay(*replay))
+	}
+
+	if *seeds <= 0 {
+		fmt.Fprintln(os.Stderr, "nachofuzz: -seeds must be positive")
+		os.Exit(2)
+	}
+	kinds, err := parseSystems(*sysList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nachofuzz:", err)
+		os.Exit(2)
+	}
+
+	cfg := fuzzer.CampaignConfig{
+		Seeds:    *seeds,
+		SeedBase: *seedBase,
+		Kinds:    kinds,
+		Oracle:   fuzzer.Config{CacheSize: *cacheSize, Ways: *ways, Schedules: *schedules},
+		Minimize: *minimize,
+		OutDir:   *outDir,
+		Progress: os.Stderr,
+	}
+	if *duration > 0 {
+		cfg.Deadline = time.Now().Add(*duration)
+	}
+	rep := fuzzer.RunCampaign(cfg)
+	fmt.Print(rep)
+	if len(rep.Errors) > 0 {
+		os.Exit(2)
+	}
+	if len(rep.Findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// runReplay re-executes one artifact; 0 = reproduced, 1 = did not
+// reproduce (the captured bug no longer exists), 2 = unusable artifact.
+func runReplay(path string) int {
+	a, err := fuzzer.LoadArtifact(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nachofuzz:", err)
+		return 2
+	}
+	f, err := a.Replay()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nachofuzz:", err)
+		return 2
+	}
+	if f == nil {
+		fmt.Printf("replay %s: finding did not reproduce (recorded: %s on %s: %s)\n",
+			path, a.Kind, a.System, a.Detail)
+		return 1
+	}
+	fmt.Printf("replay %s: reproduced\nFINDING %s\n", path, f)
+	return 0
+}
+
+func parseSystems(list string) ([]systems.Kind, error) {
+	if list == "" || list == "all" {
+		return fuzzer.DefaultKinds(), nil
+	}
+	valid := make(map[systems.Kind]bool)
+	for _, k := range systems.AllKinds() {
+		valid[k] = true
+	}
+	valid[systems.KindNACHOBrokenPW] = true // test-only kind, accepted for self-checks
+	var kinds []systems.Kind
+	for _, s := range strings.Split(list, ",") {
+		k := systems.Kind(strings.TrimSpace(s))
+		if k == "" {
+			continue
+		}
+		if !valid[k] {
+			return nil, fmt.Errorf("unknown system %q", k)
+		}
+		if k == systems.KindVolatile {
+			return nil, fmt.Errorf("volatile is the golden baseline, not a fuzz subject")
+		}
+		kinds = append(kinds, k)
+	}
+	if len(kinds) == 0 {
+		return nil, fmt.Errorf("no systems selected")
+	}
+	return kinds, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nachofuzz:", err)
+	os.Exit(2)
+}

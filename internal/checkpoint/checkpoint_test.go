@@ -158,6 +158,88 @@ func TestCrashConsistencyAtEveryCycle(t *testing.T) {
 	}
 }
 
+// TestTornCheckpointFallsBackByteForByte pins the narrowest torn-checkpoint
+// window: the power cut lands after every redo-log (staging) word has reached
+// NVM but before the commit flag — the sequence word — flips. The staged
+// checkpoint is complete in the inactive slot, yet it must be as if it never
+// happened: Restore returns the previous snapshot, and every NVM byte outside
+// the staging slot is bit-identical to the pre-checkpoint image.
+func TestTornCheckpointFallsBackByteForByte(t *testing.T) {
+	const homeAddr = 0x2000
+	const oldVal, newVal = 0x0DDC0FFE, 0x0DDFACE5
+	boot := snap(0x100)
+	lines := []Line{{Addr: homeAddr, Data: newVal}, {Addr: homeAddr + 4, Data: 2}}
+
+	// Staging is offApplied + offNLines + snapshot words + (addr,data) per
+	// line; the commit sequence word is the very next NVM write. Every write
+	// advances the clock by the NVM cost BEFORE the data lands, so failing at
+	// any cycle in (stageEnd, stageEnd+cost] means staging is fully on NVM
+	// and the commit word is not.
+	cost := mem.DefaultCostModel().NVMCycles
+	stagingWrites := uint64(2 + sim.SnapshotWords + 2*len(lines))
+	stageEnd := stagingWrites * cost
+	commitEnd := stageEnd + cost
+
+	// Ground the arithmetic against the real write sequence once.
+	{
+		st, _, clk := newStore(2)
+		st.Init(boot)
+		var atCommit uint64
+		st.Checkpoint(snap(0x200), lines, func() { atCommit = clk.Cycle })
+		if atCommit != commitEnd {
+			t.Fatalf("commit word lands at cycle %d, test computed %d; staging layout changed", atCommit, commitEnd)
+		}
+	}
+
+	for fail := stageEnd + 1; fail <= commitEnd; fail++ {
+		clk := &sim.TestClock{FailAt: fail}
+		var c metrics.Counters
+		nvm := mem.NewNVM(mem.NewSpace(), mem.DefaultCostModel())
+		nvm.Attach(clk, &c)
+		st := NewStore(nvm, testBase, 2)
+		st.Init(boot)
+		nvm.WriteRaw(homeAddr, 4, oldVal)
+		nvm.WriteRaw(homeAddr+4, 4, 0xB01D)
+		pre := nvm.Space().Clone()
+
+		committed := false
+		func() {
+			defer func() {
+				if _, ok := recover().(sim.PowerFail); !ok {
+					t.Fatalf("fail@%d: checkpoint completed, expected a power failure", fail)
+				}
+			}()
+			st.Checkpoint(snap(0x200), lines, func() { committed = true })
+		}()
+		if committed {
+			t.Fatalf("fail@%d: commit callback ran before the sequence word landed", fail)
+		}
+
+		got, ok := st.Restore()
+		if !ok || got != boot {
+			t.Fatalf("fail@%d: Restore = %+v, %v; want the pre-checkpoint snapshot", fail, got, ok)
+		}
+
+		// Byte-for-byte fallback: only bytes inside the staging slot may
+		// differ from the pre-checkpoint image (the staged words are there,
+		// but uncommitted data is invisible to Restore).
+		stagingLo := st.slotAddr(1, 0)
+		stagingHi := stagingLo + st.slotWords()*4
+		check := func(lo, hi uint32) {
+			for a := lo; a < hi; a++ {
+				if a >= stagingLo && a < stagingHi {
+					continue
+				}
+				if got, want := nvm.ReadRaw(a, 1), pre.Read(a, 1); got != want {
+					t.Fatalf("fail@%d: NVM byte 0x%08x = %#02x, want pre-checkpoint %#02x", fail, a, got, want)
+				}
+			}
+		}
+		check(homeAddr, homeAddr+8)
+		check(testBase, testBase+st.SizeBytes())
+	}
+}
+
 func TestSizeBytes(t *testing.T) {
 	s, _, _ := newStore(8)
 	want := uint32(2 * (offLines + 16) * 4)

@@ -76,6 +76,12 @@ type Options struct {
 	// emulator defers power failures across such checkpoints, the same
 	// guarantee the paper's hardware assumption provides.
 	EnergyPrediction bool
+
+	// TestInvertPW deliberately inverts the cache-bits write-back safety
+	// check (a read-dominated line is treated as safe to evict and vice
+	// versa). It exists only so the crash-consistency fuzzer can prove its
+	// oracle catches a broken WAR protocol; no production Kind sets it.
+	TestInvertPW bool
 }
 
 type accessType int
@@ -301,6 +307,9 @@ func (k *Controller) updateLine(line *cache.Line, addr uint32, t accessType, siz
 func (k *Controller) unsafeWriteBack(line *cache.Line) bool {
 	switch k.opts.WARMode {
 	case WARCacheBits:
+		if k.opts.TestInvertPW {
+			return !line.RD
+		}
 		return line.RD
 	case WARExact:
 		return k.tracker.ReadDominated(line.Addr(), 4)

@@ -48,6 +48,17 @@ type Config struct {
 	ForcedCheckpointMargin uint64
 	// MaxInstructions aborts runaway programs; 0 means a generous default.
 	MaxInstructions uint64
+	// MaxCycles is a hard cycle budget for the whole run, restores included;
+	// 0 means no budget. Exceeding it aborts with an error wrapping
+	// ErrCycleBudget — the crash-consistency fuzzer's non-termination oracle:
+	// a run that cannot finish within its budget under a finite failure
+	// schedule has lost forward progress.
+	MaxCycles uint64
+	// FinalFlush, when set, issues one ForceCheckpoint after a clean halt
+	// with power failures disabled. It models the final commit a deployment
+	// performs when its job completes, and guarantees that every surviving
+	// store is visible in NVM — the state the differential oracle compares.
+	FinalFlush bool
 	// Probe, when non-nil, receives the emulator's own events: instruction
 	// retirement, MMIO accesses, power failures, and restores. Attach the
 	// same probe to the memory system (sim.System.AttachProbe) to observe
@@ -64,6 +75,10 @@ type Result struct {
 	Results  []uint32
 	Output   []byte // bytes stored to PutcharAddr
 	Counters metrics.Counters
+	// FinalRegs is the architectural register state at the end of the run.
+	// Under a correct memory system it is invariant across failure schedules,
+	// which makes it one of the differential oracle's comparison axes.
+	FinalRegs sim.Snapshot
 }
 
 // Machine is one emulated processor wired to a memory system. It implements
@@ -98,6 +113,11 @@ type Machine struct {
 
 // errPowerFail converts the PowerFail panic into control flow inside Run.
 var errPowerFail = errors.New("power failure")
+
+// ErrCycleBudget reports that a run exceeded Config.MaxCycles. Callers that
+// inject failure schedules match it with errors.Is to distinguish a
+// forward-progress loss from ordinary program errors.
+var ErrCycleBudget = errors.New("cycle budget exceeded")
 
 // New creates a machine executing the decoded text segment at textBase,
 // starting at entry with the stack pointer at initialSP. The system is
@@ -221,11 +241,19 @@ func (m *Machine) Run() (Result, error) {
 			runErr = err
 		}
 	}
+	if m.halted && runErr == nil && m.cfg.FinalFlush {
+		// The job is done: persist whatever is still dirty. The device only
+		// runs this final commit when it has the energy for it, so failures
+		// are held back (the same assumption the restore path makes).
+		m.failEnabled = false
+		m.sys.ForceCheckpoint()
+	}
 	res := Result{
-		ExitCode: m.exitCode,
-		Results:  m.results,
-		Output:   m.output,
-		Counters: m.c,
+		ExitCode:  m.exitCode,
+		Results:   m.results,
+		Output:    m.output,
+		Counters:  m.c,
+		FinalRegs: m.RegSnapshot(),
 	}
 	if len(m.results) > 0 {
 		res.Result = m.results[len(m.results)-1]
@@ -248,6 +276,9 @@ func (m *Machine) runSlice() (err error) {
 	for !m.halted {
 		if m.c.Instructions >= m.cfg.MaxInstructions {
 			return fmt.Errorf("emu: instruction limit %d exceeded at pc=0x%08x", m.cfg.MaxInstructions, m.pc)
+		}
+		if m.cfg.MaxCycles > 0 && m.cycle >= m.cfg.MaxCycles {
+			return fmt.Errorf("emu: %w (%d cycles) at pc=0x%08x", ErrCycleBudget, m.cfg.MaxCycles, m.pc)
 		}
 		if m.cfg.ForcedCheckpointPeriod > 0 && m.cycle+m.cfg.ForcedCheckpointMargin >= m.nextForced {
 			m.sys.ForceCheckpoint()

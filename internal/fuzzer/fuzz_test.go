@@ -1,0 +1,49 @@
+package fuzzer
+
+import (
+	"testing"
+
+	"nacho/internal/systems"
+)
+
+// The native fuzz harnesses decode the engine's byte string into generator
+// parameters plus a failure schedule (see DecodeFuzzInput): the first 8
+// bytes seed the program generator, the next two steer its shape, and the
+// tail becomes failure instants via power.FromBytes. Coverage-guided
+// mutation therefore explores program structure and failure timing
+// together. Any reported finding is a real crash-consistency bug.
+
+// fuzzOne runs the byte-decoded differential oracle against one system.
+func fuzzOne(t *testing.T, b []byte, kind systems.Kind) {
+	prog, raw := DecodeFuzzInput(b)
+	f, err := CheckRawSchedule(prog, kind, Config{}, raw)
+	if err != nil {
+		// Infrastructure failure (the program did not survive the Volatile
+		// baseline) — a generator bug, not a crash-consistency finding.
+		t.Fatalf("seed %d: %v", prog.Seed, err)
+	}
+	if f != nil {
+		t.Errorf("crash-consistency finding: %s", f)
+	}
+}
+
+// FuzzDifferentialNACHO fuzzes the paper's headline system.
+func FuzzDifferentialNACHO(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x05, 0, 0, 0, 0, 0, 0, 0, 0x0c, 0x8c, 0x40, 0x00, 0x80, 0x01})
+	f.Add([]byte{0x24, 0, 0, 0, 0, 0, 0, 0, 0x18, 0x40, 0x10, 0x00, 0x20, 0x00, 0x30, 0x00})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fuzzOne(t, b, systems.KindNACHO)
+	})
+}
+
+// FuzzAllSystems fuzzes the full comparison matrix.
+func FuzzAllSystems(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x07, 0, 0, 0, 0, 0, 0, 0, 0x10, 0x8c, 0x08, 0x00, 0x40, 0x00})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		for _, kind := range DefaultKinds() {
+			fuzzOne(t, b, kind)
+		}
+	})
+}

@@ -1,0 +1,35 @@
+package fuzzer
+
+import (
+	"sync/atomic"
+
+	"nacho/internal/telemetry"
+)
+
+// Campaign-wide accounting, exposed through RegisterMetrics as the
+// nacho_fuzz_* series (mirroring the harness's nacho_harness_* pattern:
+// process-wide atomics read at scrape time).
+var (
+	programsTotal  atomic.Uint64 // generated programs checked
+	oracleRuns     atomic.Uint64 // individual oracle simulations (golden + differential)
+	findingsTotal  atomic.Uint64 // divergences detected
+	minimizedTotal atomic.Uint64 // findings that completed minimization
+	artifactsTotal atomic.Uint64 // artifacts written to disk
+)
+
+// RegisterMetrics exposes the fuzzer's accounting in r as nacho_fuzz_*
+// series. The Func variants read the live atomics at scrape time, so a
+// telemetry server attached to a running campaign tracks it with no extra
+// work on the oracle path.
+func RegisterMetrics(r *telemetry.Registry) {
+	r.NewCounterFunc("nacho_fuzz_programs_total",
+		"Generated programs run through the differential oracle.", programsTotal.Load)
+	r.NewCounterFunc("nacho_fuzz_oracle_runs_total",
+		"Oracle simulations (golden, failure-free and scheduled runs).", oracleRuns.Load)
+	r.NewCounterFunc("nacho_fuzz_findings_total",
+		"Divergences detected by the oracle.", findingsTotal.Load)
+	r.NewCounterFunc("nacho_fuzz_minimized_total",
+		"Findings that completed delta-debug minimization.", minimizedTotal.Load)
+	r.NewCounterFunc("nacho_fuzz_artifacts_total",
+		"Replayable finding artifacts written to disk.", artifactsTotal.Load)
+}

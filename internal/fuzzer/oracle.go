@@ -1,0 +1,351 @@
+package fuzzer
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"nacho/internal/emu"
+	"nacho/internal/harness"
+	"nacho/internal/mem"
+	"nacho/internal/power"
+	"nacho/internal/program"
+	"nacho/internal/sim"
+	"nacho/internal/systems"
+	"nacho/internal/verify"
+)
+
+// Config parameterizes the differential oracle.
+type Config struct {
+	// CacheSize/Ways configure the systems under test (defaults: the
+	// paper's headline 512 B, 2-way).
+	CacheSize int
+	Ways      int
+	// Schedules is the number of randomized finite failure schedules tried
+	// per (program, system) pair, on top of the always-run failure-free
+	// differential (default 3).
+	Schedules int
+}
+
+func (c Config) normalized() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = 512
+	}
+	if c.Ways == 0 {
+		c.Ways = 2
+	}
+	if c.Schedules == 0 {
+		c.Schedules = 3
+	}
+	return c
+}
+
+// DefaultKinds is the oracle's standard system matrix: every evaluated
+// system with crash-consistency machinery (the Volatile baseline is the
+// golden reference, not a subject).
+func DefaultKinds() []systems.Kind {
+	return []systems.Kind{
+		systems.KindNACHO, systems.KindNaiveNACHO, systems.KindOracleNACHO,
+		systems.KindClank, systems.KindPROWL, systems.KindReplayCache,
+	}
+}
+
+// FindingKind classifies a divergence.
+type FindingKind string
+
+// The oracle's finding taxonomy.
+const (
+	// FindingRunError: the run aborted (trap, stack-guard hit, verifier
+	// error surfaced by the harness, ...).
+	FindingRunError FindingKind = "run-error"
+	// FindingBudget: the run exceeded its cycle budget — forward progress
+	// lost under a finite failure schedule.
+	FindingBudget FindingKind = "cycle-budget"
+	// FindingShadow: a load returned a value diverging from the exact
+	// shadow memory.
+	FindingShadow FindingKind = "shadow-mismatch"
+	// FindingWAR: a physical NVM write-back hit a read-dominated location.
+	FindingWAR FindingKind = "war-violation"
+	// FindingResult: exit code, reported result word, or final registers
+	// diverged from the golden run.
+	FindingResult FindingKind = "result-divergence"
+	// FindingNVM: final NVM data-segment bytes diverged from the golden run.
+	FindingNVM FindingKind = "nvm-divergence"
+)
+
+// Finding is one confirmed divergence: the program, the system it diverged
+// on, the failure schedule that provoked it, and what diverged.
+type Finding struct {
+	Seed     int64        `json:"seed"`
+	System   systems.Kind `json:"system"`
+	Kind     FindingKind  `json:"kind"`
+	Detail   string       `json:"detail"`
+	Prog     *Prog        `json:"prog,omitempty"`
+	Schedule []uint64     `json:"schedule,omitempty"` // failure instants; nil = failure-free
+
+	// Minimized marks a finding that went through Minimize; Instructions is
+	// the rendered text length of the (possibly minimized) program.
+	Minimized    bool `json:"minimized,omitempty"`
+	Instructions int  `json:"instructions,omitempty"`
+}
+
+// String renders the finding as one deterministic report line.
+func (f Finding) String() string {
+	s := fmt.Sprintf("seed=%d system=%s kind=%s detail=%q", f.Seed, f.System, f.Kind, f.Detail)
+	if len(f.Schedule) > 0 {
+		s += fmt.Sprintf(" schedule=%v", f.Schedule)
+	}
+	if f.Minimized {
+		s += fmt.Sprintf(" minimized=%d-instructions", f.Instructions)
+	}
+	return s
+}
+
+// Budgets. Failure-free runs get a flat generous ceiling (generated
+// programs are structurally terminating, so hitting it means an emulator or
+// renderer bug). Failure-injected runs get a budget derived from the
+// system's own failure-free runtime: with n finite failure instants the
+// worst case re-executes the whole program once per failure, so anything
+// beyond (runtime + slack) * (n + 2) has lost forward progress.
+const (
+	failFreeMaxCycles   = 400_000_000
+	fuzzMaxInstructions = 8_000_000
+	budgetSlackCycles   = 50_000
+)
+
+func failureBudget(sysCycles uint64, nFailures int) uint64 {
+	return (sysCycles + budgetSlackCycles) * uint64(nFailures+2)
+}
+
+// goldenRun is the reference outcome: the Volatile baseline's failure-free
+// result plus the final bytes of every non-text segment.
+type goldenRun struct {
+	res  emu.Result
+	data []segBytes
+}
+
+type segBytes struct {
+	addr  uint32
+	bytes []byte
+}
+
+func baseConfig(cfg Config) harness.RunConfig {
+	return harness.RunConfig{
+		CacheSize:       cfg.CacheSize,
+		Ways:            cfg.Ways,
+		FinalFlush:      true,
+		MaxInstructions: fuzzMaxInstructions,
+		MaxCycles:       failFreeMaxCycles,
+	}
+}
+
+// imageSpace reconstructs the initial memory image, the starting point for
+// the verifier's shadow.
+func imageSpace(img *program.Image) *mem.Space {
+	s := mem.NewSpace()
+	for _, seg := range img.Segments {
+		s.LoadBytes(seg.Addr, seg.Data)
+	}
+	return s
+}
+
+// finalSegments reads the post-run bytes of every non-text segment out of
+// the system's memory. Only data segments are compared: the checkpoint area
+// and stack region legitimately differ between recovery models.
+func finalSegments(img *program.Image, m sim.MemReaderWriter) []segBytes {
+	var out []segBytes
+	for _, seg := range img.Segments {
+		if seg.Addr == program.TextBase {
+			continue
+		}
+		b := make([]byte, len(seg.Data))
+		for i := range b {
+			b[i] = byte(m.ReadRaw(seg.Addr+uint32(i), 1))
+		}
+		out = append(out, segBytes{addr: seg.Addr, bytes: b})
+	}
+	return out
+}
+
+// golden runs the program failure-free on the Volatile baseline.
+func golden(img *program.Image, cfg Config) (*goldenRun, error) {
+	oracleRuns.Add(1)
+	res, sys, err := harness.RunImageSys(img, systems.KindVolatile, baseConfig(cfg), false)
+	if err != nil {
+		return nil, err
+	}
+	return &goldenRun{res: res, data: finalSegments(img, sys.Mem())}, nil
+}
+
+// findingCore is the classification of one divergent run.
+type findingCore struct {
+	kind   FindingKind
+	detail string
+}
+
+// checkOne runs img on kind under sched (nil = failure-free) with the given
+// cycle budget, comparing the outcome against the golden run. It returns
+// the first divergence (nil if none) and the run's cycle count.
+func checkOne(img *program.Image, g *goldenRun, kind systems.Kind, sched power.Schedule, budget uint64, cfg Config) (*findingCore, uint64) {
+	oracleRuns.Add(1)
+	rc := baseConfig(cfg)
+	rc.Schedule = sched
+	rc.MaxCycles = budget
+	ver := verify.New(imageSpace(img), systems.VerifyConfigFor(kind))
+	rc.Probe = ver
+
+	res, sys, err := harness.RunImageSys(img, kind, rc, false)
+	if err != nil {
+		if errors.Is(err, emu.ErrCycleBudget) {
+			return &findingCore{FindingBudget, fmt.Sprintf("no termination within %d cycles", budget)}, res.Counters.Cycles
+		}
+		return &findingCore{FindingRunError, err.Error()}, res.Counters.Cycles
+	}
+	if v := ver.Violations(); len(v) > 0 {
+		k := FindingShadow
+		if v[0].Kind == verify.WARViolation {
+			k = FindingWAR
+		}
+		return &findingCore{k, v[0].String()}, res.Counters.Cycles
+	}
+	if res.ExitCode != g.res.ExitCode {
+		return &findingCore{FindingResult, fmt.Sprintf("exit code %d, golden %d", res.ExitCode, g.res.ExitCode)}, res.Counters.Cycles
+	}
+	if res.Result != g.res.Result {
+		return &findingCore{FindingResult, fmt.Sprintf("result 0x%08x, golden 0x%08x", res.Result, g.res.Result)}, res.Counters.Cycles
+	}
+	if res.FinalRegs != g.res.FinalRegs {
+		return &findingCore{FindingResult, regDiff(res.FinalRegs, g.res.FinalRegs)}, res.Counters.Cycles
+	}
+	m := sys.Mem()
+	for _, seg := range g.data {
+		for i, want := range seg.bytes {
+			if got := byte(m.ReadRaw(seg.addr+uint32(i), 1)); got != want {
+				return &findingCore{FindingNVM, fmt.Sprintf("NVM byte 0x%08x = 0x%02x, golden 0x%02x", seg.addr+uint32(i), got, want)}, res.Counters.Cycles
+			}
+		}
+	}
+	return nil, res.Counters.Cycles
+}
+
+func regDiff(got, want sim.Snapshot) string {
+	if got.PC != want.PC {
+		return fmt.Sprintf("final pc 0x%08x, golden 0x%08x", got.PC, want.PC)
+	}
+	for i := range got.Regs {
+		if got.Regs[i] != want.Regs[i] {
+			return fmt.Sprintf("final x%d = 0x%08x, golden 0x%08x", i+1, got.Regs[i], want.Regs[i])
+		}
+	}
+	return "final registers diverged"
+}
+
+// kindSalt folds a system name into the schedule RNG seed so each system
+// sees different failure instants for the same program.
+func kindSalt(kind systems.Kind) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(kind))
+	return int64(h.Sum64())
+}
+
+// randomSchedule draws 1-6 failure instants inside the system's measured
+// failure-free runtime (plus a 25% tail so late failures — during the halt
+// sequence and final flush — are exercised too). Finite instants guarantee
+// termination: after the last one the run is failure-free.
+func randomSchedule(rng *rand.Rand, sysCycles uint64) power.At {
+	span := sysCycles + sysCycles/4
+	if span < 16 {
+		span = 16
+	}
+	n := 1 + rng.Intn(6)
+	instants := make([]uint64, n)
+	for i := range instants {
+		instants[i] = 1 + uint64(rng.Int63n(int64(span)))
+	}
+	return power.NewAt(instants...)
+}
+
+// checkSystem runs the full per-system oracle: the failure-free
+// differential first (which also measures the runtime that scales the
+// schedules and budgets), then cfg.Schedules randomized failure schedules.
+// At most one finding per system is reported — the first divergence.
+func checkSystem(img *program.Image, g *goldenRun, prog *Prog, kind systems.Kind, cfg Config) *Finding {
+	fc, sysCycles := checkOne(img, g, kind, nil, failFreeMaxCycles, cfg)
+	if fc != nil {
+		return &Finding{Seed: prog.Seed, System: kind, Kind: fc.kind, Detail: fc.detail, Prog: prog}
+	}
+	rng := rand.New(rand.NewSource(prog.Seed ^ kindSalt(kind)))
+	for i := 0; i < cfg.Schedules; i++ {
+		sched := randomSchedule(rng, sysCycles)
+		budget := failureBudget(sysCycles, len(sched.Instants()))
+		if fc, _ := checkOne(img, g, kind, sched, budget, cfg); fc != nil {
+			return &Finding{Seed: prog.Seed, System: kind, Kind: fc.kind, Detail: fc.detail, Prog: prog, Schedule: sched.Instants()}
+		}
+	}
+	return nil
+}
+
+// Check runs the differential oracle for one generated program across the
+// given systems. The returned error reports infrastructure problems (the
+// program failed to render or to run on the Volatile baseline); findings
+// report genuine divergences, at most one per system.
+func Check(prog *Prog, kinds []systems.Kind, cfg Config) ([]Finding, error) {
+	cfg = cfg.normalized()
+	img, err := prog.Render()
+	if err != nil {
+		return nil, err
+	}
+	g, err := golden(img, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fuzzer: seed %d golden run: %w", prog.Seed, err)
+	}
+	var out []Finding
+	for _, kind := range kinds {
+		if f := checkSystem(img, g, prog, kind, cfg); f != nil {
+			findingsTotal.Add(1)
+			out = append(out, *f)
+		}
+	}
+	return out, nil
+}
+
+// CheckRawSchedule runs the oracle for one program on one system under a
+// failure schedule decoded from raw fuzz-engine bytes (power.FromBytes),
+// with each instant folded into the system's measured runtime window. The
+// native fuzz harnesses use it so the engine controls both the program
+// shape and the failure instants.
+func CheckRawSchedule(prog *Prog, kind systems.Kind, cfg Config, raw []byte) (*Finding, error) {
+	cfg = cfg.normalized()
+	img, err := prog.Render()
+	if err != nil {
+		return nil, err
+	}
+	g, err := golden(img, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fuzzer: seed %d golden run: %w", prog.Seed, err)
+	}
+	fc, sysCycles := checkOne(img, g, kind, nil, failFreeMaxCycles, cfg)
+	if fc != nil {
+		findingsTotal.Add(1)
+		return &Finding{Seed: prog.Seed, System: kind, Kind: fc.kind, Detail: fc.detail, Prog: prog}, nil
+	}
+	span := sysCycles + sysCycles/4
+	if span < 16 {
+		span = 16
+	}
+	var instants []uint64
+	for _, inst := range power.FromBytes(raw).Instants() {
+		instants = append(instants, 1+inst%span)
+	}
+	if len(instants) == 0 {
+		return nil, nil
+	}
+	sched := power.NewAt(instants...)
+	budget := failureBudget(sysCycles, len(sched.Instants()))
+	if fc, _ := checkOne(img, g, kind, sched, budget, cfg); fc != nil {
+		findingsTotal.Add(1)
+		return &Finding{Seed: prog.Seed, System: kind, Kind: fc.kind, Detail: fc.detail, Prog: prog, Schedule: sched.Instants()}, nil
+	}
+	return nil, nil
+}

@@ -62,6 +62,8 @@ type runKey struct {
 	forcedCheckpointPeriod uint64
 	forcedCheckpointMargin uint64
 	maxInstructions        uint64
+	maxCycles              uint64
+	finalFlush             bool
 	verify                 bool
 	cost                   mem.CostModel
 	dirtyThreshold         int
@@ -82,6 +84,8 @@ func keyFor(p *program.Program, kind systems.Kind, cfg RunConfig) runKey {
 		forcedCheckpointPeriod: cfg.ForcedCheckpointPeriod,
 		forcedCheckpointMargin: cfg.ForcedCheckpointMargin,
 		maxInstructions:        cfg.MaxInstructions,
+		maxCycles:              cfg.MaxCycles,
+		finalFlush:             cfg.FinalFlush,
 		verify:                 cfg.Verify,
 		cost:                   cfg.Cost,
 		dirtyThreshold:         cfg.DirtyThreshold,

@@ -46,6 +46,14 @@ type RunConfig struct {
 	Probe sim.Probe
 	// ForcedCheckpointMargin is passed to the emulator (see emu.Config).
 	ForcedCheckpointMargin uint64
+	// MaxCycles is a hard cycle budget passed to the emulator (see
+	// emu.Config.MaxCycles); 0 means no budget. The crash-consistency fuzzer
+	// uses it as its non-termination oracle.
+	MaxCycles uint64
+	// FinalFlush asks the emulator for one failure-free ForceCheckpoint after
+	// a clean halt (see emu.Config.FinalFlush), so every surviving store is
+	// visible in NVM for post-run state comparison.
+	FinalFlush bool
 }
 
 // DefaultRunConfig is the paper's headline configuration: a 2-way 512 B
@@ -69,6 +77,15 @@ func Run(p *program.Program, kind systems.Kind, cfg RunConfig) (emu.Result, erro
 // supplied program) under one system. checkGolden additionally compares the
 // program's reported result word against the image's expected checksum.
 func RunImage(img *program.Image, kind systems.Kind, cfg RunConfig, checkGolden bool) (emu.Result, error) {
+	res, _, err := RunImageSys(img, kind, cfg, checkGolden)
+	return res, err
+}
+
+// RunImageSys is RunImage, additionally returning the memory system the run
+// executed on. Callers that compare post-run NVM state (the differential
+// fuzzer, the metamorphic tests) read it through sys.Mem(); everyone else
+// should use RunImage, which discards it.
+func RunImageSys(img *program.Image, kind systems.Kind, cfg RunConfig, checkGolden bool) (emu.Result, sim.System, error) {
 	if cfg.Cost == (mem.CostModel{}) {
 		cfg.Cost = mem.DefaultCostModel()
 	}
@@ -79,10 +96,10 @@ func RunImage(img *program.Image, kind systems.Kind, cfg RunConfig, checkGolden 
 		// The image must stay clear of the stack guard band and the
 		// checkpoint area (see program's memory map).
 		if seg.Addr < program.StackTop && end > program.StackTop-0x8000 {
-			return emu.Result{}, fmt.Errorf("%s: segment [%#x,%#x) overlaps the stack region", img.Program.Name, seg.Addr, end)
+			return emu.Result{}, nil, fmt.Errorf("%s: segment [%#x,%#x) overlaps the stack region", img.Program.Name, seg.Addr, end)
 		}
 		if end > program.CheckpointBase && seg.Addr < program.CheckpointBase+0x10000 {
-			return emu.Result{}, fmt.Errorf("%s: segment [%#x,%#x) overlaps the checkpoint area", img.Program.Name, seg.Addr, end)
+			return emu.Result{}, nil, fmt.Errorf("%s: segment [%#x,%#x) overlaps the checkpoint area", img.Program.Name, seg.Addr, end)
 		}
 		space.LoadBytes(seg.Addr, seg.Data)
 	}
@@ -97,7 +114,7 @@ func RunImage(img *program.Image, kind systems.Kind, cfg RunConfig, checkGolden 
 		EnergyPrediction: cfg.EnergyPrediction,
 	})
 	if err != nil {
-		return emu.Result{}, err
+		return emu.Result{}, nil, err
 	}
 
 	// Instrumentation is one probe pipeline: verifier, trace recorder, and
@@ -137,6 +154,8 @@ func RunImage(img *program.Image, kind systems.Kind, cfg RunConfig, checkGolden 
 		ForcedCheckpointPeriod: cfg.ForcedCheckpointPeriod,
 		ForcedCheckpointMargin: cfg.ForcedCheckpointMargin,
 		MaxInstructions:        cfg.MaxInstructions,
+		MaxCycles:              cfg.MaxCycles,
+		FinalFlush:             cfg.FinalFlush,
 		Probe:                  probe,
 	})
 	runStarted()
@@ -149,19 +168,19 @@ func RunImage(img *program.Image, kind systems.Kind, cfg RunConfig, checkGolden 
 	}
 	name := img.Program.Name
 	if err != nil {
-		return res, fmt.Errorf("%s on %s: %w", name, kind, err)
+		return res, sys, fmt.Errorf("%s on %s: %w", name, kind, err)
 	}
 	if verr := ver.Err(); verr != nil {
-		return res, fmt.Errorf("%s on %s: %w", name, kind, verr)
+		return res, sys, fmt.Errorf("%s on %s: %w", name, kind, verr)
 	}
 	if cfg.Verify && checkGolden {
 		if res.ExitCode != 0 {
-			return res, fmt.Errorf("%s on %s: exit code %d", name, kind, res.ExitCode)
+			return res, sys, fmt.Errorf("%s on %s: exit code %d", name, kind, res.ExitCode)
 		}
 		if res.Result != img.Expected {
-			return res, fmt.Errorf("%s on %s: result 0x%08x, reference 0x%08x",
+			return res, sys, fmt.Errorf("%s on %s: result 0x%08x, reference 0x%08x",
 				name, kind, res.Result, img.Expected)
 		}
 	}
-	return res, nil
+	return res, sys, nil
 }

@@ -145,6 +145,13 @@ func NewAt(instants ...uint64) At {
 	return At{instants: sorted}
 }
 
+// Instants returns a copy of the schedule's sorted failure instants.
+func (a At) Instants() []uint64 {
+	out := make([]uint64, len(a.instants))
+	copy(out, a.instants)
+	return out
+}
+
 // NextFailureAfter returns the first listed instant strictly after cycle.
 func (a At) NextFailureAfter(cycle uint64) uint64 {
 	i := sort.Search(len(a.instants), func(i int) bool { return a.instants[i] > cycle })
@@ -171,3 +178,27 @@ func (a At) Key() string {
 // Clone returns the schedule itself; the instants are never mutated after
 // NewAt.
 func (a At) Clone() Schedule { return a }
+
+// FromBytes derives a finite failure schedule from raw fuzz-engine bytes.
+// Consecutive 16-bit little-endian words become inter-failure gaps of
+// 1+4*word cycles (so adjacent byte strings map to nearby schedules, which
+// is what coverage-guided mutation wants), a trailing odd byte becomes one
+// last short gap, and the instant count is capped so a long input cannot
+// request an unbounded outage storm. An empty input yields a failure-free
+// schedule, the identity the differential oracle compares against.
+func FromBytes(b []byte) At {
+	const maxInstants = 32
+	var instants []uint64
+	cycle := uint64(0)
+	for len(b) >= 2 && len(instants) < maxInstants {
+		gap := 1 + 4*uint64(uint16(b[0])|uint16(b[1])<<8)
+		b = b[2:]
+		cycle += gap
+		instants = append(instants, cycle)
+	}
+	if len(b) == 1 && len(instants) < maxInstants {
+		cycle += 1 + uint64(b[0])
+		instants = append(instants, cycle)
+	}
+	return NewAt(instants...)
+}

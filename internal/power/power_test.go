@@ -145,6 +145,66 @@ func TestUniformCloneReplaysFromStart(t *testing.T) {
 	}
 }
 
+func TestAtInstants(t *testing.T) {
+	a := NewAt(30, 10, 20)
+	got := a.Instants()
+	want := []uint64{10, 20, 30}
+	if len(got) != len(want) {
+		t.Fatalf("Instants() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Instants() = %v, want %v", got, want)
+		}
+	}
+	got[0] = 999
+	if a.Instants()[0] != 10 {
+		t.Error("Instants() returned aliased storage; mutating the copy changed the schedule")
+	}
+}
+
+func TestFromBytes(t *testing.T) {
+	if got := FromBytes(nil).Instants(); len(got) != 0 {
+		t.Errorf("FromBytes(nil) = %v, want empty", got)
+	}
+
+	// Two full words and a leftover byte: gaps 1+4*0x0201, 1+4*0x0403, 1+5.
+	b := []byte{0x01, 0x02, 0x03, 0x04, 0x05}
+	want := []uint64{0, 0, 0}
+	want[0] = 1 + 4*0x0201
+	want[1] = want[0] + 1 + 4*0x0403
+	want[2] = want[1] + 1 + 5
+	got := FromBytes(b).Instants()
+	if len(got) != len(want) {
+		t.Fatalf("FromBytes(%x) = %v, want %v", b, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FromBytes(%x) = %v, want %v", b, got, want)
+		}
+	}
+
+	// Zero words still advance by at least one cycle each: instants stay
+	// strictly increasing, so the schedule can never fire twice at once.
+	zeros := FromBytes(make([]byte, 10)).Instants()
+	for i := 1; i < len(zeros); i++ {
+		if zeros[i] <= zeros[i-1] {
+			t.Fatalf("instants not strictly increasing: %v", zeros)
+		}
+	}
+
+	// Long inputs are capped, not unbounded.
+	long := FromBytes(make([]byte, 4096)).Instants()
+	if len(long) > 32 {
+		t.Errorf("FromBytes produced %d instants, want <= 32", len(long))
+	}
+
+	// Same bytes, same schedule — the fuzzer's reproducibility contract.
+	if FromBytes(b).Key() != FromBytes(b).Key() {
+		t.Error("FromBytes is not deterministic")
+	}
+}
+
 func TestStatelessClonesAreIdentities(t *testing.T) {
 	if _, ok := (None{}).Clone().(None); !ok {
 		t.Error("None.Clone changed type")

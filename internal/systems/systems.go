@@ -29,6 +29,11 @@ const (
 	// the cache model the paper names as a limitation of NACHO's write-back
 	// assumption.
 	KindWriteThrough Kind = "writethrough"
+	// KindNACHOBrokenPW is NACHO with the write-back safety check inverted
+	// (core.Options.TestInvertPW). It is a deliberately unsound system used
+	// to prove the crash-consistency fuzzer's oracle actually detects WAR
+	// bugs; it is intentionally excluded from AllKinds.
+	KindNACHOBrokenPW Kind = "nacho-broken-pw"
 )
 
 // AllKinds lists every buildable system.
@@ -91,6 +96,10 @@ func Build(kind Kind, space *mem.Space, cfg Config) (sim.System, error) {
 		return core.New(string(kind), nvm, nachoOpts(core.WARNone, false))
 	case KindNACHO:
 		return core.New(string(kind), nvm, nachoOpts(core.WARCacheBits, true))
+	case KindNACHOBrokenPW:
+		opts := nachoOpts(core.WARCacheBits, true)
+		opts.TestInvertPW = true
+		return core.New(string(kind), nvm, opts)
 	case KindOracleNACHO:
 		return core.New(string(kind), nvm, nachoOpts(core.WARExact, true))
 	case KindNACHOPW:
