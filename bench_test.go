@@ -14,6 +14,7 @@ package nacho
 // benchmarks.
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -180,6 +181,83 @@ func BenchmarkEmulatorThroughput(b *testing.B) {
 		instructions += res.Instructions
 	}
 	b.ReportMetric(float64(instructions)/b.Elapsed().Seconds()/1e6, "sim-MIPS")
+}
+
+// aluKernelIters sizes the ALU throughput kernel: iterations of the unrolled
+// mixing block, ~2.2M retired instructions per run.
+const aluKernelIters = 30_000
+
+// aluKernelSource builds an ALU-dense RV32IM kernel: iters iterations of a
+// 72-instruction unrolled xorshift/multiply mixing block with no loads,
+// stores, or branches inside the unroll — the workload class the batched
+// fast path exists for, and the complement of the memory-bound towers
+// workload measured by BenchmarkEmulatorThroughput.
+func aluKernelSource(iters int) string {
+	var sb strings.Builder
+	sb.WriteString(`	.equ MMIO_RESULT, 0x000F0004
+	.equ MMIO_EXIT,   0x000F0000
+	.text
+_start:
+	li   a0, 0x12345678
+	li   a1, 0
+`)
+	fmt.Fprintf(&sb, "	li   a2, %d\n", iters)
+	sb.WriteString("alu_loop:\n")
+	for i := 0; i < 8; i++ {
+		sb.WriteString(`	slli t0, a0, 13
+	xor  a0, a0, t0
+	srli t1, a0, 17
+	xor  a0, a0, t1
+	slli t2, a0, 5
+	xor  a0, a0, t2
+	add  a1, a1, a0
+	mul  t3, a0, a1
+	xor  a1, a1, t3
+`)
+	}
+	sb.WriteString(`	addi a2, a2, -1
+	bnez a2, alu_loop
+	li   t0, MMIO_RESULT
+	sw   a1, 0(t0)
+	li   t0, MMIO_EXIT
+	sw   zero, 0(t0)
+`)
+	return sb.String()
+}
+
+func benchmarkALUKernel(b *testing.B, cfg Config) {
+	src := aluKernelSource(aluKernelIters)
+	var instructions uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := RunSource("alu-kernel", src, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instructions += res.Instructions
+	}
+	b.ReportMetric(float64(instructions)/b.Elapsed().Seconds()/1e6, "sim-MIPS")
+}
+
+// BenchmarkEmulatorThroughputALU measures the batched engine on the ALU
+// kernel, failure-free: the headline simulated-MIPS figure for the fast path.
+func BenchmarkEmulatorThroughputALU(b *testing.B) {
+	benchmarkALUKernel(b, Config{System: Volatile, DisableVerify: true})
+}
+
+// BenchmarkEmulatorThroughputALUReference runs the same kernel on the
+// per-instruction reference engine; the ratio to BenchmarkEmulatorThroughputALU
+// is the batched engine's speedup.
+func BenchmarkEmulatorThroughputALUReference(b *testing.B) {
+	benchmarkALUKernel(b, Config{System: Volatile, DisableVerify: true, NoFastPath: true})
+}
+
+// BenchmarkEmulatorThroughputALUIntermittent measures the batched engine on
+// the ALU kernel under dense power failures (1 ms on-durations on NACHO, so
+// checkpoints guarantee forward progress): the horizon clamps to each failure
+// instant and the engine degrades gracefully rather than falling off a cliff.
+func BenchmarkEmulatorThroughputALUIntermittent(b *testing.B) {
+	benchmarkALUKernel(b, Config{System: NACHO, DisableVerify: true, OnDurationMs: 1})
 }
 
 // BenchmarkNACHOSimulation measures full NACHO simulation speed including

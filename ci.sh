@@ -19,11 +19,20 @@ fi
 go vet ./...
 go build ./...
 go test ./...
+# The harness race pass includes the engine-equivalence suite
+# (TestEngineEquivalence*): the batched fast path and the per-instruction
+# reference interpreter must produce byte-identical results under the race
+# detector too.
 go test -race ./internal/harness/... ./internal/core/ ./internal/systems/
 
 # Benchmark smoke: the probe hot paths must at least run. One iteration is
 # enough to catch a broken benchmark; timing regressions are judged manually.
 go test -bench=. -benchtime=1x ./internal/cache/ ./internal/track/ ./internal/telemetry/
+
+# Emulator-throughput smoke: one timed pass of the batched-engine benchmark,
+# printing sim-MIPS so a fast-path regression is visible in the CI log
+# (reference numbers live in BENCH_emu.json).
+go test -run xxx -bench 'BenchmarkEmulatorThroughputALU$' -benchtime 1x . | grep -E 'sim-MIPS|^Benchmark'
 
 # Telemetry end-to-end: serve, sweep, scrape mid-flight, validate every
 # exposition line, then check the Perfetto export loads as trace-event JSON.

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"nacho"
+	"nacho/internal/profiling"
 )
 
 func main() {
@@ -33,9 +34,25 @@ func main() {
 		j       = flag.Int("j", 0, "parallel simulation workers (0 = all CPUs, 1 = sequential)")
 		timings = flag.Bool("timings", true, "print per-experiment timing summaries to stderr")
 		serve   = flag.String("serve", "", "serve live telemetry (/metrics, /status, /debug/pprof) on this address during the sweep")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	nacho.SetParallelism(*j)
+
+	if *cpuprofile != "" || *memprofile != "" {
+		stop, err := profiling.Start(*cpuprofile, *memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nachobench:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "nachobench:", err)
+			}
+		}()
+	}
 
 	if *serve != "" {
 		ts, err := nacho.ServeTelemetry(*serve)

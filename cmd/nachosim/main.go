@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"nacho"
+	"nacho/internal/profiling"
 )
 
 func main() {
@@ -36,8 +37,22 @@ func main() {
 		runFile    = flag.String("run", "", "assemble and run a user RV32IM .s file instead of a benchmark")
 		perfetto   = flag.String("perfetto", "", "write the run as Perfetto/Chrome trace-event JSON to this file")
 		serve      = flag.String("serve", "", "serve live telemetry (/metrics, /status, /debug/pprof) on this address during the run")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" || *memprofile != "" {
+		stop, err := profiling.Start(*cpuprofile, *memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "nachosim:", err)
+			}
+		}()
+	}
 
 	if *list {
 		fmt.Println("benchmarks:")

@@ -287,8 +287,12 @@ func (k *Controller) updateLine(line *cache.Line, addr uint32, t accessType, siz
 		// (Section 4.2.3: with n ways the read history may live in any of
 		// the n lines).
 		possibleWAR := false
-		for i := range k.cache.Set(addr) {
-			possibleWAR = possibleWAR || k.cache.Set(addr)[i].PW
+		set := k.cache.Set(addr)
+		for i := range set {
+			if set[i].PW {
+				possibleWAR = true
+				break
+			}
 		}
 		if !possibleWAR && size == cache.LineSize {
 			line.RD = false // write-dominated

@@ -1,0 +1,144 @@
+package emu
+
+import (
+	"nacho/internal/isa"
+)
+
+// This file implements the static pre-analysis behind the batched fast path.
+// The text segment is immutable for the life of a run (there is no
+// self-modifying code: stores to the text range would go through the memory
+// system, which the loader never maps over text), so everything derivable
+// from the instruction words alone is computed once — at DecodeText time —
+// and shared by every run of the same image.
+//
+// Two artifacts come out of the analysis:
+//
+//   - The basic-block partition (Blocks): leaders at the entry, at every
+//     static jump/branch target, and at every fall-through after a
+//     terminator; terminators at JAL/JALR/Bcc/EBREAK/ECALL. Each block is
+//     annotated with its ALU-only prefix length. The partition is metadata —
+//     tests and tooling consume it.
+//
+//   - The per-index ALU run table (aluRun): for every instruction index, the
+//     number of consecutive batchable instructions starting there. This is
+//     what the fast path actually indexes, because execution can enter
+//     straight-line code at any pc (e.g. resuming after a memory access in
+//     the middle of a block), and falling through a block leader is
+//     semantically free — leaders only mark where control flow may *enter*,
+//     never a side effect.
+//
+// An instruction is batchable when it is register-only straight-line compute
+// (isa.Op.IsALU: no memory, no MMIO, no control flow, exactly one base
+// cycle) and its destination register needs no special handling: writes to
+// x0 must be discarded and writes to sp run the stack guard and notify the
+// memory system's stack tracker, so both stay on the per-instruction
+// reference path.
+
+// Block is one basic block of the text segment, in instruction indices
+// (multiply by 4 and add the text base for addresses).
+type Block struct {
+	// Start is the index of the block's leader; Len its instruction count.
+	Start, Len int
+	// ALUPrefix is the number of leading instructions of the block that are
+	// batchable (see batchable); it never exceeds Len.
+	ALUPrefix int
+}
+
+// Text is a decoded text segment plus the static analysis the batched
+// execution engine consumes. Build one with DecodeText (from assembled
+// bytes) or NewText (from in-memory instructions); the zero value is an
+// empty segment.
+type Text struct {
+	// Instrs is the decoded instruction sequence, one entry per word.
+	Instrs []isa.Instr
+	// Blocks is the basic-block partition in ascending Start order.
+	Blocks []Block
+
+	// aluRun[i] is the number of consecutive batchable instructions starting
+	// at index i (0 when instruction i itself is not batchable). Runs may
+	// cross fall-through block boundaries: entering the next block without a
+	// control transfer is exactly sequential execution.
+	aluRun []uint32
+}
+
+// NewText analyzes an instruction sequence into a Text. The slice is
+// retained, not copied; callers must not mutate it afterwards.
+func NewText(instrs []isa.Instr) *Text {
+	t := &Text{Instrs: instrs}
+	t.analyze()
+	return t
+}
+
+// Len returns the number of instructions in the segment.
+func (t *Text) Len() int { return len(t.Instrs) }
+
+// batchable reports whether the instruction may execute inside the batched
+// ALU loop (see the file comment for why x0 and sp destinations are
+// excluded).
+func batchable(in *isa.Instr) bool {
+	return in.Op.IsALU() && in.Rd != isa.Zero && in.Rd != isa.SP
+}
+
+// terminator reports whether the instruction ends a basic block.
+func terminator(op isa.Op) bool { return op.IsControl() }
+
+func (t *Text) analyze() {
+	n := len(t.Instrs)
+	if n == 0 {
+		return
+	}
+
+	// Pass 1: leaders. Index 0 is a leader; so are static branch/jump
+	// targets and the instruction after every terminator. JALR targets are
+	// dynamic and unknowable here — harmless, since the ALU run table (not
+	// the block partition) is what execution consults, and it is valid from
+	// any entry index.
+	leader := make([]bool, n)
+	leader[0] = true
+	for i := range t.Instrs {
+		in := &t.Instrs[i]
+		if in.Op == isa.JAL || in.Op.IsBranch() {
+			if in.Imm%4 == 0 {
+				if tgt := int64(i) + int64(in.Imm)/4; tgt >= 0 && tgt < int64(n) {
+					leader[tgt] = true
+				}
+			}
+		}
+		if terminator(in.Op) && i+1 < n {
+			leader[i+1] = true
+		}
+	}
+
+	// Pass 2: ALU run lengths, computed right to left so each index is O(1).
+	t.aluRun = make([]uint32, n)
+	for i := n - 1; i >= 0; i-- {
+		if batchable(&t.Instrs[i]) {
+			t.aluRun[i] = 1
+			if i+1 < n {
+				t.aluRun[i] += t.aluRun[i+1]
+			}
+		}
+	}
+
+	// Pass 3: assemble blocks and annotate ALU prefixes.
+	start := 0
+	flush := func(end int) {
+		b := Block{Start: start, Len: end - start}
+		for j := start; j < end && batchable(&t.Instrs[j]); j++ {
+			b.ALUPrefix++
+		}
+		t.Blocks = append(t.Blocks, b)
+		start = end
+	}
+	for i := 0; i < n; i++ {
+		if i > start && leader[i] {
+			flush(i)
+		}
+		if terminator(t.Instrs[i].Op) {
+			flush(i + 1)
+		}
+	}
+	if start < n {
+		flush(n)
+	}
+}

@@ -1,0 +1,148 @@
+package emu
+
+import (
+	"testing"
+
+	"nacho/internal/isa"
+)
+
+// i is shorthand for building test instruction sequences.
+func alu(rd isa.Reg) isa.Instr {
+	return isa.Instr{Op: isa.ADDI, Rd: rd, Rs1: rd, Imm: 1}
+}
+
+func TestAnalyzeEmptyText(t *testing.T) {
+	tx := NewText(nil)
+	if tx.Len() != 0 || tx.Blocks != nil || tx.aluRun != nil {
+		t.Fatalf("empty text: Len=%d Blocks=%v aluRun=%v", tx.Len(), tx.Blocks, tx.aluRun)
+	}
+}
+
+func TestAnalyzeStraightLine(t *testing.T) {
+	tx := NewText([]isa.Instr{
+		alu(isa.Reg(5)),
+		alu(isa.Reg(6)),
+		alu(isa.Reg(7)),
+	})
+	if len(tx.Blocks) != 1 {
+		t.Fatalf("blocks = %v, want one", tx.Blocks)
+	}
+	b := tx.Blocks[0]
+	if b.Start != 0 || b.Len != 3 || b.ALUPrefix != 3 {
+		t.Fatalf("block = %+v, want {0 3 3}", b)
+	}
+	for i, want := range []uint32{3, 2, 1} {
+		if tx.aluRun[i] != want {
+			t.Fatalf("aluRun[%d] = %d, want %d", i, tx.aluRun[i], want)
+		}
+	}
+}
+
+func TestAnalyzeBranchSplitsBlocks(t *testing.T) {
+	// 0: addi x5
+	// 1: beq x0, x0, +8 (target index 3)  — terminator, target leader
+	// 2: addi x6                          — fall-through leader
+	// 3: addi x7                          — branch-target leader
+	// 4: ebreak                           — terminator
+	instrs := []isa.Instr{
+		alu(isa.Reg(5)),
+		{Op: isa.BEQ, Rs1: isa.Zero, Rs2: isa.Zero, Imm: 8},
+		alu(isa.Reg(6)),
+		alu(isa.Reg(7)),
+		{Op: isa.EBREAK},
+	}
+	tx := NewText(instrs)
+	want := []Block{
+		{Start: 0, Len: 2, ALUPrefix: 1},
+		{Start: 2, Len: 1, ALUPrefix: 1},
+		{Start: 3, Len: 2, ALUPrefix: 1},
+	}
+	if len(tx.Blocks) != len(want) {
+		t.Fatalf("blocks = %+v, want %+v", tx.Blocks, want)
+	}
+	for i := range want {
+		if tx.Blocks[i] != want[i] {
+			t.Fatalf("block[%d] = %+v, want %+v", i, tx.Blocks[i], want[i])
+		}
+	}
+	// Runs cross the fall-through boundary between index 2 and 3: entering
+	// the next block without a control transfer is sequential execution.
+	for i, want := range []uint32{1, 0, 2, 1, 0} {
+		if tx.aluRun[i] != want {
+			t.Fatalf("aluRun[%d] = %d, want %d", i, tx.aluRun[i], want)
+		}
+	}
+}
+
+func TestAnalyzeBlocksPartitionText(t *testing.T) {
+	// The block list must tile [0, n) exactly, whatever the input.
+	instrs := []isa.Instr{
+		{Op: isa.JAL, Rd: isa.RA, Imm: 8},
+		alu(isa.Reg(5)),
+		{Op: isa.LW, Rd: isa.Reg(6), Rs1: isa.SP},
+		{Op: isa.BNE, Rs1: isa.Reg(5), Rs2: isa.Reg(6), Imm: -8},
+		{Op: isa.JALR, Rd: isa.Zero, Rs1: isa.RA},
+		alu(isa.Reg(8)),
+	}
+	tx := NewText(instrs)
+	pos := 0
+	for _, b := range tx.Blocks {
+		if b.Start != pos || b.Len <= 0 {
+			t.Fatalf("blocks %+v do not partition %d instructions", tx.Blocks, len(instrs))
+		}
+		if b.ALUPrefix < 0 || b.ALUPrefix > b.Len {
+			t.Fatalf("block %+v: ALUPrefix out of range", b)
+		}
+		pos += b.Len
+	}
+	if pos != len(instrs) {
+		t.Fatalf("blocks %+v cover %d of %d instructions", tx.Blocks, pos, len(instrs))
+	}
+}
+
+func TestBatchableExcludesSpecialDestinations(t *testing.T) {
+	cases := []struct {
+		in   isa.Instr
+		want bool
+	}{
+		{alu(isa.Reg(5)), true},
+		{isa.Instr{Op: isa.MUL, Rd: isa.Reg(9), Rs1: isa.Reg(5), Rs2: isa.Reg(6)}, true},
+		{isa.Instr{Op: isa.ADDI, Rd: isa.Zero, Rs1: isa.Zero}, false},       // x0 write: discarded
+		{isa.Instr{Op: isa.ADDI, Rd: isa.SP, Rs1: isa.SP, Imm: -16}, false}, // sp write: stack guard
+		{isa.Instr{Op: isa.LW, Rd: isa.Reg(5), Rs1: isa.SP}, false},         // memory
+		{isa.Instr{Op: isa.JAL, Rd: isa.RA}, false},                         // control
+		{isa.Instr{Op: isa.FENCE}, false},                                   // system
+	}
+	for _, c := range cases {
+		if got := batchable(&c.in); got != c.want {
+			t.Errorf("batchable(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAnalyzeBranchTargetBreaksNothing(t *testing.T) {
+	// A backward branch into the middle of an ALU run: the run table is
+	// unaffected (it is valid from any entry index); only the block partition
+	// gains a leader.
+	instrs := []isa.Instr{
+		alu(isa.Reg(5)),
+		alu(isa.Reg(6)), // branch target
+		alu(isa.Reg(7)),
+		{Op: isa.BLT, Rs1: isa.Reg(5), Rs2: isa.Reg(7), Imm: -8},
+	}
+	tx := NewText(instrs)
+	for i, want := range []uint32{3, 2, 1, 0} {
+		if tx.aluRun[i] != want {
+			t.Fatalf("aluRun[%d] = %d, want %d", i, tx.aluRun[i], want)
+		}
+	}
+	want := []Block{
+		{Start: 0, Len: 1, ALUPrefix: 1},
+		{Start: 1, Len: 3, ALUPrefix: 2},
+	}
+	for i := range want {
+		if tx.Blocks[i] != want[i] {
+			t.Fatalf("block[%d] = %+v, want %+v", i, tx.Blocks[i], want[i])
+		}
+	}
+}

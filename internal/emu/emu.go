@@ -62,8 +62,15 @@ type Config struct {
 	// Probe, when non-nil, receives the emulator's own events: instruction
 	// retirement, MMIO accesses, power failures, and restores. Attach the
 	// same probe to the memory system (sim.System.AttachProbe) to observe
-	// the full event stream of a run.
+	// the full event stream of a run. Attaching a probe also selects the
+	// per-instruction reference interpreter, so the event stream stays
+	// event-for-event identical to the historical trace format.
 	Probe sim.Probe
+	// NoFastPath forces the per-instruction reference interpreter even when
+	// no probe is attached. Results are identical either way (the
+	// engine-equivalence suite runs both engines and compares); the knob
+	// exists for that suite and for isolating engine bugs.
+	NoFastPath bool
 }
 
 const defaultMaxInstructions = 2_000_000_000
@@ -88,6 +95,7 @@ type Machine struct {
 	pc   uint32
 
 	text      []isa.Instr
+	aluRun    []uint32 // batched fast-path run table (see Text)
 	textBase  uint32
 	entry     uint32
 	initialSP uint32
@@ -119,10 +127,13 @@ var errPowerFail = errors.New("power failure")
 // forward-progress loss from ordinary program errors.
 var ErrCycleBudget = errors.New("cycle budget exceeded")
 
-// New creates a machine executing the decoded text segment at textBase,
+// New creates a machine executing the pre-analyzed text segment at textBase,
 // starting at entry with the stack pointer at initialSP. The system is
 // attached (clock, registers, counters) and its boot checkpoint initialized.
-func New(sys sim.System, text []isa.Instr, textBase, entry, initialSP uint32, cfg Config) *Machine {
+func New(sys sim.System, text *Text, textBase, entry, initialSP uint32, cfg Config) *Machine {
+	if text == nil {
+		text = &Text{}
+	}
 	if cfg.Schedule == nil {
 		cfg.Schedule = power.None{}
 	}
@@ -138,7 +149,8 @@ func New(sys sim.System, text []isa.Instr, textBase, entry, initialSP uint32, cf
 		}
 	}
 	m := &Machine{
-		text:      text,
+		text:      text.Instrs,
+		aluRun:    text.aluRun,
 		textBase:  textBase,
 		entry:     entry,
 		initialSP: initialSP,
@@ -155,8 +167,10 @@ func New(sys sim.System, text []isa.Instr, textBase, entry, initialSP uint32, cf
 	return m
 }
 
-// DecodeText decodes an assembled text segment into instructions.
-func DecodeText(data []byte) ([]isa.Instr, error) {
+// DecodeText decodes an assembled text segment into instructions and runs
+// the batched-execution pre-analysis (basic blocks and ALU run lengths) on
+// them, so the cost is paid once per image rather than once per run.
+func DecodeText(data []byte) (*Text, error) {
 	if len(data)%4 != 0 {
 		return nil, fmt.Errorf("emu: text size %d is not word-aligned", len(data))
 	}
@@ -169,7 +183,7 @@ func DecodeText(data []byte) ([]isa.Instr, error) {
 		}
 		out[i] = in
 	}
-	return out, nil
+	return NewText(out), nil
 }
 
 // Now implements sim.Clock.
@@ -262,7 +276,11 @@ func (m *Machine) Run() (Result, error) {
 	return res, runErr
 }
 
-// runSlice executes instructions until halt or the next power failure.
+// runSlice executes instructions until halt or the next power failure. The
+// interpreter variant is selected once per slice: the batched fast path when
+// no probe is attached (and NoFastPath is unset), the per-instruction
+// reference path otherwise. Both produce byte-identical results; the
+// reference path additionally emits the per-instruction probe events.
 func (m *Machine) runSlice() (err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -273,6 +291,17 @@ func (m *Machine) runSlice() (err error) {
 			panic(r)
 		}
 	}()
+	if m.probe == nil && !m.cfg.NoFastPath && m.aluRun != nil {
+		return m.runSliceFast()
+	}
+	return m.runSliceRef()
+}
+
+// runSliceRef is the per-instruction reference loop: every instruction pays
+// the limit, budget, and forced-checkpoint checks individually. It is the
+// behavioral specification the batched fast path is tested against, and the
+// only loop that emits per-instruction probe events.
+func (m *Machine) runSliceRef() error {
 	for !m.halted {
 		if m.c.Instructions >= m.cfg.MaxInstructions {
 			return fmt.Errorf("emu: instruction limit %d exceeded at pc=0x%08x", m.cfg.MaxInstructions, m.pc)

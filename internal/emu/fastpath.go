@@ -1,0 +1,222 @@
+package emu
+
+import (
+	"fmt"
+
+	"nacho/internal/isa"
+)
+
+// This file is the batched fast path: the probe-free specialization of the
+// execution loop. Instead of paying five per-instruction overheads
+// (instruction-limit check, cycle-budget check, forced-checkpoint check,
+// probe nil check, and a failure-aware Advance(1)) for every retired
+// instruction, it computes a safe horizon — the number of upcoming cycles in
+// which none of those events can possibly fire — and executes the
+// pre-analyzed ALU run below that horizon in a tight loop, charging cycles
+// and the instruction count once per batch.
+//
+// Correctness rests on the determinism of the cost model: a batchable
+// instruction (Text.aluRun) touches neither memory nor MMIO nor control
+// flow, costs exactly one cycle, and writes exactly one register (never x0
+// or sp). Within the horizon the simulation is therefore a pure function of
+// the register file, and batching cannot change any observable: cycle
+// counts, counters, failure instants, checkpoint instants, and final state
+// are byte-identical to the per-instruction reference path. The equivalence
+// suite (internal/harness TestEngineEquivalence*) enforces this rather than
+// trusting the argument.
+//
+// The fast path is selected once per slice and only when no probe is
+// attached (Config.Probe == nil) and Config.NoFastPath is unset; probed and
+// traced runs take the reference path, so their event streams stay
+// event-for-event identical to the historical format.
+
+// runSliceFast executes instructions until halt or the next power failure,
+// batching ALU runs below the safe horizon and falling back to the
+// per-instruction step for everything else. Loop-invariant configuration is
+// hoisted into locals; the loop's per-iteration checks mirror runSliceRef
+// exactly.
+func (m *Machine) runSliceFast() error {
+	var (
+		maxInstr  = m.cfg.MaxInstructions
+		maxCycles = m.cfg.MaxCycles
+		period    = m.cfg.ForcedCheckpointPeriod
+		margin    = m.cfg.ForcedCheckpointMargin
+		text      = m.text
+		aluRun    = m.aluRun
+		textBase  = m.textBase
+	)
+	for !m.halted {
+		if m.c.Instructions >= maxInstr {
+			return fmt.Errorf("emu: instruction limit %d exceeded at pc=0x%08x", maxInstr, m.pc)
+		}
+		if maxCycles > 0 && m.cycle >= maxCycles {
+			return fmt.Errorf("emu: %w (%d cycles) at pc=0x%08x", ErrCycleBudget, maxCycles, m.pc)
+		}
+		if period > 0 && m.cycle+margin >= m.nextForced {
+			m.sys.ForceCheckpoint()
+			for m.nextForced <= m.cycle+margin {
+				m.nextForced += period
+			}
+			// The checkpoint advanced the clock past the checks above; the
+			// reference path steps one instruction regardless, so take the
+			// per-instruction path for this iteration instead of re-checking.
+			if err := m.stepChecked(); err != nil {
+				return err
+			}
+			continue
+		}
+
+		// Safe horizon: the largest k such that executing k batchable
+		// instructions from here triggers none of the per-instruction
+		// events. Each bound below mirrors one reference-path check; when
+		// the horizon is short (k == 0) the reference step handles the
+		// instruction, including raising the power failure or error at the
+		// exact same instant with the exact same state.
+		k := uint64(0)
+		if off := m.pc - textBase; m.pc%4 == 0 && off/4 < uint32(len(text)) {
+			idx := off / 4
+			if r := uint64(aluRun[idx]); r > 0 {
+				k = r
+				if m.failEnabled {
+					// Instruction i advances the clock to cycle+i+1, which
+					// must stay strictly before the failure instant.
+					if m.nextFailure <= m.cycle {
+						k = 0
+					} else if h := m.nextFailure - m.cycle - 1; h < k {
+						k = h
+					}
+				}
+				if maxCycles > 0 {
+					if h := maxCycles - m.cycle; h < k {
+						k = h // cycle < maxCycles was checked above
+					}
+				}
+				if h := maxInstr - m.c.Instructions; h < k {
+					k = h // Instructions < maxInstr was checked above
+				}
+				if period > 0 {
+					// Instruction i issues at cycle+i, which must stay below
+					// the forced-checkpoint trigger cycle+margin >= nextForced.
+					if h := m.nextForced - margin - m.cycle; h < k {
+						k = h // nextForced > cycle+margin was checked above
+					}
+				}
+			}
+		}
+		if k == 0 {
+			if err := m.stepChecked(); err != nil {
+				return err
+			}
+			continue
+		}
+		m.execBatch(k)
+	}
+	return nil
+}
+
+// stepChecked is one reference-path instruction plus the stack-fault check
+// that follows every step.
+func (m *Machine) stepChecked() error {
+	if err := m.step(); err != nil {
+		return err
+	}
+	if m.stackFault {
+		return fmt.Errorf("emu: stack pointer 0x%08x left the stack region at pc=0x%08x", m.regs[isa.SP], m.pc)
+	}
+	return nil
+}
+
+// execBatch executes n batchable instructions starting at the current pc in
+// a tight loop with no per-instruction checks, then charges the clock, the
+// instruction counter, and the pc once. The caller guarantees (via the safe
+// horizon) that no power failure, forced checkpoint, or budget limit can
+// fire inside the batch, and the analysis guarantees every instruction is
+// register-only straight-line compute with Rd ∉ {x0, sp}.
+func (m *Machine) execBatch(n uint64) {
+	var (
+		text = m.text
+		regs = &m.regs
+		pc   = m.pc
+		idx  = (pc - m.textBase) / 4
+	)
+	for end := idx + uint32(n); idx < end; idx++ {
+		in := &text[idx]
+		rs1 := regs[in.Rs1]
+		rs2 := regs[in.Rs2]
+		imm := uint32(in.Imm)
+		var v uint32
+		switch in.Op {
+		case isa.ADDI:
+			v = rs1 + imm
+		case isa.ADD:
+			v = rs1 + rs2
+		case isa.LUI:
+			v = imm
+		case isa.AUIPC:
+			v = pc + imm
+		case isa.SLTI:
+			v = boolToU32(int32(rs1) < int32(imm))
+		case isa.SLTIU:
+			v = boolToU32(rs1 < imm)
+		case isa.XORI:
+			v = rs1 ^ imm
+		case isa.ORI:
+			v = rs1 | imm
+		case isa.ANDI:
+			v = rs1 & imm
+		case isa.SLLI:
+			v = rs1 << (imm & 31)
+		case isa.SRLI:
+			v = rs1 >> (imm & 31)
+		case isa.SRAI:
+			v = uint32(int32(rs1) >> (imm & 31))
+		case isa.SUB:
+			v = rs1 - rs2
+		case isa.SLL:
+			v = rs1 << (rs2 & 31)
+		case isa.SLT:
+			v = boolToU32(int32(rs1) < int32(rs2))
+		case isa.SLTU:
+			v = boolToU32(rs1 < rs2)
+		case isa.XOR:
+			v = rs1 ^ rs2
+		case isa.SRL:
+			v = rs1 >> (rs2 & 31)
+		case isa.SRA:
+			v = uint32(int32(rs1) >> (rs2 & 31))
+		case isa.OR:
+			v = rs1 | rs2
+		case isa.AND:
+			v = rs1 & rs2
+		case isa.MUL:
+			v = rs1 * rs2
+		case isa.MULH:
+			v = uint32(uint64(int64(int32(rs1))*int64(int32(rs2))) >> 32)
+		case isa.MULHSU:
+			v = uint32(uint64(int64(int32(rs1))*int64(rs2)) >> 32)
+		case isa.MULHU:
+			v = uint32(uint64(rs1) * uint64(rs2) >> 32)
+		case isa.DIV:
+			v = divSigned(rs1, rs2)
+		case isa.DIVU:
+			if rs2 == 0 {
+				v = ^uint32(0)
+			} else {
+				v = rs1 / rs2
+			}
+		case isa.REM:
+			v = remSigned(rs1, rs2)
+		case isa.REMU:
+			if rs2 == 0 {
+				v = rs1
+			} else {
+				v = rs1 % rs2
+			}
+		}
+		regs[in.Rd] = v
+		pc += 4
+	}
+	m.pc = pc
+	m.cycle += n
+	m.c.Instructions += n
+}

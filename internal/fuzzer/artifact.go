@@ -71,7 +71,7 @@ func NewArtifact(f Finding, cfg Config) (*Artifact, error) {
 		Schedule:     append([]uint64(nil), f.Schedule...),
 		CacheSize:    cfg.CacheSize,
 		Ways:         cfg.Ways,
-		Instructions: len(img.Text),
+		Instructions: img.Text.Len(),
 		Params:       f.Prog.Params,
 		Ops:          f.Prog.Ops,
 		Text:         hex.EncodeToString(text),

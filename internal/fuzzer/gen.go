@@ -400,8 +400,8 @@ func (p *Prog) Listing() ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]string, len(img.Text))
-	for i, in := range img.Text {
+	out := make([]string, img.Text.Len())
+	for i, in := range img.Text.Instrs {
 		out[i] = fmt.Sprintf("%08x: %s", program.TextBase+uint32(4*i), in)
 	}
 	return out, nil

@@ -189,7 +189,7 @@ func Minimize(f Finding, cfg Config) Finding {
 	// Re-derive the detail (and instruction count) from the minimized
 	// program so the artifact describes what it actually contains.
 	if img, err := out.Prog.Render(); err == nil {
-		out.Instructions = len(img.Text)
+		out.Instructions = img.Text.Len()
 		if g, err := golden(img, cfg); err == nil {
 			fc, sysCycles := checkOne(img, g, f.System, nil, failFreeMaxCycles, cfg)
 			if fc == nil && len(sched) > 0 {

@@ -1,0 +1,216 @@
+package harness_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"nacho/internal/emu"
+	"nacho/internal/fuzzer"
+	"nacho/internal/harness"
+	"nacho/internal/power"
+	"nacho/internal/program"
+	"nacho/internal/sim"
+	"nacho/internal/systems"
+)
+
+// The engine-equivalence suite is the enforcement behind the batched fast
+// path's correctness claim: for every program, system, and failure schedule,
+// the fast engine (emu.runSliceFast) and the per-instruction reference engine
+// (NoFastPath) must produce byte-identical results — exit code, result words,
+// output, every counter including the cycle count, and the final register
+// file. Errors (cycle-budget aborts, stack faults) must also be identical,
+// message and all, because they encode the instant and pc at which the run
+// died.
+
+// equivalenceBudget bounds the failure-free runs. Intermittent runs, which
+// can livelock (e.g. a periodic schedule shorter than a system's
+// re-execution window), get the tighter scheduledBudget derived from the
+// failure-free length. Hitting a budget is fine — both engines must then
+// fail identically, message and all.
+const equivalenceBudget = 24_000_000
+
+// scheduledBudget is a generous multiple of the failure-free run length:
+// ample for every terminating intermittent run, small enough that livelocked
+// ones abort quickly.
+func scheduledBudget(freeCycles uint64) uint64 {
+	return freeCycles*8 + 200_000
+}
+
+// runBoth executes the image under both engines and fails the test on any
+// observable difference. It returns the fast result for callers that derive
+// schedules from it.
+func runBoth(t *testing.T, label string, img *program.Image, kind systems.Kind, cfg harness.RunConfig) emu.Result {
+	t.Helper()
+	cfg.Verify = false // a verifier probe would force the reference engine
+	cfg.NoFastPath = false
+	fast, fastErr := harness.RunImage(img, kind, cfg, false)
+	cfg.NoFastPath = true
+	ref, refErr := harness.RunImage(img, kind, cfg, false)
+
+	if (fastErr == nil) != (refErr == nil) || (fastErr != nil && fastErr.Error() != refErr.Error()) {
+		t.Fatalf("%s: engines diverge on error:\n  fast: %v\n  ref:  %v", label, fastErr, refErr)
+	}
+	if !reflect.DeepEqual(fast, ref) {
+		t.Fatalf("%s: engines diverge:\n  fast: %+v\n  ref:  %+v", label, fast, ref)
+	}
+	return fast
+}
+
+// schedulesFor derives a spread of failure schedules from a failure-free run
+// length: a finite burst of instants, a periodic schedule, and a seeded
+// irregular one. All are deterministic.
+func schedulesFor(cycles uint64) []power.Schedule {
+	if cycles < 16 {
+		cycles = 16
+	}
+	return []power.Schedule{
+		nil,
+		power.NewAt(cycles/7, cycles/3, cycles/2, cycles-cycles/5),
+		power.Periodic{Period: cycles/5 + 13},
+		power.NewUniform(cycles/9+1, cycles/4+2, 42),
+	}
+}
+
+func TestEngineEquivalenceFuzzed(t *testing.T) {
+	kinds := systems.AllKinds()
+	seeds := 24
+	if testing.Short() {
+		seeds = 6
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		p := fuzzer.Generate(seed)
+		img, err := p.Render()
+		if err != nil {
+			t.Fatalf("seed %d: render: %v", seed, err)
+		}
+		// Rotate through the system list so the suite covers every system
+		// without running the full cross product on every seed.
+		kind := kinds[int(seed)%len(kinds)]
+		cfg := harness.RunConfig{CacheSize: 512, Ways: 2, MaxCycles: equivalenceBudget}
+		free := runBoth(t, fmt.Sprintf("seed %d %s failure-free", seed, kind), img, kind, cfg)
+		for i, sched := range schedulesFor(free.Counters.Cycles) {
+			if sched == nil {
+				continue
+			}
+			c := cfg
+			c.Schedule = sched
+			c.MaxCycles = scheduledBudget(free.Counters.Cycles)
+			c.FinalFlush = true
+			if i%2 == 1 {
+				c.ForcedCheckpointPeriod = free.Counters.Cycles/11 + 97
+			}
+			runBoth(t, fmt.Sprintf("seed %d %s sched %s", seed, kind, sched.Key()), img, kind, c)
+		}
+	}
+}
+
+func TestEngineEquivalenceBenchmarks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark sweep")
+	}
+	kinds := []systems.Kind{systems.KindVolatile, systems.KindClank, systems.KindNACHO, systems.KindReplayCache}
+	for _, name := range program.Names() {
+		p, ok := program.ByName(name)
+		if !ok {
+			t.Fatalf("unknown benchmark %q", name)
+		}
+		img, err := p.Build()
+		if err != nil {
+			t.Fatalf("%s: build: %v", name, err)
+		}
+		for _, kind := range kinds {
+			cfg := harness.RunConfig{CacheSize: 512, Ways: 2, MaxCycles: equivalenceBudget}
+			free := runBoth(t, name+" on "+string(kind)+" failure-free", img, kind, cfg)
+			cfg.Schedule = power.Periodic{Period: free.Counters.Cycles/4 + 1021}
+			cfg.ForcedCheckpointPeriod = free.Counters.Cycles/8 + 509
+			cfg.MaxCycles = scheduledBudget(free.Counters.Cycles)
+			runBoth(t, name+" on "+string(kind)+" intermittent", img, kind, cfg)
+		}
+	}
+}
+
+// eventLog records the full probe event stream as rendered strings, so two
+// streams can be compared event for event.
+type eventLog struct {
+	events []string
+}
+
+func (l *eventLog) add(kind string, e any) {
+	l.events = append(l.events, fmt.Sprintf("%s%+v", kind, e))
+}
+func (l *eventLog) OnAccess(e sim.AccessEvent)       { l.add("access", e) }
+func (l *eventLog) OnLineFill(e sim.FillEvent)       { l.add("fill", e) }
+func (l *eventLog) OnWriteBack(e sim.WriteBackEvent) { l.add("writeback", e) }
+func (l *eventLog) OnCheckpointBegin(e sim.CheckpointEvent) {
+	l.add("ckpt-begin", e)
+}
+func (l *eventLog) OnCheckpointCommit(e sim.CheckpointEvent) {
+	l.add("ckpt-commit", e)
+}
+func (l *eventLog) OnPowerFailure(e sim.PowerEvent) { l.add("powerfail", e) }
+func (l *eventLog) OnRestore(e sim.RestoreEvent)    { l.add("restore", e) }
+func (l *eventLog) OnRetire(e sim.RetireEvent)      { l.add("retire", e) }
+func (l *eventLog) OnNVM(e sim.NVMEvent)            { l.add("nvm", e) }
+
+// TestEngineEquivalenceProbeStream pins two guarantees around instrumented
+// runs. First, attaching a probe always selects the reference engine, so the
+// event stream is identical whatever NoFastPath says — the historical trace
+// and probe formats cannot change under the fast path. Second, the fast
+// engine's un-instrumented result is identical to the instrumented reference
+// run's result: instrumentation observes the simulation without perturbing
+// it, and the fast path reproduces it exactly.
+func TestEngineEquivalenceProbeStream(t *testing.T) {
+	p, ok := program.ByName("crc")
+	if !ok {
+		t.Fatal("crc benchmark missing")
+	}
+	img, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := harness.RunConfig{
+		CacheSize: 512,
+		Ways:      2,
+		MaxCycles: equivalenceBudget,
+		Schedule:  power.Periodic{Period: 300_000},
+	}
+	for _, kind := range []systems.Kind{systems.KindNACHO, systems.KindClank} {
+		var logs [2]*eventLog
+		var probed [2]emu.Result
+		for i, noFast := range []bool{false, true} {
+			logs[i] = &eventLog{}
+			cfg := base
+			cfg.Probe = logs[i]
+			cfg.NoFastPath = noFast
+			probed[i], err = harness.RunImage(img, kind, cfg, false)
+			if err != nil {
+				t.Fatalf("%s probed (NoFastPath=%v): %v", kind, noFast, err)
+			}
+		}
+		if !reflect.DeepEqual(probed[0], probed[1]) {
+			t.Fatalf("%s: probed results differ across NoFastPath", kind)
+		}
+		if len(logs[0].events) == 0 {
+			t.Fatalf("%s: probe recorded no events", kind)
+		}
+		if !reflect.DeepEqual(logs[0].events, logs[1].events) {
+			for i := range logs[0].events {
+				if i >= len(logs[1].events) || logs[0].events[i] != logs[1].events[i] {
+					t.Fatalf("%s: probe streams diverge at event %d:\n  %s\n  %s",
+						kind, i, logs[0].events[i], logs[1].events[min(i, len(logs[1].events)-1)])
+				}
+			}
+			t.Fatalf("%s: probe streams differ in length: %d vs %d", kind, len(logs[0].events), len(logs[1].events))
+		}
+
+		fastCfg := base
+		fast, err := harness.RunImage(img, kind, fastCfg, false)
+		if err != nil {
+			t.Fatalf("%s fast: %v", kind, err)
+		}
+		if !reflect.DeepEqual(fast, probed[0]) {
+			t.Fatalf("%s: fast un-instrumented result differs from instrumented reference:\n  fast:   %+v\n  probed: %+v", kind, fast, probed[0])
+		}
+	}
+}

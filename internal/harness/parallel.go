@@ -68,6 +68,7 @@ type runKey struct {
 	cost                   mem.CostModel
 	dirtyThreshold         int
 	energyPrediction       bool
+	noFastPath             bool
 }
 
 func keyFor(p *program.Program, kind systems.Kind, cfg RunConfig) runKey {
@@ -90,6 +91,7 @@ func keyFor(p *program.Program, kind systems.Kind, cfg RunConfig) runKey {
 		cost:                   cfg.Cost,
 		dirtyThreshold:         cfg.DirtyThreshold,
 		energyPrediction:       cfg.EnergyPrediction,
+		noFastPath:             cfg.NoFastPath,
 	}
 }
 

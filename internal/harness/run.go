@@ -54,6 +54,11 @@ type RunConfig struct {
 	// a clean halt (see emu.Config.FinalFlush), so every surviving store is
 	// visible in NVM for post-run state comparison.
 	FinalFlush bool
+	// NoFastPath forces the emulator's per-instruction reference
+	// interpreter (see emu.Config.NoFastPath). Results are identical either
+	// way; the engine-equivalence suite sets it to obtain the reference side
+	// of its comparison.
+	NoFastPath bool
 }
 
 // DefaultRunConfig is the paper's headline configuration: a 2-way 512 B
@@ -157,6 +162,7 @@ func RunImageSys(img *program.Image, kind systems.Kind, cfg RunConfig, checkGold
 		MaxCycles:              cfg.MaxCycles,
 		FinalFlush:             cfg.FinalFlush,
 		Probe:                  probe,
+		NoFastPath:             cfg.NoFastPath,
 	})
 	runStarted()
 	res, err := machine.Run()

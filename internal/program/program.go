@@ -26,7 +26,6 @@ import (
 
 	"nacho/internal/asm"
 	"nacho/internal/emu"
-	"nacho/internal/isa"
 )
 
 // Memory layout shared by all benchmarks (see DESIGN.md).
@@ -88,11 +87,14 @@ type Program struct {
 // Source returns the complete assembly source.
 func (p *Program) Source() string { return header + p.source }
 
-// Image is an assembled, decoded benchmark ready to load into a machine.
+// Image is an assembled, decoded, and pre-analyzed benchmark ready to load
+// into a machine. Text carries the batched-execution analysis alongside the
+// instructions; it is computed once here and shared by every run of the
+// image.
 type Image struct {
 	Program  *Program
 	Segments []asm.Segment
-	Text     []isa.Instr
+	Text     *emu.Text
 	Entry    uint32
 	Expected uint32
 }
@@ -114,7 +116,7 @@ func (p *Program) Build() (*Image, error) {
 	if err != nil {
 		return nil, fmt.Errorf("program %s: %w", p.Name, err)
 	}
-	var text []isa.Instr
+	var text *emu.Text
 	for _, seg := range prog.Segments {
 		if seg.Addr == TextBase {
 			text, err = emu.DecodeText(seg.Data)
@@ -196,7 +198,7 @@ func FromSource(name, source string) (*Image, error) {
 	if err != nil {
 		return nil, fmt.Errorf("program %s: %w", name, err)
 	}
-	var text []isa.Instr
+	var text *emu.Text
 	for _, seg := range prog.Segments {
 		if seg.Addr == TextBase {
 			text, err = emu.DecodeText(seg.Data)

@@ -49,7 +49,7 @@ func TestBuildCachesImages(t *testing.T) {
 	if a != b {
 		t.Error("Build did not cache the image")
 	}
-	if a.Entry == 0 || len(a.Text) == 0 || len(a.Segments) == 0 {
+	if a.Entry == 0 || a.Text.Len() == 0 || len(a.Segments) == 0 {
 		t.Errorf("incomplete image: %+v", a)
 	}
 }
@@ -80,8 +80,8 @@ func TestFromSource(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if img.Entry != TextBase || len(img.Text) != 1 {
-		t.Errorf("image: entry=%#x text=%d", img.Entry, len(img.Text))
+	if img.Entry != TextBase || img.Text.Len() != 1 {
+		t.Errorf("image: entry=%#x text=%d", img.Entry, img.Text.Len())
 	}
 	if _, err := FromSource("bad", "_start:\n bogus\n"); err == nil {
 		t.Error("bad source accepted")

@@ -123,6 +123,11 @@ type Config struct {
 	// Telemetry, when non-nil, feeds the run's event stream into the
 	// server's live nacho_sim_* metrics (see ServeTelemetry).
 	Telemetry *TelemetryServer
+	// NoFastPath forces the emulator's per-instruction reference interpreter
+	// even on un-instrumented runs. Results are identical either way; the
+	// knob exists for the engine-equivalence suite, for measuring the batched
+	// engine's speedup, and for isolating engine bugs.
+	NoFastPath bool
 }
 
 func (c Config) withDefaults() Config {
@@ -152,6 +157,7 @@ func (c Config) runConfig() harness.RunConfig {
 		DirtyThreshold:   c.DirtyThreshold,
 		EnergyPrediction: c.EnergyPrediction,
 		Trace:            c.Trace,
+		NoFastPath:       c.NoFastPath,
 	}
 	if c.OnDurationMs > 0 {
 		period := cost.CyclesForMillis(c.OnDurationMs)
