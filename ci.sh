@@ -22,8 +22,11 @@ go test ./...
 # The harness race pass includes the engine-equivalence suite
 # (TestEngineEquivalence*): the batched fast path and the per-instruction
 # reference interpreter must produce byte-identical results under the race
-# detector too.
+# detector too. The snapshot/mem pass exercises the copy-on-write fork
+# machinery (refcounted pages, concurrent fork workers) under the race
+# detector; power rides along for its schedule property tests.
 go test -race ./internal/harness/... ./internal/core/ ./internal/systems/
+go test -race ./internal/snapshot/ ./internal/mem/ ./internal/power/
 
 # Benchmark smoke: the probe hot paths must at least run. One iteration is
 # enough to catch a broken benchmark; timing regressions are judged manually.
@@ -47,6 +50,13 @@ go build -o /tmp/nachofuzz.ci ./cmd/nachofuzz
 /tmp/nachofuzz.ci -seeds 64 2>/dev/null >/tmp/nachofuzz.ci.1
 /tmp/nachofuzz.ci -seeds 64 2>/dev/null >/tmp/nachofuzz.ci.2
 diff /tmp/nachofuzz.ci.1 /tmp/nachofuzz.ci.2
-rm -f /tmp/nachofuzz.ci /tmp/nachofuzz.ci.1 /tmp/nachofuzz.ci.2
+
+# Exhaustive-mode smoke: snapshot-fork enumeration of every 3rd crash
+# instant in the first two checkpoint intervals. A fork/boot divergence is
+# an infrastructure ERROR (exit 2) and a finding a real bug (exit 1) — both
+# fail the gate. The stderr progress stream prints the measured speedup
+# into the CI log.
+/tmp/nachofuzz.ci -seeds 8 -exhaustive -stride 3 >/tmp/nachofuzz.ci.ex
+rm -f /tmp/nachofuzz.ci /tmp/nachofuzz.ci.1 /tmp/nachofuzz.ci.2 /tmp/nachofuzz.ci.ex
 
 echo "ci.sh: all checks passed"

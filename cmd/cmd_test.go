@@ -390,6 +390,45 @@ func TestNachofuzzEndToEnd(t *testing.T) {
 	}
 }
 
+// TestNachofuzzExhaustive drives the snapshot-fork exhaustive mode: a
+// healthy campaign exits 0 with a deterministic report and prints the
+// measured speedup to stderr; the broken system still yields findings.
+func TestNachofuzzExhaustive(t *testing.T) {
+	bin := build(t, "cmd/nachofuzz")
+
+	outputs := make([]string, 2)
+	var firstStderr string
+	for i := range outputs {
+		cmd := exec.Command(bin, "-seeds", "4", "-exhaustive", "-stride", "5", "-systems", "nacho,clank")
+		var stdout, stderr strings.Builder
+		cmd.Stdout, cmd.Stderr = &stdout, &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("exhaustive campaign: %v\n%s", err, stderr.String())
+		}
+		outputs[i] = stdout.String()
+		if i == 0 {
+			firstStderr = stderr.String()
+		}
+	}
+	if !strings.Contains(outputs[0], "0 findings") {
+		t.Errorf("healthy exhaustive report wrong:\n%s", outputs[0])
+	}
+	if outputs[0] != outputs[1] {
+		t.Errorf("exhaustive campaign is not deterministic:\n--- first\n%s--- second\n%s", outputs[0], outputs[1])
+	}
+	if !strings.Contains(firstStderr, "exhaustive:") || !strings.Contains(firstStderr, "speedup") {
+		t.Errorf("stderr missing exhaustive speedup line:\n%s", firstStderr)
+	}
+
+	out, err := run(t, bin, "-seeds", "10", "-exhaustive", "-stride", "5", "-systems", "nacho-broken-pw")
+	if code := exitCode(err); code != 1 {
+		t.Fatalf("broken exhaustive campaign exit = %d, want 1:\n%s", code, out)
+	}
+	if !strings.Contains(out, "FINDING") {
+		t.Errorf("broken exhaustive report missing findings:\n%s", out)
+	}
+}
+
 // TestNachobenchServeFlag smoke-tests the sweep-side telemetry server.
 func TestNachobenchServeFlag(t *testing.T) {
 	bin := build(t, "cmd/nachobench")

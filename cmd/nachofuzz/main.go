@@ -7,7 +7,14 @@
 //	nachofuzz -seeds 256                      # all six systems, default oracle
 //	nachofuzz -seeds 64 -systems nacho,clank  # restrict the system matrix
 //	nachofuzz -duration 30s -out findings/    # time-boxed, write artifacts
+//	nachofuzz -seeds 16 -exhaustive           # every crash instant, first 2 intervals
 //	nachofuzz -replay findings/war-violation-nacho-seed5.json
+//
+// -exhaustive replaces the randomized failure schedules with exhaustive
+// crash-instant enumeration via copy-on-write snapshot forking: every
+// instruction-granular power-failure instant in the first -intervals
+// checkpoint intervals is executed, sharing the failure-free prefix. The
+// measured speedup over re-running each instant from boot goes to stderr.
 //
 // Without -duration the campaign is deterministic: the same flags produce
 // the same findings report, byte for byte (timing goes to stderr). The
@@ -31,18 +38,21 @@ import (
 
 func main() {
 	var (
-		seeds     = flag.Int("seeds", 256, "number of generated programs (seeds seed-base..seed-base+N-1)")
-		seedBase  = flag.Int64("seed-base", 1, "first generator seed")
-		sysList   = flag.String("systems", "all", "comma-separated systems to fuzz, or 'all'")
-		schedules = flag.Int("schedules", 3, "randomized failure schedules per (program, system)")
-		cacheSize = flag.Int("cache", 512, "data cache size in bytes")
-		ways      = flag.Int("ways", 2, "cache associativity")
-		duration  = flag.Duration("duration", 0, "stop after this wall time (0 = run all seeds; makes the report non-deterministic)")
-		minimize  = flag.Bool("minimize", true, "delta-debug findings before reporting")
-		outDir    = flag.String("out", "", "write replayable finding artifacts to this directory")
-		replay    = flag.String("replay", "", "replay a finding artifact instead of fuzzing")
-		workers   = flag.Int("j", 0, "worker goroutines (0 = all cores)")
-		serve     = flag.String("serve", "", "serve live telemetry (nacho_fuzz_*, /metrics, /status) on this address")
+		seeds      = flag.Int("seeds", 256, "number of generated programs (seeds seed-base..seed-base+N-1)")
+		seedBase   = flag.Int64("seed-base", 1, "first generator seed")
+		sysList    = flag.String("systems", "all", "comma-separated systems to fuzz, or 'all'")
+		schedules  = flag.Int("schedules", 3, "randomized failure schedules per (program, system)")
+		cacheSize  = flag.Int("cache", 512, "data cache size in bytes")
+		ways       = flag.Int("ways", 2, "cache associativity")
+		duration   = flag.Duration("duration", 0, "stop after this wall time (0 = run all seeds; makes the report non-deterministic)")
+		minimize   = flag.Bool("minimize", true, "delta-debug findings before reporting")
+		outDir     = flag.String("out", "", "write replayable finding artifacts to this directory")
+		replay     = flag.String("replay", "", "replay a finding artifact instead of fuzzing")
+		workers    = flag.Int("j", 0, "worker goroutines (0 = all cores)")
+		serve      = flag.String("serve", "", "serve live telemetry (nacho_fuzz_*, /metrics, /status) on this address")
+		exhaustive = flag.Bool("exhaustive", false, "enumerate every crash instant via snapshot forking instead of random schedules")
+		intervals  = flag.Int("intervals", 2, "checkpoint intervals to enumerate per (program, system) with -exhaustive")
+		stride     = flag.Uint64("stride", 1, "enumerate every stride-th crash instant with -exhaustive")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -87,6 +97,11 @@ func main() {
 		Minimize: *minimize,
 		OutDir:   *outDir,
 		Progress: os.Stderr,
+	}
+	if *exhaustive {
+		cfg.Exhaustive = true
+		cfg.Intervals = *intervals
+		cfg.Stride = *stride
 	}
 	if *duration > 0 {
 		cfg.Deadline = time.Now().Add(*duration)

@@ -73,6 +73,18 @@ func MustNew(sizeBytes, ways int) *Cache {
 	return c
 }
 
+// Clone returns an independent deep copy of the cache — every line and the
+// LRU stamp — with no probe attached (forked machines run emission-free).
+func (c *Cache) Clone() *Cache {
+	n := &Cache{ways: c.ways, numSets: c.numSets, stamp: c.stamp, sets: make([][]Line, c.numSets)}
+	backing := make([]Line, c.numSets*c.ways)
+	for i := range c.sets {
+		copy(backing[i*c.ways:(i+1)*c.ways], c.sets[i])
+		n.sets[i] = backing[i*c.ways : (i+1)*c.ways : (i+1)*c.ways]
+	}
+	return n
+}
+
 // SizeBytes returns the data capacity.
 func (c *Cache) SizeBytes() int { return c.numSets * c.ways * LineSize }
 

@@ -56,6 +56,15 @@ func NewStore(nvm *mem.NVM, base uint32, maxLines int) *Store {
 // knows the checkpoint's cause; the store only knows when staging starts.
 func (s *Store) AttachProbe(p sim.Probe) { s.probe = p }
 
+// Fork returns a store over the given forked NVM at the same layout and
+// sequence position, probe-free. The checkpoint slots themselves live in NVM
+// and traveled with the forked space; only the next-sequence counter and the
+// layout are volatile-side state. Fork deliberately does not Init: the
+// committed checkpoints are part of the state being replicated.
+func (s *Store) Fork(nvm *mem.NVM) *Store {
+	return &Store{nvm: nvm, base: s.base, maxLines: s.maxLines, seq: s.seq}
+}
+
 // slotWords is the size of one slot in words.
 func (s *Store) slotWords() uint32 { return offLines + 2*uint32(s.maxLines) }
 

@@ -146,6 +146,33 @@ func (k *Controller) Attach(clk sim.Clock, regs sim.RegSource, c *metrics.Counte
 	k.ckpt.Init(regs.RegSnapshot())
 }
 
+// Fork implements sim.Forkable: an independent controller over a
+// copy-on-write fork of the NVM space, with the cache, WAR tracker, stack
+// bounds, and checkpoint-store position deep-copied and the replica wired to
+// the forked machine's clock, registers, and counters. Probe-free by design.
+func (k *Controller) Fork(clk sim.Clock, regs sim.RegSource, c *metrics.Counters) sim.System {
+	nvm := k.nvm.Fork()
+	nvm.Attach(clk, c)
+	f := &Controller{
+		name:       k.name,
+		opts:       k.opts,
+		cache:      k.cache.Clone(),
+		nvm:        nvm,
+		ckpt:       k.ckpt.Fork(nvm),
+		clk:        clk,
+		regs:       regs,
+		c:          c,
+		sp:         k.sp,
+		spMin:      k.spMin,
+		dirtyCount: k.dirtyCount,
+		lastCommit: k.lastCommit,
+	}
+	if k.tracker != nil {
+		f.tracker = k.tracker.Clone()
+	}
+	return f
+}
+
 // AttachProbe implements sim.System: the observer sees the controller's
 // access, write-back, and checkpoint events plus the events of the components
 // it owns (cache fills, NVM traffic, checkpoint staging). nil detaches.

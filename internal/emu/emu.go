@@ -109,6 +109,7 @@ type Machine struct {
 	nextFailure uint64
 	failEnabled bool
 	nextForced  uint64
+	stopAt      uint64 // RunUntil bound; 0 = run to completion
 
 	c metrics.Counters
 
@@ -117,6 +118,17 @@ type Machine struct {
 	exitCode   uint32
 	results    []uint32
 	output     []byte
+}
+
+// satAdd is a+b saturating at power.NoFailure, the cycle domain's infinity.
+// Forced-checkpoint and horizon arithmetic near 2^64 must clamp rather than
+// wrap: a wrapped small value would schedule bogus early events (or spin the
+// trigger-advance loops forever).
+func satAdd(a, b uint64) uint64 {
+	if s := a + b; s >= a {
+		return s
+	}
+	return power.NoFailure
 }
 
 // errPowerFail converts the PowerFail panic into control flow inside Run.
@@ -137,6 +149,10 @@ func New(sys sim.System, text *Text, textBase, entry, initialSP uint32, cfg Conf
 	if cfg.Schedule == nil {
 		cfg.Schedule = power.None{}
 	}
+	// Confine schedule state to this machine: stateful schedules (Uniform)
+	// advance an RNG as they are queried, so sharing one value across
+	// machines would make failure instants depend on run order.
+	cfg.Schedule = cfg.Schedule.Clone()
 	if cfg.MaxInstructions == 0 {
 		cfg.MaxInstructions = defaultMaxInstructions
 	}
@@ -276,6 +292,66 @@ func (m *Machine) Run() (Result, error) {
 	return res, runErr
 }
 
+// RunUntil executes until the program halts or the simulation clock reaches
+// target, whichever comes first, handling power failures along the way. It
+// stops at the first instruction boundary at or past target, leaving the
+// machine mid-run and resumable (by RunUntil, Run, or Fork); no final flush
+// is performed. The snapshot-fork explorer uses it to advance a shared
+// prefix machine from one checkpoint boundary to the next.
+func (m *Machine) RunUntil(target uint64) (halted bool, err error) {
+	m.stopAt = target
+	defer func() { m.stopAt = 0 }()
+	for !m.halted && err == nil && m.cycle < target {
+		e := m.runSlice()
+		switch {
+		case e == nil:
+			// halted or reached target
+		case errors.Is(e, errPowerFail):
+			m.reboot()
+		default:
+			err = e
+		}
+	}
+	return m.halted, err
+}
+
+// Fork returns an independent copy of the machine mid-run, executing under
+// the given failure schedule from the current instruction boundary onward:
+// registers, counters, and run outputs are copied, the memory system is
+// replicated via sim.Forkable (copy-on-write NVM, deep-copied volatile
+// state), and the fork's next failure instant is sched.NextFailureAfter(now)
+// — so a fork of a failure-free prefix at cycle c under power.At(t), t > c,
+// is state-identical to a from-boot run under the same schedule at cycle c.
+// Forks are probe-free (they run on the batched fast path) and safe to run
+// on another goroutine. The parent must be paused (between RunUntil calls).
+func (m *Machine) Fork(sched power.Schedule) (*Machine, error) {
+	fsys, ok := m.sys.(sim.Forkable)
+	if !ok {
+		return nil, fmt.Errorf("emu: system %q does not support forking", m.sys.Name())
+	}
+	if sched == nil {
+		sched = power.None{}
+	}
+	f := new(Machine)
+	*f = *m
+	f.sched = sched.Clone()
+	f.cfg.Schedule = f.sched
+	f.probe = nil
+	f.cfg.Probe = nil
+	f.stopAt = 0
+	f.results = append([]uint32(nil), m.results...)
+	f.output = append([]byte(nil), m.output...)
+	f.sys = fsys.Fork(f, f, &f.c)
+	f.nextFailure = f.sched.NextFailureAfter(f.cycle)
+	return f, nil
+}
+
+// System returns the attached memory system (final-NVM inspection of forks).
+func (m *Machine) System() sim.System { return m.sys }
+
+// Halted reports whether the program has halted.
+func (m *Machine) Halted() bool { return m.halted }
+
 // runSlice executes instructions until halt or the next power failure. The
 // interpreter variant is selected once per slice: the batched fast path when
 // no probe is attached (and NoFastPath is unset), the per-instruction
@@ -303,16 +379,20 @@ func (m *Machine) runSlice() (err error) {
 // only loop that emits per-instruction probe events.
 func (m *Machine) runSliceRef() error {
 	for !m.halted {
+		if m.stopAt != 0 && m.cycle >= m.stopAt {
+			return nil
+		}
 		if m.c.Instructions >= m.cfg.MaxInstructions {
 			return fmt.Errorf("emu: instruction limit %d exceeded at pc=0x%08x", m.cfg.MaxInstructions, m.pc)
 		}
 		if m.cfg.MaxCycles > 0 && m.cycle >= m.cfg.MaxCycles {
 			return fmt.Errorf("emu: %w (%d cycles) at pc=0x%08x", ErrCycleBudget, m.cfg.MaxCycles, m.pc)
 		}
-		if m.cfg.ForcedCheckpointPeriod > 0 && m.cycle+m.cfg.ForcedCheckpointMargin >= m.nextForced {
+		if m.cfg.ForcedCheckpointPeriod > 0 && m.nextForced != power.NoFailure &&
+			satAdd(m.cycle, m.cfg.ForcedCheckpointMargin) >= m.nextForced {
 			m.sys.ForceCheckpoint()
-			for m.nextForced <= m.cycle+m.cfg.ForcedCheckpointMargin {
-				m.nextForced += m.cfg.ForcedCheckpointPeriod
+			for m.nextForced != power.NoFailure && m.nextForced <= satAdd(m.cycle, m.cfg.ForcedCheckpointMargin) {
+				m.nextForced = satAdd(m.nextForced, m.cfg.ForcedCheckpointPeriod)
 			}
 		}
 		if e := m.step(); e != nil {
@@ -350,7 +430,7 @@ func (m *Machine) reboot() {
 	m.failEnabled = true
 	m.nextFailure = m.sched.NextFailureAfter(m.cycle)
 	if m.cfg.ForcedCheckpointPeriod > 0 {
-		m.nextForced = m.cycle + m.cfg.ForcedCheckpointPeriod
+		m.nextForced = satAdd(m.cycle, m.cfg.ForcedCheckpointPeriod)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nacho/internal/isa"
+	"nacho/internal/power"
 )
 
 // This file is the batched fast path: the probe-free specialization of the
@@ -46,16 +47,19 @@ func (m *Machine) runSliceFast() error {
 		textBase  = m.textBase
 	)
 	for !m.halted {
+		if m.stopAt != 0 && m.cycle >= m.stopAt {
+			return nil
+		}
 		if m.c.Instructions >= maxInstr {
 			return fmt.Errorf("emu: instruction limit %d exceeded at pc=0x%08x", maxInstr, m.pc)
 		}
 		if maxCycles > 0 && m.cycle >= maxCycles {
 			return fmt.Errorf("emu: %w (%d cycles) at pc=0x%08x", ErrCycleBudget, maxCycles, m.pc)
 		}
-		if period > 0 && m.cycle+margin >= m.nextForced {
+		if period > 0 && m.nextForced != power.NoFailure && satAdd(m.cycle, margin) >= m.nextForced {
 			m.sys.ForceCheckpoint()
-			for m.nextForced <= m.cycle+margin {
-				m.nextForced += period
+			for m.nextForced != power.NoFailure && m.nextForced <= satAdd(m.cycle, margin) {
+				m.nextForced = satAdd(m.nextForced, period)
 			}
 			// The checkpoint advanced the clock past the checks above; the
 			// reference path steps one instruction regardless, so take the
@@ -66,41 +70,23 @@ func (m *Machine) runSliceFast() error {
 			continue
 		}
 
-		// Safe horizon: the largest k such that executing k batchable
-		// instructions from here triggers none of the per-instruction
-		// events. Each bound below mirrors one reference-path check; when
-		// the horizon is short (k == 0) the reference step handles the
-		// instruction, including raising the power failure or error at the
-		// exact same instant with the exact same state.
 		k := uint64(0)
 		if off := m.pc - textBase; m.pc%4 == 0 && off/4 < uint32(len(text)) {
 			idx := off / 4
 			if r := uint64(aluRun[idx]); r > 0 {
-				k = r
-				if m.failEnabled {
-					// Instruction i advances the clock to cycle+i+1, which
-					// must stay strictly before the failure instant.
-					if m.nextFailure <= m.cycle {
-						k = 0
-					} else if h := m.nextFailure - m.cycle - 1; h < k {
-						k = h
-					}
-				}
-				if maxCycles > 0 {
-					if h := maxCycles - m.cycle; h < k {
-						k = h // cycle < maxCycles was checked above
-					}
-				}
-				if h := maxInstr - m.c.Instructions; h < k {
-					k = h // Instructions < maxInstr was checked above
-				}
-				if period > 0 {
-					// Instruction i issues at cycle+i, which must stay below
-					// the forced-checkpoint trigger cycle+margin >= nextForced.
-					if h := m.nextForced - margin - m.cycle; h < k {
-						k = h // nextForced > cycle+margin was checked above
-					}
-				}
+				k = batchHorizon(horizonInputs{
+					run:          r,
+					cycle:        m.cycle,
+					instructions: m.c.Instructions,
+					failEnabled:  m.failEnabled,
+					nextFailure:  m.nextFailure,
+					maxCycles:    maxCycles,
+					maxInstr:     maxInstr,
+					period:       period,
+					margin:       margin,
+					nextForced:   m.nextForced,
+					stopAt:       m.stopAt,
+				})
 			}
 		}
 		if k == 0 {
@@ -112,6 +98,71 @@ func (m *Machine) runSliceFast() error {
 		m.execBatch(k)
 	}
 	return nil
+}
+
+// horizonInputs captures the machine state batchHorizon reads, so the
+// horizon arithmetic is a pure function pinned by table-driven tests.
+type horizonInputs struct {
+	run          uint64 // pre-analyzed ALU run length at pc (> 0)
+	cycle        uint64
+	instructions uint64 // retired so far; caller checked < maxInstr
+	failEnabled  bool
+	nextFailure  uint64
+	maxCycles    uint64 // 0 = unbounded; caller checked cycle < maxCycles
+	maxInstr     uint64
+	period       uint64 // 0 = no forced checkpoints
+	margin       uint64
+	nextForced   uint64
+	stopAt       uint64 // 0 = no RunUntil bound; caller checked cycle < stopAt
+}
+
+// batchHorizon returns the safe horizon: the largest k ≤ run such that
+// executing k batchable instructions from here triggers none of the
+// per-instruction events. Each bound mirrors one reference-path check; when
+// the horizon is 0 the reference step handles the instruction, including
+// raising the power failure, forced checkpoint, or error at the exact same
+// instant with the exact same state. All arithmetic saturates: near-2^64
+// inputs (NoFailure-adjacent cycles, margin exceeding nextForced) must
+// shrink the horizon to 0, never wrap to a huge bogus one.
+func batchHorizon(in horizonInputs) uint64 {
+	k := in.run
+	if in.failEnabled {
+		// Instruction i advances the clock to cycle+i+1, which must stay
+		// strictly before the failure instant.
+		if in.nextFailure <= in.cycle {
+			return 0
+		}
+		if h := in.nextFailure - in.cycle - 1; h < k {
+			k = h
+		}
+	}
+	if in.maxCycles > 0 {
+		if h := in.maxCycles - in.cycle; h < k {
+			k = h
+		}
+	}
+	if h := in.maxInstr - in.instructions; h < k {
+		k = h
+	}
+	if in.period > 0 && in.nextForced != power.NoFailure {
+		// Instruction i issues at cycle+i, which must stay below the forced
+		// trigger satAdd(cycle+i, margin) >= nextForced. When cycle+margin
+		// already reaches nextForced (or saturates) the horizon is 0; the
+		// guarded form cannot underflow the way nextForced-margin-cycle did.
+		h := uint64(0)
+		if t := satAdd(in.cycle, in.margin); t < in.nextForced {
+			h = in.nextForced - in.margin - in.cycle
+		}
+		if h < k {
+			k = h
+		}
+	}
+	if in.stopAt != 0 {
+		if h := in.stopAt - in.cycle; h < k {
+			k = h
+		}
+	}
+	return k
 }
 
 // stepChecked is one reference-path instruction plus the stack-fault check

@@ -24,6 +24,17 @@ type CampaignConfig struct {
 	Oracle Config
 	// Minimize delta-debugs every finding before reporting.
 	Minimize bool
+	// Exhaustive switches the per-seed oracle from randomized failure
+	// schedules to exhaustive crash-instant enumeration over the first
+	// Intervals checkpoint intervals, powered by snapshot forking
+	// (CheckExhaustive).
+	Exhaustive bool
+	// Intervals bounds exhaustive enumeration (default 2; ignored unless
+	// Exhaustive is set).
+	Intervals int
+	// Stride enumerates every Stride-th crash instant in exhaustive mode
+	// (default 1: every instruction-granular instant).
+	Stride uint64
 	// OutDir, when non-empty, receives one replayable JSON artifact per
 	// finding.
 	OutDir string
@@ -95,6 +106,7 @@ func RunCampaign(cfg CampaignConfig) *CampaignReport {
 		findings []Finding
 		errs     []string
 		programs int
+		exStats  ExhaustiveStats
 	)
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
@@ -106,10 +118,26 @@ func RunCampaign(cfg CampaignConfig) *CampaignReport {
 				}
 				programsTotal.Add(1)
 				prog := Generate(seed)
-				fs, err := Check(prog, cfg.Kinds, cfg.Oracle)
+				var (
+					fs  []Finding
+					st  ExhaustiveStats
+					err error
+				)
+				if cfg.Exhaustive {
+					fs, st, err = CheckExhaustive(prog, cfg.Kinds, ExhaustiveConfig{
+						Oracle: cfg.Oracle, Intervals: cfg.Intervals, Stride: cfg.Stride,
+					})
+				} else {
+					fs, err = Check(prog, cfg.Kinds, cfg.Oracle)
+				}
 				mu.Lock()
 				programs++
 				findings = append(findings, fs...)
+				exStats.Systems += st.Systems
+				exStats.Windows += st.Windows
+				exStats.Instants += st.Instants
+				exStats.SimCycles += st.SimCycles
+				exStats.BootCycles += st.BootCycles
 				if err != nil {
 					errs = append(errs, err.Error())
 				}
@@ -159,6 +187,10 @@ func RunCampaign(cfg CampaignConfig) *CampaignReport {
 	if cfg.Progress != nil {
 		fmt.Fprintf(cfg.Progress, "timing: %d programs, %d oracle runs, %v wall time across %d workers\n",
 			programs, oracleRuns.Load(), time.Since(start).Round(time.Millisecond), nw)
+		if cfg.Exhaustive {
+			fmt.Fprintf(cfg.Progress, "exhaustive: %d crash instants across %d windows, %.1fx speedup vs re-run-from-boot\n",
+				exStats.Instants, exStats.Windows, exStats.Speedup())
+		}
 	}
 	return rep
 }

@@ -196,37 +196,51 @@ func checkOne(img *program.Image, g *goldenRun, kind systems.Kind, sched power.S
 	rc.Probe = ver
 
 	res, sys, err := harness.RunImageSys(img, kind, rc, false)
+	if err == nil {
+		if v := ver.Violations(); len(v) > 0 {
+			k := FindingShadow
+			if v[0].Kind == verify.WARViolation {
+				k = FindingWAR
+			}
+			return &findingCore{k, v[0].String()}, res.Counters.Cycles
+		}
+	}
+	var m sim.MemReaderWriter
+	if sys != nil {
+		m = sys.Mem()
+	}
+	return diffAgainstGolden(res, err, m, g, budget), res.Counters.Cycles
+}
+
+// diffAgainstGolden classifies one completed run against the golden run:
+// run errors (budget exhaustion separated out), then exit code, result word,
+// final registers, and final NVM data-segment bytes. Shadow/WAR violations
+// are the caller's concern — probe-free forked runs have no verifier, while
+// from-boot confirmation runs classify through theirs first.
+func diffAgainstGolden(res emu.Result, err error, m sim.MemReaderWriter, g *goldenRun, budget uint64) *findingCore {
 	if err != nil {
 		if errors.Is(err, emu.ErrCycleBudget) {
-			return &findingCore{FindingBudget, fmt.Sprintf("no termination within %d cycles", budget)}, res.Counters.Cycles
+			return &findingCore{FindingBudget, fmt.Sprintf("no termination within %d cycles", budget)}
 		}
-		return &findingCore{FindingRunError, err.Error()}, res.Counters.Cycles
-	}
-	if v := ver.Violations(); len(v) > 0 {
-		k := FindingShadow
-		if v[0].Kind == verify.WARViolation {
-			k = FindingWAR
-		}
-		return &findingCore{k, v[0].String()}, res.Counters.Cycles
+		return &findingCore{FindingRunError, err.Error()}
 	}
 	if res.ExitCode != g.res.ExitCode {
-		return &findingCore{FindingResult, fmt.Sprintf("exit code %d, golden %d", res.ExitCode, g.res.ExitCode)}, res.Counters.Cycles
+		return &findingCore{FindingResult, fmt.Sprintf("exit code %d, golden %d", res.ExitCode, g.res.ExitCode)}
 	}
 	if res.Result != g.res.Result {
-		return &findingCore{FindingResult, fmt.Sprintf("result 0x%08x, golden 0x%08x", res.Result, g.res.Result)}, res.Counters.Cycles
+		return &findingCore{FindingResult, fmt.Sprintf("result 0x%08x, golden 0x%08x", res.Result, g.res.Result)}
 	}
 	if res.FinalRegs != g.res.FinalRegs {
-		return &findingCore{FindingResult, regDiff(res.FinalRegs, g.res.FinalRegs)}, res.Counters.Cycles
+		return &findingCore{FindingResult, regDiff(res.FinalRegs, g.res.FinalRegs)}
 	}
-	m := sys.Mem()
 	for _, seg := range g.data {
 		for i, want := range seg.bytes {
 			if got := byte(m.ReadRaw(seg.addr+uint32(i), 1)); got != want {
-				return &findingCore{FindingNVM, fmt.Sprintf("NVM byte 0x%08x = 0x%02x, golden 0x%02x", seg.addr+uint32(i), got, want)}, res.Counters.Cycles
+				return &findingCore{FindingNVM, fmt.Sprintf("NVM byte 0x%08x = 0x%02x, golden 0x%02x", seg.addr+uint32(i), got, want)}
 			}
 		}
 	}
-	return nil, res.Counters.Cycles
+	return nil
 }
 
 func regDiff(got, want sim.Snapshot) string {

@@ -95,29 +95,7 @@ func RunImageSys(img *program.Image, kind systems.Kind, cfg RunConfig, checkGold
 		cfg.Cost = mem.DefaultCostModel()
 	}
 
-	space := mem.NewSpace()
-	for _, seg := range img.Segments {
-		end := seg.Addr + uint32(len(seg.Data))
-		// The image must stay clear of the stack guard band and the
-		// checkpoint area (see program's memory map).
-		if seg.Addr < program.StackTop && end > program.StackTop-0x8000 {
-			return emu.Result{}, nil, fmt.Errorf("%s: segment [%#x,%#x) overlaps the stack region", img.Program.Name, seg.Addr, end)
-		}
-		if end > program.CheckpointBase && seg.Addr < program.CheckpointBase+0x10000 {
-			return emu.Result{}, nil, fmt.Errorf("%s: segment [%#x,%#x) overlaps the checkpoint area", img.Program.Name, seg.Addr, end)
-		}
-		space.LoadBytes(seg.Addr, seg.Data)
-	}
-
-	sys, err := systems.Build(kind, space, systems.Config{
-		CacheSize:        cfg.CacheSize,
-		Ways:             cfg.Ways,
-		StackTop:         program.StackTop,
-		CheckpointBase:   program.CheckpointBase,
-		Cost:             cfg.Cost,
-		DirtyThreshold:   cfg.DirtyThreshold,
-		EnergyPrediction: cfg.EnergyPrediction,
-	})
+	space, err := buildSpace(img)
 	if err != nil {
 		return emu.Result{}, nil, err
 	}
@@ -142,28 +120,11 @@ func RunImageSys(img *program.Image, kind systems.Kind, cfg RunConfig, checkGold
 	}
 	observers = append(observers, cfg.Probe)
 	probe := sim.Combine(observers...)
-	if probe != nil {
-		sys.AttachProbe(probe)
-	}
 
-	// A stateful schedule (a seeded rand.Rand) would mutate across runs and
-	// race across goroutines; the clone confines the run's RNG position to
-	// this machine, so one RunConfig value can be shared freely.
-	sched := cfg.Schedule
-	if sched != nil {
-		sched = sched.Clone()
+	machine, sys, err := newMachineOn(space, img, kind, cfg, probe)
+	if err != nil {
+		return emu.Result{}, nil, err
 	}
-
-	machine := emu.New(sys, img.Text, program.TextBase, img.Entry, program.StackTop, emu.Config{
-		Schedule:               sched,
-		ForcedCheckpointPeriod: cfg.ForcedCheckpointPeriod,
-		ForcedCheckpointMargin: cfg.ForcedCheckpointMargin,
-		MaxInstructions:        cfg.MaxInstructions,
-		MaxCycles:              cfg.MaxCycles,
-		FinalFlush:             cfg.FinalFlush,
-		Probe:                  probe,
-		NoFastPath:             cfg.NoFastPath,
-	})
 	runStarted()
 	res, err := machine.Run()
 	runCompleted(res.Counters.Cycles)
@@ -189,4 +150,72 @@ func RunImageSys(img *program.Image, kind systems.Kind, cfg RunConfig, checkGold
 		}
 	}
 	return res, sys, nil
+}
+
+// buildSpace loads an image's segments into a fresh address space, checking
+// them against the program memory map.
+func buildSpace(img *program.Image) (*mem.Space, error) {
+	space := mem.NewSpace()
+	for _, seg := range img.Segments {
+		end := seg.Addr + uint32(len(seg.Data))
+		// The image must stay clear of the stack guard band and the
+		// checkpoint area (see program's memory map).
+		if seg.Addr < program.StackTop && end > program.StackTop-0x8000 {
+			return nil, fmt.Errorf("%s: segment [%#x,%#x) overlaps the stack region", img.Program.Name, seg.Addr, end)
+		}
+		if end > program.CheckpointBase && seg.Addr < program.CheckpointBase+0x10000 {
+			return nil, fmt.Errorf("%s: segment [%#x,%#x) overlaps the checkpoint area", img.Program.Name, seg.Addr, end)
+		}
+		space.LoadBytes(seg.Addr, seg.Data)
+	}
+	return space, nil
+}
+
+// newMachineOn assembles the memory system and emulator over an
+// already-loaded space. probe (nil for none) is attached to both the system
+// and the machine; the emulator clones cfg.Schedule itself, so one RunConfig
+// value can be shared freely across machines and goroutines.
+func newMachineOn(space *mem.Space, img *program.Image, kind systems.Kind, cfg RunConfig, probe sim.Probe) (*emu.Machine, sim.System, error) {
+	sys, err := systems.Build(kind, space, systems.Config{
+		CacheSize:        cfg.CacheSize,
+		Ways:             cfg.Ways,
+		StackTop:         program.StackTop,
+		CheckpointBase:   program.CheckpointBase,
+		Cost:             cfg.Cost,
+		DirtyThreshold:   cfg.DirtyThreshold,
+		EnergyPrediction: cfg.EnergyPrediction,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if probe != nil {
+		sys.AttachProbe(probe)
+	}
+	machine := emu.New(sys, img.Text, program.TextBase, img.Entry, program.StackTop, emu.Config{
+		Schedule:               cfg.Schedule,
+		ForcedCheckpointPeriod: cfg.ForcedCheckpointPeriod,
+		ForcedCheckpointMargin: cfg.ForcedCheckpointMargin,
+		MaxInstructions:        cfg.MaxInstructions,
+		MaxCycles:              cfg.MaxCycles,
+		FinalFlush:             cfg.FinalFlush,
+		Probe:                  probe,
+		NoFastPath:             cfg.NoFastPath,
+	})
+	return machine, sys, nil
+}
+
+// BuildMachine assembles the memory image, system, and emulator for one run
+// without executing it. cfg.Probe (when non-nil) observes the run;
+// cfg.Verify and cfg.Trace are RunImageSys concerns and are ignored here.
+// The snapshot-fork explorer uses BuildMachine as its machine factory,
+// owning the run loop itself.
+func BuildMachine(img *program.Image, kind systems.Kind, cfg RunConfig) (*emu.Machine, sim.System, error) {
+	if cfg.Cost == (mem.CostModel{}) {
+		cfg.Cost = mem.DefaultCostModel()
+	}
+	space, err := buildSpace(img)
+	if err != nil {
+		return nil, nil, err
+	}
+	return newMachineOn(space, img, kind, cfg, cfg.Probe)
 }

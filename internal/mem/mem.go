@@ -5,6 +5,7 @@ package mem
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"nacho/internal/metrics"
 	"nacho/internal/sim"
@@ -33,33 +34,90 @@ func (m CostModel) CyclesForMillis(ms float64) uint64 {
 const pageBits = 12 // 4 KiB pages
 const pageSize = 1 << pageBits
 
+// page is one refcounted 4 KiB block. refs counts how many Spaces reference
+// the block; a Space may write a page in place only while it is the sole
+// owner (refs == 1) and must copy-on-write otherwise. The count is atomic
+// because forked Spaces run on separate goroutines: their only shared state
+// is pages with refs > 1, which are immutable until the release/acquire pair
+// of the copier's refs.Add(-1) and the next writer's refs.Load() hands
+// exclusive ownership over.
+type page struct {
+	refs atomic.Int32
+	data [pageSize]byte
+}
+
+func newPage() *page {
+	p := new(page)
+	p.refs.Store(1)
+	return p
+}
+
 // Space is a sparse 32-bit byte-addressable memory. The zero value is an
-// empty space; pages materialize zero-filled on first touch.
+// empty space; pages materialize zero-filled on first touch. Fork creates
+// copy-on-write descendants that share page storage until written.
 type Space struct {
-	pages map[uint32]*[pageSize]byte
+	pages map[uint32]*page
 }
 
 // NewSpace returns an empty memory space.
-func NewSpace() *Space { return &Space{pages: make(map[uint32]*[pageSize]byte)} }
+func NewSpace() *Space { return &Space{pages: make(map[uint32]*page)} }
 
-func (s *Space) page(addr uint32) *[pageSize]byte {
+// readPage returns the page holding addr for reading, materializing a
+// zero-filled page on first touch.
+func (s *Space) readPage(addr uint32) *page {
 	key := addr >> pageBits
 	p, ok := s.pages[key]
 	if !ok {
-		p = new([pageSize]byte)
+		p = newPage()
 		s.pages[key] = p
 	}
 	return p
 }
 
+// writablePage returns an exclusively owned page holding addr, copying a
+// shared one first. The copy completes before the shared page's refcount is
+// released, so a sibling that subsequently observes refs == 1 may write the
+// original in place without racing the copy.
+func (s *Space) writablePage(addr uint32) *page {
+	key := addr >> pageBits
+	p, ok := s.pages[key]
+	if !ok {
+		p = newPage()
+		s.pages[key] = p
+		return p
+	}
+	if p.refs.Load() > 1 {
+		np := newPage()
+		np.data = p.data
+		p.refs.Add(-1)
+		s.pages[key] = np
+		return np
+	}
+	return p
+}
+
+// Fork returns a copy-on-write descendant sharing every current page with
+// the parent. Either side's next write to a shared page copies it first, so
+// the two spaces diverge independently; an abandoned fork needs no explicit
+// release (unreferenced pages are garbage-collected, and the surviving side
+// simply pays one copy for pages whose count never dropped back to 1).
+func (s *Space) Fork() *Space {
+	f := &Space{pages: make(map[uint32]*page, len(s.pages))}
+	for k, p := range s.pages {
+		p.refs.Add(1)
+		f.pages[k] = p
+	}
+	return f
+}
+
 // ByteAt returns the byte at addr.
 func (s *Space) ByteAt(addr uint32) byte {
-	return s.page(addr)[addr&(pageSize-1)]
+	return s.readPage(addr).data[addr&(pageSize-1)]
 }
 
 // SetByte sets the byte at addr.
 func (s *Space) SetByte(addr uint32, v byte) {
-	s.page(addr)[addr&(pageSize-1)] = v
+	s.writablePage(addr).data[addr&(pageSize-1)] = v
 }
 
 // Read returns size bytes (1, 2 or 4) at addr, little-endian, zero-extended.
@@ -87,17 +145,11 @@ func (s *Space) LoadBytes(addr uint32, data []byte) {
 	}
 }
 
-// Clone returns a deep copy of the space (used by the shadow-memory verifier
-// to capture pristine initial state).
-func (s *Space) Clone() *Space {
-	c := NewSpace()
-	for k, p := range s.pages {
-		np := new([pageSize]byte)
-		*np = *p
-		c.pages[k] = np
-	}
-	return c
-}
+// Clone returns an independent copy of the space (used by the shadow-memory
+// verifier to capture pristine initial state). It is a copy-on-write Fork:
+// contents are identical and divergence is isolated, the storage is just
+// shared until written.
+func (s *Space) Clone() *Space { return s.Fork() }
 
 // Equal reports whether two spaces hold identical contents, treating missing
 // pages as zero-filled, and returns the first differing address if not.
@@ -105,12 +157,15 @@ func (s *Space) Equal(o *Space) (uint32, bool) {
 	check := func(a, b *Space) (uint32, bool) {
 		for k, p := range a.pages {
 			q := b.pages[k]
-			for i := range p {
+			if q == p {
+				continue // COW-shared page, trivially equal
+			}
+			for i := range p.data {
 				var bv byte
 				if q != nil {
-					bv = q[i]
+					bv = q.data[i]
 				}
-				if p[i] != bv {
+				if p.data[i] != bv {
 					return k<<pageBits | uint32(i), false
 				}
 			}
@@ -179,6 +234,13 @@ func (n *NVM) Write(addr uint32, size int, val uint32) {
 		n.probe.OnNVM(sim.NVMEvent{Cycle: n.clk.Now(), Addr: addr, Bytes: size, Write: true})
 	}
 	n.space.Write(addr, size, val)
+}
+
+// Fork returns an NVM over a copy-on-write fork of the space, with the same
+// cost model but no clock, counters, or probe: the forking system attaches
+// it to the forked machine's clock and counter set.
+func (n *NVM) Fork() *NVM {
+	return &NVM{space: n.space.Fork(), cost: n.cost}
 }
 
 // ReadRaw reads without charging cycles or counters (loader/debug path).

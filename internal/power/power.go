@@ -56,12 +56,20 @@ type Periodic struct {
 	Period uint64
 }
 
-// NextFailureAfter returns the next multiple of Period after cycle.
+// NextFailureAfter returns the next multiple of Period after cycle. Near the
+// top of the cycle domain the next multiple would wrap past 2^64 (or collide
+// with the NoFailure sentinel); those instants are unreachable in any run, so
+// the schedule saturates to NoFailure instead of wrapping to a bogus early
+// failure.
 func (p Periodic) NextFailureAfter(cycle uint64) uint64 {
 	if p.Period == 0 {
 		return NoFailure
 	}
-	return (cycle/p.Period + 1) * p.Period
+	q := cycle/p.Period + 1
+	if q == 0 || q > (NoFailure-1)/p.Period {
+		return NoFailure
+	}
+	return q * p.Period
 }
 
 // Key identifies the schedule by its period.
@@ -87,11 +95,23 @@ type Uniform struct {
 // [min, max] cycles.
 func NewUniform(min, max uint64, seed int64) *Uniform {
 	u := &Uniform{Min: min, Max: max, Seed: seed}
-	u.rng = rand.New(rand.NewSource(seed))
-	u.next = u.draw(0)
+	u.Reset()
 	return u
 }
 
+// Reset rewinds the schedule to replay its seeded sequence from cycle 0.
+// It is the explicit alternative to Clone for reusing one schedule value
+// across sequential runs.
+func (u *Uniform) Reset() {
+	u.rng = rand.New(rand.NewSource(u.Seed))
+	u.next = u.draw(0)
+	u.lastAsk = 0
+}
+
+// draw advances the sequence by one on-duration. The sum saturates at
+// NoFailure rather than wrapping past 2^64: an instant beyond the cycle
+// domain is indistinguishable from "never", and a wrapped small value would
+// be a bogus early failure (and could loop NextFailureAfter forever).
 func (u *Uniform) draw(from uint64) uint64 {
 	span := u.Max - u.Min
 	d := u.Min
@@ -101,22 +121,25 @@ func (u *Uniform) draw(from uint64) uint64 {
 	if d == 0 {
 		d = 1
 	}
+	if from > NoFailure-d {
+		return NoFailure
+	}
 	return from + d
 }
 
 // NextFailureAfter returns the next drawn failure instant after cycle,
-// advancing the internal sequence as simulation time passes it. Queries are
-// monotonic within a run; a query for an earlier cycle than the last one
-// means a new run began, and the sequence restarts from the seed — so one
-// schedule value can be reused across runs and always produces the same
-// failure instants (the determinism the experiment harness relies on).
+// advancing the internal sequence as simulation time passes it. Queries must
+// be monotonically non-decreasing: one Uniform value serves exactly one run.
+// To reuse a value across runs, Clone it per run (the harness does) or call
+// Reset between runs; a backwards query panics rather than silently replaying
+// or — worse — continuing the previous run's sequence, which would make
+// failure instants depend on run order.
 func (u *Uniform) NextFailureAfter(cycle uint64) uint64 {
 	if cycle < u.lastAsk {
-		u.rng = rand.New(rand.NewSource(u.Seed))
-		u.next = u.draw(0)
+		panic(fmt.Sprintf("power: Uniform queried backwards (cycle %d after %d); Clone or Reset the schedule per run", cycle, u.lastAsk))
 	}
 	u.lastAsk = cycle
-	for u.next <= cycle {
+	for u.next != NoFailure && u.next <= cycle {
 		u.next = u.draw(u.next)
 	}
 	return u.next

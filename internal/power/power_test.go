@@ -205,6 +205,195 @@ func TestFromBytes(t *testing.T) {
 	}
 }
 
+// TestPeriodicOverflowNearMax pins the uint64 overflow fix: near 2^64 the
+// pre-fix (cycle/Period+1)*Period wrapped to a small bogus instant (breaking
+// the strictly-after contract) instead of saturating to NoFailure.
+func TestPeriodicOverflowNearMax(t *testing.T) {
+	cases := []struct {
+		period, at, want uint64
+	}{
+		{100, NoFailure - 10, NoFailure},
+		{100, NoFailure - 1, NoFailure},
+		{100, NoFailure, NoFailure},
+		{1, NoFailure - 1, NoFailure}, // next multiple would be the sentinel itself
+		{1, NoFailure, NoFailure},     // cycle/1+1 wraps q to 0
+		{NoFailure - 1, 5, NoFailure - 1},
+		{NoFailure - 1, NoFailure - 1, NoFailure},
+		{1 << 63, (1 << 63) + 1, NoFailure}, // 2*Period wraps to 0
+	}
+	for _, c := range cases {
+		p := Periodic{Period: c.period}
+		if got := p.NextFailureAfter(c.at); got != c.want {
+			t.Errorf("Periodic{%d}.NextFailureAfter(%d) = %d, want %d", c.period, c.at, got, c.want)
+		}
+	}
+}
+
+// TestUniformDrawSaturatesNearMax pins the companion wrap in Uniform.draw:
+// from+d past 2^64 must saturate to NoFailure, and NextFailureAfter's advance
+// loop must terminate once the sequence saturates (pre-fix the wrapped small
+// value kept the loop spinning forever).
+func TestUniformDrawSaturatesNearMax(t *testing.T) {
+	u := NewUniform(10, 20, 1)
+	if got := u.draw(NoFailure - 5); got != NoFailure {
+		t.Errorf("draw(NoFailure-5) = %d, want NoFailure", got)
+	}
+	if got := u.draw(NoFailure); got != NoFailure {
+		t.Errorf("draw(NoFailure) = %d, want NoFailure", got)
+	}
+
+	// White-box: park the sequence near the top of the domain and query past
+	// it; the loop must saturate and answer NoFailure, not wrap or hang.
+	u = NewUniform(10, 20, 1)
+	u.next = NoFailure - 3
+	u.lastAsk = NoFailure - 4
+	if got := u.NextFailureAfter(NoFailure - 2); got != NoFailure {
+		t.Errorf("NextFailureAfter(NoFailure-2) = %d, want NoFailure", got)
+	}
+	// Saturated schedules stay saturated under further queries.
+	if got := u.NextFailureAfter(NoFailure - 1); got != NoFailure {
+		t.Errorf("saturated schedule answered %d, want NoFailure", got)
+	}
+}
+
+// TestUniformInterleavedRunsPanic pins the reuse-contract fix. Pre-fix, the
+// silent restart heuristic made two interleaved runs over one schedule value
+// corrupt each other: run B's backwards query restarted the RNG under run A,
+// so A's subsequent instants silently came from a restarted sequence and the
+// observed failures depended on run interleaving order. Post-fix the
+// backwards query panics instead of corrupting anything.
+func TestUniformInterleavedRunsPanic(t *testing.T) {
+	u := NewUniform(10, 50, 42)
+	runA := u.NextFailureAfter(0)
+	runA = u.NextFailureAfter(runA) // run A is mid-flight, lastAsk > 0
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("interleaved second run's backwards query did not panic; " +
+				"silent RNG restart would make failure instants run-order-dependent")
+		}
+	}()
+	u.NextFailureAfter(0) // run B starts over the same value
+}
+
+// TestUniformResetReplays verifies the sanctioned sequential-reuse path: an
+// explicit Reset rewinds the value to the exact sequence a fresh clone sees.
+func TestUniformResetReplays(t *testing.T) {
+	u := NewUniform(10, 50, 42)
+	var first []uint64
+	cycle := uint64(0)
+	for i := 0; i < 8; i++ {
+		cycle = u.NextFailureAfter(cycle)
+		first = append(first, cycle)
+	}
+
+	u.Reset()
+	cycle = 0
+	for i := 0; i < 8; i++ {
+		cycle = u.NextFailureAfter(cycle)
+		if cycle != first[i] {
+			t.Fatalf("after Reset, instant %d = %d, want %d", i, cycle, first[i])
+		}
+	}
+}
+
+// scheduleUnderTest pairs a fresh-instance factory with a name so properties
+// can be checked uniformly across every Schedule implementation.
+type scheduleUnderTest struct {
+	name string
+	mk   func() Schedule
+}
+
+func allSchedules() []scheduleUnderTest {
+	return []scheduleUnderTest{
+		{"none", func() Schedule { return None{} }},
+		{"periodic", func() Schedule { return Periodic{Period: 37} }},
+		{"uniform", func() Schedule { return NewUniform(3, 29, 99) }},
+		{"at", func() Schedule { return NewAt(5, 17, 17, 100, 4096) }},
+		{"frombytes", func() Schedule { return FromBytes([]byte{9, 0, 1, 2, 3}) }},
+	}
+}
+
+// TestSchedulePropertyStrictlyAfter checks the interface contract for every
+// implementation: NextFailureAfter(c) is either NoFailure or strictly greater
+// than c, and consuming each failure yields a non-decreasing instant sequence.
+func TestSchedulePropertyStrictlyAfter(t *testing.T) {
+	for _, s := range allSchedules() {
+		t.Run(s.name, func(t *testing.T) {
+			sched := s.mk()
+			cycle := uint64(0)
+			for i := 0; i < 500; i++ {
+				next := sched.NextFailureAfter(cycle)
+				if next == NoFailure {
+					return
+				}
+				if next <= cycle {
+					t.Fatalf("NextFailureAfter(%d) = %d, not strictly after", cycle, next)
+				}
+				cycle = next
+			}
+		})
+	}
+}
+
+// TestSchedulePropertyCloneIndependence interleaves queries on an original
+// and its clone; each must see the sequence a dedicated fresh instance sees,
+// regardless of what the other is asked in between.
+func TestSchedulePropertyCloneIndependence(t *testing.T) {
+	for _, s := range allSchedules() {
+		t.Run(s.name, func(t *testing.T) {
+			orig, ref := s.mk(), s.mk()
+			clone := orig.Clone()
+			cloneRef := s.mk()
+			var oc, cc uint64
+			for i := 0; i < 200; i++ {
+				// Interleave: one query on the original, one on the clone.
+				if got, want := orig.NextFailureAfter(oc), ref.NextFailureAfter(oc); got != want {
+					t.Fatalf("original step %d: %d, want %d", i, got, want)
+				} else if want == NoFailure {
+					break
+				} else {
+					oc = want
+				}
+				if got, want := clone.NextFailureAfter(cc), cloneRef.NextFailureAfter(cc); got != want {
+					t.Fatalf("clone step %d: %d, want %d", i, got, want)
+				} else if want != NoFailure {
+					cc = want
+				}
+			}
+		})
+	}
+}
+
+// TestSchedulePropertyKeyRoundTrip checks that equal parameters give equal
+// keys (runs may share cached results) and distinct parameters give distinct
+// keys (no silent aliasing of different experiments).
+func TestSchedulePropertyKeyRoundTrip(t *testing.T) {
+	for _, s := range allSchedules() {
+		if s.mk().Key() != s.mk().Key() {
+			t.Errorf("%s: equal parameters produced distinct keys", s.name)
+		}
+		if k := s.mk().Clone().Key(); k != s.mk().Key() {
+			t.Errorf("%s: Clone changed the key to %q", s.name, k)
+		}
+	}
+	distinct := []Schedule{
+		None{},
+		Periodic{Period: 37}, Periodic{Period: 38},
+		NewUniform(3, 29, 99), NewUniform(3, 29, 100), NewUniform(3, 30, 99), NewUniform(4, 29, 99),
+		NewAt(5, 17), NewAt(5, 18), NewAt(5),
+		FromBytes([]byte{9, 0, 1, 2, 3}), FromBytes([]byte{9, 0, 1, 2}),
+	}
+	seen := map[string]int{}
+	for i, sched := range distinct {
+		k := sched.Key()
+		if j, dup := seen[k]; dup {
+			t.Errorf("schedules %d and %d alias key %q", j, i, k)
+		}
+		seen[k] = i
+	}
+}
+
 func TestStatelessClonesAreIdentities(t *testing.T) {
 	if _, ok := (None{}).Clone().(None); !ok {
 		t.Error("None.Clone changed type")

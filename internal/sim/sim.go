@@ -124,3 +124,16 @@ type MemReaderWriter interface {
 	ReadRaw(addr uint32, size int) uint32
 	WriteRaw(addr uint32, size int, val uint32)
 }
+
+// Forkable is implemented by systems that support copy-on-write machine
+// forking (the snapshot-fork exploration mode). Fork returns an independent
+// replica of the system's complete state — volatile (cache lines, trackers,
+// stack bounds) deep-copied, non-volatile memory forked copy-on-write — wired
+// to the forked machine's clock, register source, and counters. Unlike
+// Attach, Fork must not reinitialize anything (in particular not the
+// checkpoint store, whose sequence position is part of the state being
+// replicated), and the replica comes up probe-free: forks run on the
+// emission-free fast path.
+type Forkable interface {
+	Fork(clk Clock, regs RegSource, c *metrics.Counters) System
+}

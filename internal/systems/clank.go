@@ -89,6 +89,21 @@ func (k *Clank) checkpoint(forced bool) {
 	k.tracker.Reset()
 }
 
+// Fork implements sim.Forkable: forked NVM plus deep-copied tracker state
+// and checkpoint-store position.
+func (k *Clank) Fork(clk sim.Clock, regs sim.RegSource, c *metrics.Counters) sim.System {
+	nvm := k.nvm.Fork()
+	nvm.Attach(clk, c)
+	return &Clank{
+		nvm:     nvm,
+		ckpt:    k.ckpt.Fork(nvm),
+		tracker: k.tracker.Clone(),
+		clk:     clk,
+		regs:    regs,
+		c:       c,
+	}
+}
+
 // NotifySP implements sim.System (Clank has no stack tracking).
 func (k *Clank) NotifySP(uint32) {}
 

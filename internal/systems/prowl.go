@@ -241,6 +241,28 @@ func (p *PROWL) forEach(f func(*cache.Line)) {
 	}
 }
 
+// Fork implements sim.Forkable: forked NVM plus deep-copied way arrays, LRU
+// stamp, and checkpoint-store position.
+func (p *PROWL) Fork(clk sim.Clock, regs sim.RegSource, c *metrics.Counters) sim.System {
+	nvm := p.nvm.Fork()
+	nvm.Attach(clk, c)
+	f := &PROWL{
+		numSets: p.numSets,
+		stamp:   p.stamp,
+		nvm:     nvm,
+		ckpt:    p.ckpt.Fork(nvm),
+		cost:    p.cost,
+		clk:     clk,
+		regs:    regs,
+		c:       c,
+	}
+	for w := 0; w < 2; w++ {
+		f.ways[w] = make([]cache.Line, len(p.ways[w]))
+		copy(f.ways[w], p.ways[w])
+	}
+	return f
+}
+
 // NotifySP implements sim.System (no stack tracking in PROWL).
 func (p *PROWL) NotifySP(uint32) {}
 

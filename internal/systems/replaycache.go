@@ -205,6 +205,27 @@ func (r *ReplayCache) endRegion() {
 	}
 }
 
+// Fork implements sim.Forkable: forked NVM plus deep-copied cache, tracker,
+// write-back queue, region position, and checkpoint-store position.
+func (r *ReplayCache) Fork(clk sim.Clock, regs sim.RegSource, c *metrics.Counters) sim.System {
+	nvm := r.nvm.Fork()
+	nvm.Attach(clk, c)
+	return &ReplayCache{
+		cache:       r.cache.Clone(),
+		tracker:     r.tracker.Clone(),
+		nvm:         nvm,
+		ckpt:        r.ckpt.Fork(nvm),
+		cost:        r.cost,
+		queue:       append([]uint64(nil), r.queue...),
+		markerAddr:  r.markerAddr,
+		regionSeq:   r.regionSeq,
+		regionStart: r.regionStart,
+		clk:         clk,
+		regs:        regs,
+		c:           c,
+	}
+}
+
 // NotifySP implements sim.System (no stack tracking).
 func (r *ReplayCache) NotifySP(uint32) {}
 

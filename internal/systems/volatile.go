@@ -58,6 +58,12 @@ func (v *Volatile) Store(addr uint32, size int, val uint32) {
 	}
 }
 
+// Fork implements sim.Forkable: the baseline's entire state is its memory
+// space, forked copy-on-write.
+func (v *Volatile) Fork(clk sim.Clock, _ sim.RegSource, c *metrics.Counters) sim.System {
+	return &Volatile{space: v.space.Fork(), cost: v.cost, clk: clk, c: c}
+}
+
 // NotifySP implements sim.System (no stack tracking).
 func (v *Volatile) NotifySP(uint32) {}
 

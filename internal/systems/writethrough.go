@@ -130,6 +130,23 @@ func (w *WriteThrough) checkpoint(forced bool) {
 	w.tracker.Reset()
 }
 
+// Fork implements sim.Forkable: forked NVM plus deep-copied read cache,
+// tracker, and checkpoint-store position.
+func (w *WriteThrough) Fork(clk sim.Clock, regs sim.RegSource, c *metrics.Counters) sim.System {
+	nvm := w.nvm.Fork()
+	nvm.Attach(clk, c)
+	return &WriteThrough{
+		cache:   w.cache.Clone(),
+		tracker: w.tracker.Clone(),
+		nvm:     nvm,
+		ckpt:    w.ckpt.Fork(nvm),
+		cost:    w.cost,
+		clk:     clk,
+		regs:    regs,
+		c:       c,
+	}
+}
+
 // NotifySP implements sim.System (no stack tracking: nothing dirty to drop).
 func (w *WriteThrough) NotifySP(uint32) {}
 

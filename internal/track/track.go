@@ -57,6 +57,16 @@ func (t *Tracker) ReadDominated(addr uint32, size int) bool {
 	return t.words[addr>>2]>>4&byteMask(addr, size) != 0
 }
 
+// Clone returns an independent copy of the tracker's interval state (used
+// when forking a machine mid-interval).
+func (t *Tracker) Clone() *Tracker {
+	n := &Tracker{words: make(map[uint32]uint8, len(t.words))}
+	for k, v := range t.words {
+		n.words[k] = v
+	}
+	return n
+}
+
 // Reset clears the interval (called at each checkpoint / region boundary).
 func (t *Tracker) Reset() {
 	clear(t.words)
