@@ -183,6 +183,43 @@ func BenchmarkEmulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(instructions)/b.Elapsed().Seconds()/1e6, "sim-MIPS")
 }
 
+// memBoundBenchmarks are the memory-bound workloads of the engine-throughput
+// comparison (BENCH_emu.json): load/store-dense programs where per-access
+// dispatch, not ALU batching, dominates interpreter time.
+var memBoundBenchmarks = []string{"towers", "dijkstra", "picojpeg"}
+
+func benchmarkMemThroughput(b *testing.B, engine string) {
+	for _, name := range memBoundBenchmarks {
+		b.Run(name, func(b *testing.B) {
+			var instructions uint64
+			for i := 0; i < b.N; i++ {
+				res, err := Run(Config{
+					Benchmark: name, System: Volatile,
+					DisableVerify: true, Engine: engine,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				instructions += res.Instructions
+			}
+			b.ReportMetric(float64(instructions)/b.Elapsed().Seconds()/1e6, "sim-MIPS")
+		})
+	}
+}
+
+// BenchmarkEmulatorThroughputMem measures the default engine on the
+// memory-bound suite.
+func BenchmarkEmulatorThroughputMem(b *testing.B) { benchmarkMemThroughput(b, "") }
+
+// BenchmarkEmulatorThroughputMemReference is the reference-interpreter
+// baseline for the memory-bound suite; the ratio to
+// BenchmarkEmulatorThroughputMemAOT is the AOT engine's speedup.
+func BenchmarkEmulatorThroughputMemReference(b *testing.B) { benchmarkMemThroughput(b, "ref") }
+
+// BenchmarkEmulatorThroughputMemAOT measures the compiled threaded-code
+// engine on the memory-bound suite.
+func BenchmarkEmulatorThroughputMemAOT(b *testing.B) { benchmarkMemThroughput(b, "aot") }
+
 // aluKernelIters sizes the ALU throughput kernel: iterations of the unrolled
 // mixing block, ~2.2M retired instructions per run.
 const aluKernelIters = 30_000
@@ -239,10 +276,17 @@ func benchmarkALUKernel(b *testing.B, cfg Config) {
 	b.ReportMetric(float64(instructions)/b.Elapsed().Seconds()/1e6, "sim-MIPS")
 }
 
-// BenchmarkEmulatorThroughputALU measures the batched engine on the ALU
-// kernel, failure-free: the headline simulated-MIPS figure for the fast path.
+// BenchmarkEmulatorThroughputALU measures the default engine (auto, which
+// resolves to the AOT threaded-code engine) on the ALU kernel, failure-free.
 func BenchmarkEmulatorThroughputALU(b *testing.B) {
 	benchmarkALUKernel(b, Config{System: Volatile, DisableVerify: true})
+}
+
+// BenchmarkEmulatorThroughputALUFast pins the batched fast-path engine on
+// the same kernel; it remains the quickest engine on pure-ALU code (the AOT
+// engine wins on memory-bound code, see the Mem benchmarks).
+func BenchmarkEmulatorThroughputALUFast(b *testing.B) {
+	benchmarkALUKernel(b, Config{System: Volatile, DisableVerify: true, Engine: "fast"})
 }
 
 // BenchmarkEmulatorThroughputALUReference runs the same kernel on the

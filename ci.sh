@@ -19,10 +19,11 @@ fi
 go vet ./...
 go build ./...
 go test ./...
-# The harness race pass includes the engine-equivalence suite
-# (TestEngineEquivalence*): the batched fast path and the per-instruction
-# reference interpreter must produce byte-identical results under the race
-# detector too. The snapshot/mem pass exercises the copy-on-write fork
+# The harness race pass includes the three-way engine-equivalence suite
+# (TestEngineEquivalence*): the per-instruction reference interpreter, the
+# batched fast path, and the AOT threaded-code engine must produce
+# byte-identical results — including Fork/RunUntil mid-run state and the
+# fuzzer-generated programs — under the race detector too. The snapshot/mem pass exercises the copy-on-write fork
 # machinery (refcounted pages, concurrent fork workers) under the race
 # detector; power rides along for its schedule property tests.
 go test -race ./internal/harness/... ./internal/core/ ./internal/systems/
@@ -32,10 +33,11 @@ go test -race ./internal/snapshot/ ./internal/mem/ ./internal/power/
 # enough to catch a broken benchmark; timing regressions are judged manually.
 go test -bench=. -benchtime=1x ./internal/cache/ ./internal/track/ ./internal/telemetry/
 
-# Emulator-throughput smoke: one timed pass of the batched-engine benchmark,
-# printing sim-MIPS so a fast-path regression is visible in the CI log
+# Emulator-throughput smoke: one timed pass of the ALU-kernel benchmark
+# (default engine = AOT) and one of the memory-bound AOT benchmark,
+# printing sim-MIPS so an engine regression is visible in the CI log
 # (reference numbers live in BENCH_emu.json).
-go test -run xxx -bench 'BenchmarkEmulatorThroughputALU$' -benchtime 1x . | grep -E 'sim-MIPS|^Benchmark'
+go test -run xxx -bench 'BenchmarkEmulatorThroughputALU$|BenchmarkEmulatorThroughputMemAOT' -benchtime 1x . | grep -E 'sim-MIPS|^Benchmark'
 
 # Telemetry end-to-end: serve, sweep, scrape mid-flight, validate every
 # exposition line, then check the Perfetto export loads as trace-event JSON.

@@ -310,6 +310,12 @@ func TestCLIErrorPaths(t *testing.T) {
 			[]string{"nachoasm:", "/nonexistent/prog.s"}},
 		{"nachoasm unwritable -o", asm, []string{"-o", "/nonexistent-dir/out.bin", src},
 			[]string{"nachoasm:", "/nonexistent-dir/out.bin"}},
+		{"nachosim unknown engine", sim, []string{"-bench", "crc", "-engine", "bogus-engine"},
+			[]string{"nachosim:", "bogus-engine", "auto, ref, fast, aot"}},
+		{"nachobench unknown engine", bench, []string{"-engine", "bogus-engine"},
+			[]string{"nachobench:", "bogus-engine", "auto, ref, fast, aot"}},
+		{"nachofuzz unknown engine", fuzz, []string{"-engine", "bogus-engine"},
+			[]string{"nachofuzz:", "bogus-engine", "auto, ref, fast, aot"}},
 		{"nachofuzz unknown system", fuzz, []string{"-systems", "no-such-system"},
 			[]string{"nachofuzz:", "no-such-system"}},
 		{"nachofuzz volatile rejected", fuzz, []string{"-systems", "volatile"},
@@ -336,6 +342,37 @@ func TestCLIErrorPaths(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestNachosimEngineSelection pins the -engine flag's contract: every named
+// engine produces byte-identical output (the engine is a performance knob,
+// never a semantics knob), and the deprecated -no-fastpath spelling still
+// works as an alias for the reference engine.
+func TestNachosimEngineSelection(t *testing.T) {
+	bin := build(t, "cmd/nachosim")
+	args := []string{"-bench", "crc", "-system", "nacho", "-onduration", "1"}
+
+	outputs := map[string]string{}
+	for _, engine := range []string{"auto", "ref", "fast", "aot"} {
+		out, err := run(t, bin, append([]string{"-engine", engine}, args...)...)
+		if err != nil {
+			t.Fatalf("-engine %s: %v\n%s", engine, err, out)
+		}
+		outputs[engine] = out
+	}
+	for engine, out := range outputs {
+		if out != outputs["ref"] {
+			t.Errorf("-engine %s output differs from -engine ref:\n%s\nvs\n%s", engine, out, outputs["ref"])
+		}
+	}
+
+	out, err := run(t, bin, append([]string{"-no-fastpath"}, args...)...)
+	if err != nil {
+		t.Fatalf("-no-fastpath: %v\n%s", err, out)
+	}
+	if out != outputs["ref"] {
+		t.Errorf("-no-fastpath output differs from -engine ref:\n%s\nvs\n%s", out, outputs["ref"])
 	}
 }
 

@@ -33,6 +33,7 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV (the original artifact's log format) instead of tables")
 		j       = flag.Int("j", 0, "parallel simulation workers (0 = all CPUs, 1 = sequential)")
 		timings = flag.Bool("timings", true, "print per-experiment timing summaries to stderr")
+		engine  = flag.String("engine", "auto", "execution engine for all simulations: auto, ref, fast, or aot")
 		serve   = flag.String("serve", "", "serve live telemetry (/metrics, /status, /debug/pprof) on this address during the sweep")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -40,6 +41,10 @@ func main() {
 	)
 	flag.Parse()
 	nacho.SetParallelism(*j)
+	if _, err := nacho.SetDefaultEngine(*engine); err != nil {
+		fmt.Fprintln(os.Stderr, "nachobench:", err)
+		os.Exit(1)
+	}
 
 	if *cpuprofile != "" || *memprofile != "" {
 		stop, err := profiling.Start(*cpuprofile, *memprofile)

@@ -29,6 +29,8 @@ func main() {
 		random     = flag.Bool("random", false, "use seeded-random on-durations instead of periodic")
 		seed       = flag.Int64("seed", 1, "seed for -random")
 		noVerify   = flag.Bool("noverify", false, "disable shadow-memory and WAR verification")
+		engine     = flag.String("engine", "auto", "execution engine: auto, ref, fast, or aot")
+		noFastPath = flag.Bool("no-fastpath", false, "deprecated: equivalent to -engine ref")
 		trace      = flag.String("trace", "", "write a per-instruction execution trace to this file")
 		threshold  = flag.Int("dirty-threshold", 0, "adaptive checkpointing threshold (0 = off)")
 		probeStats = flag.Bool("probe-stats", false, "collect and print per-checkpoint-interval statistics")
@@ -76,6 +78,8 @@ func main() {
 		RandomFailures:   *random,
 		Seed:             *seed,
 		DisableVerify:    *noVerify,
+		Engine:           *engine,
+		NoFastPath:       *noFastPath,
 		DirtyThreshold:   *threshold,
 		EnergyPrediction: *energyPred,
 		ProbeStats:       *probeStats,

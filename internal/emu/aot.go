@@ -1,0 +1,1265 @@
+package emu
+
+import (
+	"fmt"
+
+	"nacho/internal/compile"
+	"nacho/internal/mem"
+	"nacho/internal/power"
+	"nacho/internal/sim"
+)
+
+// This file is the AOT execution engine: the interpreter half of the
+// compile/interpret split. internal/compile lowers the text segment once —
+// at DecodeText time — into a threaded-code IR (pre-decoded operands,
+// pre-resolved branch targets, fused superinstructions, per-slot ALU run
+// lengths); this loop executes that IR with no per-step decode, no fetch
+// bounds check on sequential flow, and direct-port memory access where the
+// system offers one.
+//
+// Correctness is an extension of the fast path's safe-horizon argument.
+// The outer loop (runSliceAOT) runs the exact per-boundary checks of
+// runSliceRef. Before entering the inline dispatch loop it computes a guard:
+// the smallest cycle at which any boundary event — power failure, cycle
+// budget, forced-checkpoint trigger, RunUntil stop-point — could fire,
+// pulled back by the width of the largest superinstruction. Below the guard
+// every boundary check is statically false, so the inline loop may charge
+// base cycles with a bare increment and skip the checks entirely; the moment
+// the guard trips (including after a memory access whose dynamic cost jumped
+// the clock), the loop commits the pc and returns to the outer checks, which
+// fire the event at the byte-identical instant with byte-identical state.
+// Anything the IR does not specialize executes through the reference step
+// (stepChecked), and the machine commits m.pc before every call that can
+// advance the clock, so checkpoint register snapshots and mid-access power
+// failures observe exactly the reference interpreter's in-flight state.
+// The three-way engine-equivalence suite in internal/harness enforces all of
+// this rather than trusting the argument.
+//
+// For speed the dispatch loop mirrors the cycle and instruction counters in
+// local variables (registers), so guard checks and base-cycle charging never
+// touch memory. The mirrors are flushed to the machine before every external
+// call, return, and power-failure panic, and reloaded after every call that
+// can advance the clock — external code and post-slice inspection only ever
+// see the authoritative fields in a consistent, reference-identical state.
+// The direct-port tier of every memory case is likewise inlined: an exact
+// copy of Machine.Advance's failure check against a hoisted nextFailure
+// (legal because nextFailure and failEnabled only change in New/Fork/reboot
+// or transiently inside external calls, never between the inline
+// instructions of one dispatch loop), then a raw access through a loop-local
+// page cache (aotPages), so a same-page hit is a handful of inline byte
+// moves with no function call at all.
+
+// aotMaxWidth is the widest superinstruction in the IR: a fused op retires
+// up to this many architectural instructions (and charges this many base
+// cycles) between guard checks, so the guard is pulled back by width-1.
+const aotMaxWidth = 2
+
+// aotGuard returns the inline window's cycle bound: while m.cycle is
+// strictly below it, no per-boundary event can fire even across a full
+// superinstruction. A zero return means the window is empty and the next
+// instruction must take the reference step. Mirrors batchHorizon bound for
+// bound; all arithmetic saturates rather than wraps.
+func (m *Machine) aotGuard(maxCycles, period, margin uint64) uint64 {
+	u := uint64(power.NoFailure)
+	if m.failEnabled {
+		if m.nextFailure <= m.cycle {
+			return 0
+		}
+		// Base cycles inside the window must stay strictly before the
+		// failure instant (Advance panics at nextFailure).
+		u = m.nextFailure - 1
+	}
+	if maxCycles > 0 && maxCycles < u {
+		u = maxCycles
+	}
+	if period > 0 && m.nextForced != power.NoFailure {
+		t := uint64(0)
+		if margin < m.nextForced {
+			t = m.nextForced - margin
+		}
+		if t < u {
+			u = t
+		}
+	}
+	if m.stopAt != 0 && m.stopAt < u {
+		u = m.stopAt
+	}
+	if u < aotMaxWidth-1 {
+		return 0
+	}
+	return u - (aotMaxWidth - 1)
+}
+
+// runSliceAOT executes the compiled IR until halt or the next power failure.
+// The loop structure and every per-boundary check mirror runSliceRef
+// line for line; only the step in the middle differs.
+func (m *Machine) runSliceAOT() error {
+	prog := m.prog
+	if prog == nil || len(prog.Code) == 0 {
+		return m.runSliceRef()
+	}
+	var (
+		maxInstr  = m.cfg.MaxInstructions
+		maxCycles = m.cfg.MaxCycles
+		period    = m.cfg.ForcedCheckpointPeriod
+		margin    = m.cfg.ForcedCheckpointMargin
+		code      = prog.Code
+	)
+	// The direct memory port, when the system offers one (volatile baseline,
+	// unprobed): loads and stores bypass the sim.System interface for a
+	// fixed-latency space access. Re-acquired each slice — forks bind to the
+	// forked system, and probes attached at setup disable it.
+	var port mem.DirectPort
+	portOK := false
+	if dm, ok := m.sys.(mem.DirectMemory); ok {
+		port, portOK = dm.DirectPort()
+	}
+	instrGuard := maxInstr - (aotMaxWidth - 1)
+	for !m.halted {
+		if m.stopAt != 0 && m.cycle >= m.stopAt {
+			return nil
+		}
+		if m.c.Instructions >= maxInstr {
+			return fmt.Errorf("emu: instruction limit %d exceeded at pc=0x%08x", maxInstr, m.pc)
+		}
+		if maxCycles > 0 && m.cycle >= maxCycles {
+			return fmt.Errorf("emu: %w (%d cycles) at pc=0x%08x", ErrCycleBudget, maxCycles, m.pc)
+		}
+		if period > 0 && m.nextForced != power.NoFailure && satAdd(m.cycle, margin) >= m.nextForced {
+			m.sys.ForceCheckpoint()
+			for m.nextForced != power.NoFailure && m.nextForced <= satAdd(m.cycle, margin) {
+				m.nextForced = satAdd(m.nextForced, period)
+			}
+			if err := m.stepChecked(); err != nil {
+				return err
+			}
+			continue
+		}
+		cycleGuard := m.aotGuard(maxCycles, period, margin)
+		if m.cycle >= cycleGuard || m.c.Instructions >= instrGuard {
+			// Inside the unsafe horizon: the reference step raises the
+			// event (or executes the final pre-event instructions) exactly
+			// as runSliceRef would.
+			if err := m.stepChecked(); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := m.execAOT(code, port, portOK, cycleGuard, instrGuard); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// alignErr reconstructs the reference interpreter's alignment error
+// byte for byte (emu: pc ...: mem: misaligned ...).
+func alignErr(pc, addr uint32, size int) error {
+	return fmt.Errorf("emu: pc 0x%08x: %w", pc, &mem.AlignmentError{Addr: addr, Size: size})
+}
+
+// noPage is an impossible page key (keys are addr>>PageBits, PageBits > 0):
+// the empty state of aotPages' cache entries. Cleared entries use it so the
+// zero page (key 0) can never match a stale slot.
+const noPage = ^uint32(0)
+
+// aotPageSlots sizes the direct-mapped page cache below. Power of two;
+// eight slots keep working sets that stride across a handful of pages
+// (adjacency matrices, decode tables) hitting without growing the
+// per-access index math.
+const aotPageSlots = 8
+
+// aotPages is the dispatch loop's own direct-mapped page cache over the
+// direct port's space: a cached access is a shift, a masked index, a
+// compare, and a few byte moves, all inline in execAOT (the Space-level
+// lookup cannot inline — its miss-path call alone busts the inliner
+// budget, which is also why the miss fills here are marked noinline: they
+// must not be costed into the hit path). Cached pointers are dropped after
+// every external call, because code behind the sim.System interface may
+// write the space and so copy-on-write pages out from under the cache; the
+// write-miss fill re-syncs the matching read slot for the same reason.
+type aotPages struct {
+	space *mem.Space
+	r     [aotPageSlots]aotPageEnt
+	w     [aotPageSlots]aotPageEnt
+}
+
+// aotPageEnt is one cache slot: a page key (addr >> PageBits; noPage when
+// empty) and that page's storage.
+type aotPageEnt struct {
+	key uint32
+	pg  *mem.PageData
+}
+
+// drop empties the cache; required at init (the zero value's keys would
+// alias page 0) and after any call that may have written or forked the
+// space.
+func (p *aotPages) drop() {
+	for i := range p.r {
+		p.r[i].key, p.w[i].key = noPage, noPage
+	}
+}
+
+// read returns the storage of the page holding addr for reading, or nil on
+// a cache miss — the caller then fills with readMiss. The miss call is kept
+// out of this function so the hit path fits the inliner budget; pairing the
+// two is the call sites' job (always the two-line pattern
+// `d := pages.read(addr); if d == nil { d = pages.readMiss(addr) }`).
+func (p *aotPages) read(addr uint32) *mem.PageData {
+	k := addr >> mem.PageBits
+	e := &p.r[k&(aotPageSlots-1)]
+	if e.key == k {
+		return e.pg
+	}
+	return nil
+}
+
+// readMiss fills the slot for addr's page and returns its storage.
+//
+//go:noinline
+func (p *aotPages) readMiss(addr uint32) *mem.PageData {
+	k := addr >> mem.PageBits
+	pg := p.space.ReadPage(addr)
+	p.r[k&(aotPageSlots-1)] = aotPageEnt{key: k, pg: pg}
+	return pg
+}
+
+// write returns exclusively owned storage of the page holding addr, or nil
+// on a cache miss — the caller then fills with writeMiss (same split as
+// read/readMiss).
+func (p *aotPages) write(addr uint32) *mem.PageData {
+	k := addr >> mem.PageBits
+	e := &p.w[k&(aotPageSlots-1)]
+	if e.key == k {
+		return e.pg
+	}
+	return nil
+}
+
+// writeMiss fills the slot for addr's page and returns its storage.
+//
+//go:noinline
+func (p *aotPages) writeMiss(addr uint32) *mem.PageData {
+	k := addr >> mem.PageBits
+	s := k & (aotPageSlots - 1)
+	pg := p.space.WritePage(addr)
+	p.w[s] = aotPageEnt{key: k, pg: pg}
+	if p.r[s].key == k {
+		// The copy-on-write inside WritePage may have replaced the page the
+		// read slot cached.
+		p.r[s].pg = pg
+	}
+	return pg
+}
+
+// execAOT is the inline dispatch loop. Entry contract: m.cycle < cycleGuard
+// and m.c.Instructions < instrGuard (so at least one instruction executes),
+// no probe is attached, and m.pc is the next instruction to execute. The
+// loop keeps pc, the cycle counter, and the instruction counter in locals
+// and commits them to the machine before anything that can observe it
+// (memory systems, NotifySP, the reference step, the PowerFail panic) and
+// at every exit. It returns nil when the guard trips, control leaves the
+// text segment (the outer loop's reference step then reports the identical
+// fetch error), or the program halts.
+func (m *Machine) execAOT(code []compile.Inst, port mem.DirectPort, portOK bool, cycleGuard, instrGuard uint64) error {
+	var (
+		regs     = &m.regs
+		textBase = m.textBase
+		nCode    = uint32(len(code))
+	)
+	pc := m.pc
+	off := pc - textBase
+	if pc%4 != 0 || off>>2 >= nCode {
+		return m.stepChecked() // identical out-of-text fetch error
+	}
+	idx := off >> 2
+	cyc := m.cycle
+	ins := m.c.Instructions
+	// nextFailure hoisted for the inline copy of Advance in the direct-port
+	// memory tier; NoFailure when failures are deferred, so the check below
+	// can never fire spuriously.
+	nf := uint64(power.NoFailure)
+	if m.failEnabled {
+		nf = m.nextFailure
+	}
+	pages := aotPages{space: port.Space}
+	pages.drop()
+	hitCyc := port.HitCycles
+	for {
+		// idx == nCode when sequential flow ran off the end of the text
+		// segment; the outer loop's reference step reports the fetch error.
+		if idx >= nCode || cyc >= cycleGuard || ins >= instrGuard {
+			m.cycle, m.c.Instructions, m.pc = cyc, ins, pc
+			return nil
+		}
+		op := &code[idx]
+
+		// Batched ALU runs: Run consecutive simple-ALU slots starting here.
+		// The guard bounds shrink the batch so no boundary event can fire
+		// inside it; both differences are positive (the guard check above
+		// just passed), so k >= 1 and the batch always makes progress.
+		if r := op.Run; r != 0 {
+			k := uint64(r)
+			if d := cycleGuard - cyc; d < k {
+				k = d
+			}
+			if d := instrGuard - ins; d < k {
+				k = d
+			}
+			for end := idx + uint32(k); idx < end; idx++ {
+				op := &code[idx]
+				rs1, rs2, imm := regs[op.Rs1], regs[op.Rs2], op.Imm
+				var v uint32
+				switch op.Op {
+				case compile.Addi:
+					v = rs1 + imm
+				case compile.Add:
+					v = rs1 + rs2
+				case compile.Lui:
+					v = imm
+				case compile.Auipc:
+					v = pc + imm
+				case compile.Slti:
+					v = boolToU32(int32(rs1) < int32(imm))
+				case compile.Sltiu:
+					v = boolToU32(rs1 < imm)
+				case compile.Xori:
+					v = rs1 ^ imm
+				case compile.Ori:
+					v = rs1 | imm
+				case compile.Andi:
+					v = rs1 & imm
+				case compile.Slli:
+					v = rs1 << (imm & 31)
+				case compile.Srli:
+					v = rs1 >> (imm & 31)
+				case compile.Srai:
+					v = uint32(int32(rs1) >> (imm & 31))
+				case compile.Sub:
+					v = rs1 - rs2
+				case compile.Sll:
+					v = rs1 << (rs2 & 31)
+				case compile.Slt:
+					v = boolToU32(int32(rs1) < int32(rs2))
+				case compile.Sltu:
+					v = boolToU32(rs1 < rs2)
+				case compile.Xor:
+					v = rs1 ^ rs2
+				case compile.Srl:
+					v = rs1 >> (rs2 & 31)
+				case compile.Sra:
+					v = uint32(int32(rs1) >> (rs2 & 31))
+				case compile.Or:
+					v = rs1 | rs2
+				case compile.And:
+					v = rs1 & rs2
+				case compile.Mul:
+					v = rs1 * rs2
+				case compile.Mulh:
+					v = uint32(uint64(int64(int32(rs1))*int64(int32(rs2))) >> 32)
+				case compile.Mulhsu:
+					v = uint32(uint64(int64(int32(rs1))*int64(rs2)) >> 32)
+				case compile.Mulhu:
+					v = uint32(uint64(rs1) * uint64(rs2) >> 32)
+				case compile.Div:
+					v = divSigned(rs1, rs2)
+				case compile.Divu:
+					if rs2 == 0 {
+						v = ^uint32(0)
+					} else {
+						v = rs1 / rs2
+					}
+				case compile.Rem:
+					v = remSigned(rs1, rs2)
+				case compile.Remu:
+					if rs2 == 0 {
+						v = rs1
+					} else {
+						v = rs1 % rs2
+					}
+				}
+				regs[op.Rd] = v
+				pc += 4
+			}
+			cyc += k
+			ins += k
+			continue
+		}
+
+		switch op.Op {
+		case compile.TimedNop:
+			cyc++
+			ins++
+			idx++
+			pc += 4
+
+		case compile.AddiSP:
+			cyc++
+			ins++
+			v := regs[op.Rs1] + op.Imm
+			// NotifySP may observe the machine (and, on tracking systems,
+			// advance the clock): flush the mirrors around the call.
+			m.cycle, m.c.Instructions, m.pc = cyc, ins, pc
+			regs[op.Rd] = v
+			if v < m.initialSP-stackGuard || v > m.initialSP {
+				m.stackFault = true
+			}
+			m.sys.NotifySP(v)
+			cyc, ins = m.cycle, m.c.Instructions
+			pages.drop()
+			idx++
+			pc += 4
+			if m.stackFault {
+				m.cycle, m.c.Instructions, m.pc = cyc, ins, pc
+				return fmt.Errorf("emu: stack pointer 0x%08x left the stack region at pc=0x%08x", v, pc)
+			}
+
+		case compile.Halt:
+			cyc++
+			ins++
+			m.halted = true
+			m.cycle, m.c.Instructions, m.pc = cyc, ins, pc+4
+			return nil
+
+		case compile.Jmp:
+			cyc++
+			ins++
+			if op.Target == compile.InvalidTarget {
+				m.cycle, m.c.Instructions, m.pc = cyc, ins, pc+op.Imm
+				return nil
+			}
+			idx = op.Target
+			pc = textBase + op.Target*4
+
+		case compile.Jal:
+			cyc++
+			ins++
+			regs[op.Rd] = pc + 4
+			if op.Target == compile.InvalidTarget {
+				m.cycle, m.c.Instructions, m.pc = cyc, ins, pc+op.Imm
+				return nil
+			}
+			idx = op.Target
+			pc = textBase + op.Target*4
+
+		case compile.JmpReg:
+			cyc++
+			ins++
+			np := (regs[op.Rs1] + op.Imm) &^ 1
+			pc = np
+			if o := np - textBase; np%4 == 0 && o>>2 < nCode {
+				idx = o >> 2
+			} else {
+				m.cycle, m.c.Instructions, m.pc = cyc, ins, np
+				return nil
+			}
+
+		case compile.Jalr:
+			cyc++
+			ins++
+			np := (regs[op.Rs1] + op.Imm) &^ 1
+			regs[op.Rd] = pc + 4
+			pc = np
+			if o := np - textBase; np%4 == 0 && o>>2 < nCode {
+				idx = o >> 2
+			} else {
+				m.cycle, m.c.Instructions, m.pc = cyc, ins, np
+				return nil
+			}
+
+		case compile.Beq:
+			cyc++
+			ins++
+			if regs[op.Rs1] == regs[op.Rs2] {
+				if op.Target == compile.InvalidTarget {
+					m.cycle, m.c.Instructions, m.pc = cyc, ins, pc+op.Imm
+					return nil
+				}
+				idx = op.Target
+				pc = textBase + op.Target*4
+			} else {
+				idx++
+				pc += 4
+			}
+
+		case compile.Bne:
+			cyc++
+			ins++
+			if regs[op.Rs1] != regs[op.Rs2] {
+				if op.Target == compile.InvalidTarget {
+					m.cycle, m.c.Instructions, m.pc = cyc, ins, pc+op.Imm
+					return nil
+				}
+				idx = op.Target
+				pc = textBase + op.Target*4
+			} else {
+				idx++
+				pc += 4
+			}
+
+		case compile.Blt:
+			cyc++
+			ins++
+			if int32(regs[op.Rs1]) < int32(regs[op.Rs2]) {
+				if op.Target == compile.InvalidTarget {
+					m.cycle, m.c.Instructions, m.pc = cyc, ins, pc+op.Imm
+					return nil
+				}
+				idx = op.Target
+				pc = textBase + op.Target*4
+			} else {
+				idx++
+				pc += 4
+			}
+
+		case compile.Bge:
+			cyc++
+			ins++
+			if int32(regs[op.Rs1]) >= int32(regs[op.Rs2]) {
+				if op.Target == compile.InvalidTarget {
+					m.cycle, m.c.Instructions, m.pc = cyc, ins, pc+op.Imm
+					return nil
+				}
+				idx = op.Target
+				pc = textBase + op.Target*4
+			} else {
+				idx++
+				pc += 4
+			}
+
+		case compile.Bltu:
+			cyc++
+			ins++
+			if regs[op.Rs1] < regs[op.Rs2] {
+				if op.Target == compile.InvalidTarget {
+					m.cycle, m.c.Instructions, m.pc = cyc, ins, pc+op.Imm
+					return nil
+				}
+				idx = op.Target
+				pc = textBase + op.Target*4
+			} else {
+				idx++
+				pc += 4
+			}
+
+		case compile.Bgeu:
+			cyc++
+			ins++
+			if regs[op.Rs1] >= regs[op.Rs2] {
+				if op.Target == compile.InvalidTarget {
+					m.cycle, m.c.Instructions, m.pc = cyc, ins, pc+op.Imm
+					return nil
+				}
+				idx = op.Target
+				pc = textBase + op.Target*4
+			} else {
+				idx++
+				pc += 4
+			}
+
+		case compile.Lw:
+			addr := regs[op.Rs1] + op.Imm
+			cyc++
+			ins++
+			m.c.Loads++
+			if addr%4 != 0 {
+				m.cycle, m.c.Instructions, m.pc = cyc, ins, pc
+				return alignErr(pc, addr, 4)
+			}
+			m.pc = pc
+			if portOK && addr-MMIOBase >= 0x1000 {
+				m.c.CacheHits++
+				cyc += hitCyc
+				if nf <= cyc {
+					m.cycle, m.c.Instructions = nf, ins
+					panic(sim.PowerFail{})
+				}
+				d := pages.read(addr)
+				if d == nil {
+					d = pages.readMiss(addr)
+				}
+				o := addr & mem.PageMask &^ 3
+				regs[op.Rd] = uint32(d[o]) | uint32(d[o+1])<<8 | uint32(d[o+2])<<16 | uint32(d[o+3])<<24
+			} else {
+				m.cycle, m.c.Instructions = cyc, ins
+				regs[op.Rd] = m.aotLoad(addr, 4)
+				cyc, ins = m.cycle, m.c.Instructions
+				pages.drop()
+			}
+			idx++
+			pc += 4
+
+		case compile.Lh:
+			addr := regs[op.Rs1] + op.Imm
+			cyc++
+			ins++
+			m.c.Loads++
+			if addr%2 != 0 {
+				m.cycle, m.c.Instructions, m.pc = cyc, ins, pc
+				return alignErr(pc, addr, 2)
+			}
+			m.pc = pc
+			var v uint32
+			if portOK && addr-MMIOBase >= 0x1000 {
+				m.c.CacheHits++
+				cyc += hitCyc
+				if nf <= cyc {
+					m.cycle, m.c.Instructions = nf, ins
+					panic(sim.PowerFail{})
+				}
+				d := pages.read(addr)
+				if d == nil {
+					d = pages.readMiss(addr)
+				}
+				o := addr & mem.PageMask &^ 1
+				v = uint32(d[o]) | uint32(d[o+1])<<8
+			} else {
+				m.cycle, m.c.Instructions = cyc, ins
+				v = m.aotLoad(addr, 2)
+				cyc, ins = m.cycle, m.c.Instructions
+				pages.drop()
+			}
+			regs[op.Rd] = uint32(int32(v<<16) >> 16)
+			idx++
+			pc += 4
+
+		case compile.Lb:
+			addr := regs[op.Rs1] + op.Imm
+			cyc++
+			ins++
+			m.c.Loads++
+			m.pc = pc
+			var v uint32
+			if portOK && addr-MMIOBase >= 0x1000 {
+				m.c.CacheHits++
+				cyc += hitCyc
+				if nf <= cyc {
+					m.cycle, m.c.Instructions = nf, ins
+					panic(sim.PowerFail{})
+				}
+				d := pages.read(addr)
+				if d == nil {
+					d = pages.readMiss(addr)
+				}
+				v = uint32(d[addr&mem.PageMask])
+			} else {
+				m.cycle, m.c.Instructions = cyc, ins
+				v = m.aotLoad(addr, 1)
+				cyc, ins = m.cycle, m.c.Instructions
+				pages.drop()
+			}
+			regs[op.Rd] = uint32(int32(v<<24) >> 24)
+			idx++
+			pc += 4
+
+		case compile.Lhu:
+			addr := regs[op.Rs1] + op.Imm
+			cyc++
+			ins++
+			m.c.Loads++
+			if addr%2 != 0 {
+				m.cycle, m.c.Instructions, m.pc = cyc, ins, pc
+				return alignErr(pc, addr, 2)
+			}
+			m.pc = pc
+			if portOK && addr-MMIOBase >= 0x1000 {
+				m.c.CacheHits++
+				cyc += hitCyc
+				if nf <= cyc {
+					m.cycle, m.c.Instructions = nf, ins
+					panic(sim.PowerFail{})
+				}
+				d := pages.read(addr)
+				if d == nil {
+					d = pages.readMiss(addr)
+				}
+				o := addr & mem.PageMask &^ 1
+				regs[op.Rd] = uint32(d[o]) | uint32(d[o+1])<<8
+			} else {
+				m.cycle, m.c.Instructions = cyc, ins
+				regs[op.Rd] = m.aotLoad(addr, 2)
+				cyc, ins = m.cycle, m.c.Instructions
+				pages.drop()
+			}
+			idx++
+			pc += 4
+
+		case compile.Lbu:
+			addr := regs[op.Rs1] + op.Imm
+			cyc++
+			ins++
+			m.c.Loads++
+			m.pc = pc
+			if portOK && addr-MMIOBase >= 0x1000 {
+				m.c.CacheHits++
+				cyc += hitCyc
+				if nf <= cyc {
+					m.cycle, m.c.Instructions = nf, ins
+					panic(sim.PowerFail{})
+				}
+				d := pages.read(addr)
+				if d == nil {
+					d = pages.readMiss(addr)
+				}
+				regs[op.Rd] = uint32(d[addr&mem.PageMask])
+			} else {
+				m.cycle, m.c.Instructions = cyc, ins
+				regs[op.Rd] = m.aotLoad(addr, 1)
+				cyc, ins = m.cycle, m.c.Instructions
+				pages.drop()
+			}
+			idx++
+			pc += 4
+
+		case compile.Sw:
+			addr := regs[op.Rs1] + op.Imm
+			cyc++
+			ins++
+			m.c.Stores++
+			if addr%4 != 0 {
+				m.cycle, m.c.Instructions, m.pc = cyc, ins, pc
+				return alignErr(pc, addr, 4)
+			}
+			m.pc = pc
+			if portOK && addr-MMIOBase >= 0x1000 {
+				m.c.CacheHits++
+				cyc += hitCyc
+				if nf <= cyc {
+					m.cycle, m.c.Instructions = nf, ins
+					panic(sim.PowerFail{})
+				}
+				d := pages.write(addr)
+				if d == nil {
+					d = pages.writeMiss(addr)
+				}
+				o := addr & mem.PageMask &^ 3
+				v := regs[op.Rs2]
+				d[o], d[o+1], d[o+2], d[o+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+			} else {
+				m.cycle, m.c.Instructions = cyc, ins
+				m.aotStore(addr, 4, regs[op.Rs2])
+				cyc, ins = m.cycle, m.c.Instructions
+				pages.drop()
+				if m.halted {
+					m.pc = pc + 4
+					return nil
+				}
+			}
+			idx++
+			pc += 4
+
+		case compile.Sh:
+			addr := regs[op.Rs1] + op.Imm
+			cyc++
+			ins++
+			m.c.Stores++
+			if addr%2 != 0 {
+				m.cycle, m.c.Instructions, m.pc = cyc, ins, pc
+				return alignErr(pc, addr, 2)
+			}
+			m.pc = pc
+			if portOK && addr-MMIOBase >= 0x1000 {
+				m.c.CacheHits++
+				cyc += hitCyc
+				if nf <= cyc {
+					m.cycle, m.c.Instructions = nf, ins
+					panic(sim.PowerFail{})
+				}
+				d := pages.write(addr)
+				if d == nil {
+					d = pages.writeMiss(addr)
+				}
+				o := addr & mem.PageMask &^ 1
+				v := regs[op.Rs2]
+				d[o], d[o+1] = byte(v), byte(v>>8)
+			} else {
+				m.cycle, m.c.Instructions = cyc, ins
+				m.aotStore(addr, 2, regs[op.Rs2])
+				cyc, ins = m.cycle, m.c.Instructions
+				pages.drop()
+				if m.halted {
+					m.pc = pc + 4
+					return nil
+				}
+			}
+			idx++
+			pc += 4
+
+		case compile.Sb:
+			addr := regs[op.Rs1] + op.Imm
+			cyc++
+			ins++
+			m.c.Stores++
+			m.pc = pc
+			if portOK && addr-MMIOBase >= 0x1000 {
+				m.c.CacheHits++
+				cyc += hitCyc
+				if nf <= cyc {
+					m.cycle, m.c.Instructions = nf, ins
+					panic(sim.PowerFail{})
+				}
+				d := pages.write(addr)
+				if d == nil {
+					d = pages.writeMiss(addr)
+				}
+				d[addr&mem.PageMask] = byte(regs[op.Rs2])
+			} else {
+				m.cycle, m.c.Instructions = cyc, ins
+				m.aotStore(addr, 1, regs[op.Rs2])
+				cyc, ins = m.cycle, m.c.Instructions
+				pages.drop()
+				if m.halted {
+					m.pc = pc + 4
+					return nil
+				}
+			}
+			idx++
+			pc += 4
+
+		case compile.LuiAddi:
+			regs[op.Rd] = op.Imm
+			cyc += 2
+			ins += 2
+			idx += 2
+			pc += 8
+
+		case compile.AddiLw:
+			t := regs[op.Rs1] + op.Imm
+			regs[op.Rs2] = t
+			addr := t + op.Target
+			cyc += 2
+			ins += 2
+			m.c.Loads++
+			if addr%4 != 0 {
+				m.cycle, m.c.Instructions, m.pc = cyc, ins, pc+4
+				return alignErr(pc+4, addr, 4)
+			}
+			m.pc = pc + 4
+			if portOK && addr-MMIOBase >= 0x1000 {
+				m.c.CacheHits++
+				cyc += hitCyc
+				if nf <= cyc {
+					m.cycle, m.c.Instructions = nf, ins
+					panic(sim.PowerFail{})
+				}
+				d := pages.read(addr)
+				if d == nil {
+					d = pages.readMiss(addr)
+				}
+				o := addr & mem.PageMask &^ 3
+				regs[op.Rd] = uint32(d[o]) | uint32(d[o+1])<<8 | uint32(d[o+2])<<16 | uint32(d[o+3])<<24
+			} else {
+				m.cycle, m.c.Instructions = cyc, ins
+				regs[op.Rd] = m.aotLoad(addr, 4)
+				cyc, ins = m.cycle, m.c.Instructions
+				pages.drop()
+			}
+			idx += 2
+			pc += 8
+
+		case compile.AddiLh:
+			t := regs[op.Rs1] + op.Imm
+			regs[op.Rs2] = t
+			addr := t + op.Target
+			cyc += 2
+			ins += 2
+			m.c.Loads++
+			if addr%2 != 0 {
+				m.cycle, m.c.Instructions, m.pc = cyc, ins, pc+4
+				return alignErr(pc+4, addr, 2)
+			}
+			m.pc = pc + 4
+			var v uint32
+			if portOK && addr-MMIOBase >= 0x1000 {
+				m.c.CacheHits++
+				cyc += hitCyc
+				if nf <= cyc {
+					m.cycle, m.c.Instructions = nf, ins
+					panic(sim.PowerFail{})
+				}
+				d := pages.read(addr)
+				if d == nil {
+					d = pages.readMiss(addr)
+				}
+				o := addr & mem.PageMask &^ 1
+				v = uint32(d[o]) | uint32(d[o+1])<<8
+			} else {
+				m.cycle, m.c.Instructions = cyc, ins
+				v = m.aotLoad(addr, 2)
+				cyc, ins = m.cycle, m.c.Instructions
+				pages.drop()
+			}
+			regs[op.Rd] = uint32(int32(v<<16) >> 16)
+			idx += 2
+			pc += 8
+
+		case compile.AddiLb:
+			t := regs[op.Rs1] + op.Imm
+			regs[op.Rs2] = t
+			addr := t + op.Target
+			cyc += 2
+			ins += 2
+			m.c.Loads++
+			m.pc = pc + 4
+			var v uint32
+			if portOK && addr-MMIOBase >= 0x1000 {
+				m.c.CacheHits++
+				cyc += hitCyc
+				if nf <= cyc {
+					m.cycle, m.c.Instructions = nf, ins
+					panic(sim.PowerFail{})
+				}
+				d := pages.read(addr)
+				if d == nil {
+					d = pages.readMiss(addr)
+				}
+				v = uint32(d[addr&mem.PageMask])
+			} else {
+				m.cycle, m.c.Instructions = cyc, ins
+				v = m.aotLoad(addr, 1)
+				cyc, ins = m.cycle, m.c.Instructions
+				pages.drop()
+			}
+			regs[op.Rd] = uint32(int32(v<<24) >> 24)
+			idx += 2
+			pc += 8
+
+		case compile.AddiLhu:
+			t := regs[op.Rs1] + op.Imm
+			regs[op.Rs2] = t
+			addr := t + op.Target
+			cyc += 2
+			ins += 2
+			m.c.Loads++
+			if addr%2 != 0 {
+				m.cycle, m.c.Instructions, m.pc = cyc, ins, pc+4
+				return alignErr(pc+4, addr, 2)
+			}
+			m.pc = pc + 4
+			if portOK && addr-MMIOBase >= 0x1000 {
+				m.c.CacheHits++
+				cyc += hitCyc
+				if nf <= cyc {
+					m.cycle, m.c.Instructions = nf, ins
+					panic(sim.PowerFail{})
+				}
+				d := pages.read(addr)
+				if d == nil {
+					d = pages.readMiss(addr)
+				}
+				o := addr & mem.PageMask &^ 1
+				regs[op.Rd] = uint32(d[o]) | uint32(d[o+1])<<8
+			} else {
+				m.cycle, m.c.Instructions = cyc, ins
+				regs[op.Rd] = m.aotLoad(addr, 2)
+				cyc, ins = m.cycle, m.c.Instructions
+				pages.drop()
+			}
+			idx += 2
+			pc += 8
+
+		case compile.AddiLbu:
+			t := regs[op.Rs1] + op.Imm
+			regs[op.Rs2] = t
+			addr := t + op.Target
+			cyc += 2
+			ins += 2
+			m.c.Loads++
+			m.pc = pc + 4
+			if portOK && addr-MMIOBase >= 0x1000 {
+				m.c.CacheHits++
+				cyc += hitCyc
+				if nf <= cyc {
+					m.cycle, m.c.Instructions = nf, ins
+					panic(sim.PowerFail{})
+				}
+				d := pages.read(addr)
+				if d == nil {
+					d = pages.readMiss(addr)
+				}
+				regs[op.Rd] = uint32(d[addr&mem.PageMask])
+			} else {
+				m.cycle, m.c.Instructions = cyc, ins
+				regs[op.Rd] = m.aotLoad(addr, 1)
+				cyc, ins = m.cycle, m.c.Instructions
+				pages.drop()
+			}
+			idx += 2
+			pc += 8
+
+		case compile.AddiSw:
+			t := regs[op.Rs1] + op.Imm
+			regs[op.Rs2] = t
+			addr := t + op.Target
+			val := regs[op.Rd]
+			cyc += 2
+			ins += 2
+			m.c.Stores++
+			if addr%4 != 0 {
+				m.cycle, m.c.Instructions, m.pc = cyc, ins, pc+4
+				return alignErr(pc+4, addr, 4)
+			}
+			m.pc = pc + 4
+			if portOK && addr-MMIOBase >= 0x1000 {
+				m.c.CacheHits++
+				cyc += hitCyc
+				if nf <= cyc {
+					m.cycle, m.c.Instructions = nf, ins
+					panic(sim.PowerFail{})
+				}
+				d := pages.write(addr)
+				if d == nil {
+					d = pages.writeMiss(addr)
+				}
+				o := addr & mem.PageMask &^ 3
+				d[o], d[o+1], d[o+2], d[o+3] = byte(val), byte(val>>8), byte(val>>16), byte(val>>24)
+			} else {
+				m.cycle, m.c.Instructions = cyc, ins
+				m.aotStore(addr, 4, val)
+				cyc, ins = m.cycle, m.c.Instructions
+				pages.drop()
+				if m.halted {
+					m.pc = pc + 8
+					return nil
+				}
+			}
+			idx += 2
+			pc += 8
+
+		case compile.AddiSh:
+			t := regs[op.Rs1] + op.Imm
+			regs[op.Rs2] = t
+			addr := t + op.Target
+			val := regs[op.Rd]
+			cyc += 2
+			ins += 2
+			m.c.Stores++
+			if addr%2 != 0 {
+				m.cycle, m.c.Instructions, m.pc = cyc, ins, pc+4
+				return alignErr(pc+4, addr, 2)
+			}
+			m.pc = pc + 4
+			if portOK && addr-MMIOBase >= 0x1000 {
+				m.c.CacheHits++
+				cyc += hitCyc
+				if nf <= cyc {
+					m.cycle, m.c.Instructions = nf, ins
+					panic(sim.PowerFail{})
+				}
+				d := pages.write(addr)
+				if d == nil {
+					d = pages.writeMiss(addr)
+				}
+				o := addr & mem.PageMask &^ 1
+				d[o], d[o+1] = byte(val), byte(val>>8)
+			} else {
+				m.cycle, m.c.Instructions = cyc, ins
+				m.aotStore(addr, 2, val)
+				cyc, ins = m.cycle, m.c.Instructions
+				pages.drop()
+				if m.halted {
+					m.pc = pc + 8
+					return nil
+				}
+			}
+			idx += 2
+			pc += 8
+
+		case compile.AddiSb:
+			t := regs[op.Rs1] + op.Imm
+			regs[op.Rs2] = t
+			addr := t + op.Target
+			val := regs[op.Rd]
+			cyc += 2
+			ins += 2
+			m.c.Stores++
+			m.pc = pc + 4
+			if portOK && addr-MMIOBase >= 0x1000 {
+				m.c.CacheHits++
+				cyc += hitCyc
+				if nf <= cyc {
+					m.cycle, m.c.Instructions = nf, ins
+					panic(sim.PowerFail{})
+				}
+				d := pages.write(addr)
+				if d == nil {
+					d = pages.writeMiss(addr)
+				}
+				d[addr&mem.PageMask] = byte(val)
+			} else {
+				m.cycle, m.c.Instructions = cyc, ins
+				m.aotStore(addr, 1, val)
+				cyc, ins = m.cycle, m.c.Instructions
+				pages.drop()
+				if m.halted {
+					m.pc = pc + 8
+					return nil
+				}
+			}
+			idx += 2
+			pc += 8
+
+		case compile.SltBne:
+			v := boolToU32(int32(regs[op.Rs1]) < int32(regs[op.Rs2]))
+			regs[op.Rd] = v
+			cyc += 2
+			ins += 2
+			if v != 0 {
+				idx = op.Target
+				pc = textBase + op.Target*4
+			} else {
+				idx += 2
+				pc += 8
+			}
+
+		case compile.SltuBne:
+			v := boolToU32(regs[op.Rs1] < regs[op.Rs2])
+			regs[op.Rd] = v
+			cyc += 2
+			ins += 2
+			if v != 0 {
+				idx = op.Target
+				pc = textBase + op.Target*4
+			} else {
+				idx += 2
+				pc += 8
+			}
+
+		case compile.SltBeq:
+			v := boolToU32(int32(regs[op.Rs1]) < int32(regs[op.Rs2]))
+			regs[op.Rd] = v
+			cyc += 2
+			ins += 2
+			if v == 0 {
+				idx = op.Target
+				pc = textBase + op.Target*4
+			} else {
+				idx += 2
+				pc += 8
+			}
+
+		case compile.SltuBeq:
+			v := boolToU32(regs[op.Rs1] < regs[op.Rs2])
+			regs[op.Rd] = v
+			cyc += 2
+			ins += 2
+			if v == 0 {
+				idx = op.Target
+				pc = textBase + op.Target*4
+			} else {
+				idx += 2
+				pc += 8
+			}
+
+		case compile.SltiBne:
+			v := boolToU32(int32(regs[op.Rs1]) < int32(op.Imm))
+			regs[op.Rd] = v
+			cyc += 2
+			ins += 2
+			if v != 0 {
+				idx = op.Target
+				pc = textBase + op.Target*4
+			} else {
+				idx += 2
+				pc += 8
+			}
+
+		case compile.SltiuBne:
+			v := boolToU32(regs[op.Rs1] < op.Imm)
+			regs[op.Rd] = v
+			cyc += 2
+			ins += 2
+			if v != 0 {
+				idx = op.Target
+				pc = textBase + op.Target*4
+			} else {
+				idx += 2
+				pc += 8
+			}
+
+		case compile.SltiBeq:
+			v := boolToU32(int32(regs[op.Rs1]) < int32(op.Imm))
+			regs[op.Rd] = v
+			cyc += 2
+			ins += 2
+			if v == 0 {
+				idx = op.Target
+				pc = textBase + op.Target*4
+			} else {
+				idx += 2
+				pc += 8
+			}
+
+		case compile.SltiuBeq:
+			v := boolToU32(regs[op.Rs1] < op.Imm)
+			regs[op.Rd] = v
+			cyc += 2
+			ins += 2
+			if v == 0 {
+				idx = op.Target
+				pc = textBase + op.Target*4
+			} else {
+				idx += 2
+				pc += 8
+			}
+
+		default: // compile.RefStep
+			m.cycle, m.c.Instructions, m.pc = cyc, ins, pc
+			if err := m.stepChecked(); err != nil {
+				return err
+			}
+			cyc, ins = m.cycle, m.c.Instructions
+			pages.drop()
+			if m.halted {
+				return nil
+			}
+			pc = m.pc
+			if o := pc - textBase; pc%4 == 0 && o>>2 < nCode {
+				idx = o >> 2
+			} else {
+				return nil // outer loop reports the fetch error
+			}
+		}
+	}
+}
+
+// aotLoad serves the slow tier of one data read — an MMIO address, or a
+// system without a direct port — with the pc and counters already committed
+// and the base cycle, instruction, and load counters already charged. It
+// reproduces the reference interpreter's load path exactly: MMIO reads
+// advance one cycle and return zero; everything else goes through the
+// pre-bound system func. Either Advance may raise the scheduled power
+// failure, exactly as on the reference path.
+func (m *Machine) aotLoad(addr uint32, size int) uint32 {
+	if addr >= MMIOBase && addr < MMIOBase+0x1000 {
+		m.Advance(1)
+		return 0
+	}
+	return m.sysLoad(addr, size)
+}
+
+// aotStore is aotLoad's store counterpart, including the MMIO side effects
+// (halt, result, output) and the sub-word value masking the reference path
+// applies before handing stores to the system.
+func (m *Machine) aotStore(addr uint32, size int, val uint32) {
+	if addr >= MMIOBase && addr < MMIOBase+0x1000 {
+		m.Advance(1)
+		switch addr {
+		case ExitAddr:
+			m.halted = true
+			m.exitCode = val
+		case ResultAddr:
+			m.results = append(m.results, val)
+		case PutcharAddr:
+			m.output = append(m.output, byte(val))
+		}
+		return
+	}
+	switch size {
+	case 1:
+		val &= 0xFF
+	case 2:
+		val &= 0xFFFF
+	}
+	m.sysStore(addr, size, val)
+}

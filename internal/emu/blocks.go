@@ -1,6 +1,7 @@
 package emu
 
 import (
+	"nacho/internal/compile"
 	"nacho/internal/isa"
 )
 
@@ -59,6 +60,11 @@ type Text struct {
 	// cross fall-through block boundaries: entering the next block without a
 	// control transfer is exactly sequential execution.
 	aluRun []uint32
+
+	// prog is the AOT-compiled threaded-code IR (internal/compile), built
+	// once here so every run of the image shares it. The IR is immutable
+	// after compilation.
+	prog *compile.Program
 }
 
 // NewText analyzes an instruction sequence into a Text. The slice is
@@ -66,8 +72,12 @@ type Text struct {
 func NewText(instrs []isa.Instr) *Text {
 	t := &Text{Instrs: instrs}
 	t.analyze()
+	t.prog = compile.Compile(instrs)
 	return t
 }
+
+// Compiled exposes the AOT IR program (tests and tooling).
+func (t *Text) Compiled() *compile.Program { return t.prog }
 
 // Len returns the number of instructions in the segment.
 func (t *Text) Len() int { return len(t.Instrs) }

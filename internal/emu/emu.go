@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 
+	"nacho/internal/compile"
 	"nacho/internal/isa"
 	"nacho/internal/mem"
 	"nacho/internal/metrics"
@@ -66,10 +67,17 @@ type Config struct {
 	// per-instruction reference interpreter, so the event stream stays
 	// event-for-event identical to the historical trace format.
 	Probe sim.Probe
+	// Engine selects the execution engine (see Engine). All engines produce
+	// byte-identical results; EngineAuto (the zero value) picks the fastest.
+	// A probe overrides the selection with EngineRef — the reference
+	// interpreter is the sole emitter of per-instruction events.
+	Engine Engine
 	// NoFastPath forces the per-instruction reference interpreter even when
-	// no probe is attached. Results are identical either way (the
-	// engine-equivalence suite runs both engines and compares); the knob
-	// exists for that suite and for isolating engine bugs.
+	// no probe is attached.
+	//
+	// Deprecated: set Engine to EngineRef instead. The flag is kept as an
+	// alias for older callers and is consulted only while Engine is
+	// EngineAuto.
 	NoFastPath bool
 }
 
@@ -95,7 +103,9 @@ type Machine struct {
 	pc   uint32
 
 	text      []isa.Instr
-	aluRun    []uint32 // batched fast-path run table (see Text)
+	aluRun    []uint32         // batched fast-path run table (see Text)
+	prog      *compile.Program // AOT threaded-code IR (see Text)
+	engine    Engine           // resolved engine (never EngineAuto)
 	textBase  uint32
 	entry     uint32
 	initialSP uint32
@@ -104,6 +114,12 @@ type Machine struct {
 	sched power.Schedule
 	probe sim.Probe
 	cfg   Config
+
+	// sysLoad/sysStore are sys.Load and sys.Store pre-bound at construction:
+	// the AOT engine's generic memory tier calls them without re-resolving
+	// the interface method per access.
+	sysLoad  func(addr uint32, size int) uint32
+	sysStore func(addr uint32, size int, val uint32)
 
 	cycle       uint64
 	nextFailure uint64
@@ -167,6 +183,8 @@ func New(sys sim.System, text *Text, textBase, entry, initialSP uint32, cfg Conf
 	m := &Machine{
 		text:      text.Instrs,
 		aluRun:    text.aluRun,
+		prog:      text.prog,
+		engine:    cfg.effectiveEngine(),
 		textBase:  textBase,
 		entry:     entry,
 		initialSP: initialSP,
@@ -174,6 +192,8 @@ func New(sys sim.System, text *Text, textBase, entry, initialSP uint32, cfg Conf
 		sched:     cfg.Schedule,
 		probe:     cfg.Probe,
 		cfg:       cfg,
+		sysLoad:   sys.Load,
+		sysStore:  sys.Store,
 	}
 	m.resetToEntry()
 	m.failEnabled = true
@@ -342,6 +362,10 @@ func (m *Machine) Fork(sched power.Schedule) (*Machine, error) {
 	f.results = append([]uint32(nil), m.results...)
 	f.output = append([]byte(nil), m.output...)
 	f.sys = fsys.Fork(f, f, &f.c)
+	// Rebind the pre-bound memory funcs to the forked system: the copied
+	// closures still point at the parent's.
+	f.sysLoad = f.sys.Load
+	f.sysStore = f.sys.Store
 	f.nextFailure = f.sched.NextFailureAfter(f.cycle)
 	return f, nil
 }
@@ -353,10 +377,11 @@ func (m *Machine) System() sim.System { return m.sys }
 func (m *Machine) Halted() bool { return m.halted }
 
 // runSlice executes instructions until halt or the next power failure. The
-// interpreter variant is selected once per slice: the batched fast path when
-// no probe is attached (and NoFastPath is unset), the per-instruction
-// reference path otherwise. Both produce byte-identical results; the
-// reference path additionally emits the per-instruction probe events.
+// engine is selected once per slice: a probed run always takes the
+// per-instruction reference path (the sole emitter of per-instruction
+// events); otherwise the resolved Config.Engine picks the AOT IR
+// interpreter, the batched ALU fast path, or the reference loop. Every
+// engine produces byte-identical results.
 func (m *Machine) runSlice() (err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -367,10 +392,20 @@ func (m *Machine) runSlice() (err error) {
 			panic(r)
 		}
 	}()
-	if m.probe == nil && !m.cfg.NoFastPath && m.aluRun != nil {
-		return m.runSliceFast()
+	if m.probe != nil {
+		return m.runSliceRef()
 	}
-	return m.runSliceRef()
+	switch m.engine {
+	case EngineAOT:
+		return m.runSliceAOT()
+	case EngineFast:
+		if m.aluRun != nil {
+			return m.runSliceFast()
+		}
+		return m.runSliceRef()
+	default:
+		return m.runSliceRef()
+	}
 }
 
 // runSliceRef is the per-instruction reference loop: every instruction pays

@@ -14,14 +14,14 @@ import (
 	"nacho/internal/systems"
 )
 
-// The engine-equivalence suite is the enforcement behind the batched fast
-// path's correctness claim: for every program, system, and failure schedule,
-// the fast engine (emu.runSliceFast) and the per-instruction reference engine
-// (NoFastPath) must produce byte-identical results — exit code, result words,
-// output, every counter including the cycle count, and the final register
-// file. Errors (cycle-budget aborts, stack faults) must also be identical,
-// message and all, because they encode the instant and pc at which the run
-// died.
+// The engine-equivalence suite is the enforcement behind the execution
+// engines' correctness claim: for every program, system, and failure
+// schedule, all three engines — the per-instruction reference interpreter,
+// the batched fast path, and the AOT threaded-code engine — must produce
+// byte-identical results: exit code, result words, output, every counter
+// including the cycle count, and the final register file. Errors
+// (cycle-budget aborts, stack faults) must also be identical, message and
+// all, because they encode the instant and pc at which the run died.
 
 // equivalenceBudget bounds the failure-free runs. Intermittent runs, which
 // can livelock (e.g. a periodic schedule shorter than a system's
@@ -37,24 +37,34 @@ func scheduledBudget(freeCycles uint64) uint64 {
 	return freeCycles*8 + 200_000
 }
 
-// runBoth executes the image under both engines and fails the test on any
-// observable difference. It returns the fast result for callers that derive
-// schedules from it.
+// equivalenceEngines is the full engine matrix; the reference interpreter
+// comes first so every other engine diffs against the specification.
+var equivalenceEngines = []emu.Engine{emu.EngineRef, emu.EngineFast, emu.EngineAOT}
+
+// runBoth executes the image under every engine and fails the test on any
+// observable difference from the reference interpreter. It returns the
+// reference result for callers that derive schedules from it.
 func runBoth(t *testing.T, label string, img *program.Image, kind systems.Kind, cfg harness.RunConfig) emu.Result {
 	t.Helper()
 	cfg.Verify = false // a verifier probe would force the reference engine
 	cfg.NoFastPath = false
-	fast, fastErr := harness.RunImage(img, kind, cfg, false)
-	cfg.NoFastPath = true
-	ref, refErr := harness.RunImage(img, kind, cfg, false)
-
-	if (fastErr == nil) != (refErr == nil) || (fastErr != nil && fastErr.Error() != refErr.Error()) {
-		t.Fatalf("%s: engines diverge on error:\n  fast: %v\n  ref:  %v", label, fastErr, refErr)
+	var ref emu.Result
+	var refErr error
+	for i, engine := range equivalenceEngines {
+		cfg.Engine = engine
+		res, err := harness.RunImage(img, kind, cfg, false)
+		if i == 0 {
+			ref, refErr = res, err
+			continue
+		}
+		if (err == nil) != (refErr == nil) || (err != nil && err.Error() != refErr.Error()) {
+			t.Fatalf("%s: %s diverges from ref on error:\n  %s: %v\n  ref: %v", label, engine, engine, err, refErr)
+		}
+		if !reflect.DeepEqual(res, ref) {
+			t.Fatalf("%s: %s diverges from ref:\n  %s: %+v\n  ref: %+v", label, engine, engine, res, ref)
+		}
 	}
-	if !reflect.DeepEqual(fast, ref) {
-		t.Fatalf("%s: engines diverge:\n  fast: %+v\n  ref:  %+v", label, fast, ref)
-	}
-	return fast
+	return ref
 }
 
 // schedulesFor derives a spread of failure schedules from a failure-free run
@@ -204,13 +214,89 @@ func TestEngineEquivalenceProbeStream(t *testing.T) {
 			t.Fatalf("%s: probe streams differ in length: %d vs %d", kind, len(logs[0].events), len(logs[1].events))
 		}
 
-		fastCfg := base
-		fast, err := harness.RunImage(img, kind, fastCfg, false)
-		if err != nil {
-			t.Fatalf("%s fast: %v", kind, err)
+		for _, engine := range []emu.Engine{emu.EngineFast, emu.EngineAOT} {
+			cfg := base
+			cfg.Engine = engine
+			res, err := harness.RunImage(img, kind, cfg, false)
+			if err != nil {
+				t.Fatalf("%s %s: %v", kind, engine, err)
+			}
+			if !reflect.DeepEqual(res, probed[0]) {
+				t.Fatalf("%s: %s un-instrumented result differs from instrumented reference:\n  %s:     %+v\n  probed: %+v", kind, engine, engine, res, probed[0])
+			}
 		}
-		if !reflect.DeepEqual(fast, probed[0]) {
-			t.Fatalf("%s: fast un-instrumented result differs from instrumented reference:\n  fast:   %+v\n  probed: %+v", kind, fast, probed[0])
+	}
+}
+
+// TestEngineEquivalenceForkRunUntil pins the mid-run surface the snapshot
+// explorer depends on, across all engines: RunUntil must stop at the same
+// instruction boundary (same cycle, same halt state), a Fork taken at that
+// boundary must run to the same result under a failure schedule, and the
+// parent must resume to the same end state after forking — whatever engine
+// drives the prefix and the forks.
+func TestEngineEquivalenceForkRunUntil(t *testing.T) {
+	p, ok := program.ByName("crc")
+	if !ok {
+		t.Fatal("crc benchmark missing")
+	}
+	img, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := harness.RunConfig{CacheSize: 512, Ways: 2, MaxCycles: equivalenceBudget, Verify: false}
+	refCfg := cfg
+	refCfg.Engine = emu.EngineRef
+	free, err := harness.RunImage(img, systems.KindNACHO, refCfg, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second target probes the stop-at-boundary edge: one cycle past the
+	// first, so an engine that overshoots or undershoots the instruction
+	// boundary by even a cycle diverges.
+	targets := []uint64{free.Counters.Cycles / 3, free.Counters.Cycles/3 + 1}
+	type snap struct {
+		cycle  uint64
+		halted bool
+		regs   any
+		fork   emu.Result
+		final  emu.Result
+	}
+	var refSnaps []snap
+	for i, engine := range equivalenceEngines {
+		c := cfg
+		c.Engine = engine
+		var snaps []snap
+		for _, target := range targets {
+			m, _, err := harness.BuildMachine(img, systems.KindNACHO, c)
+			if err != nil {
+				t.Fatalf("%s: build: %v", engine, err)
+			}
+			halted, err := m.RunUntil(target)
+			if err != nil {
+				t.Fatalf("%s: RunUntil(%d): %v", engine, target, err)
+			}
+			s := snap{cycle: m.Now(), halted: halted, regs: m.RegSnapshot()}
+			f, err := m.Fork(power.Periodic{Period: free.Counters.Cycles/5 + 211})
+			if err != nil {
+				t.Fatalf("%s: fork: %v", engine, err)
+			}
+			if s.fork, err = f.Run(); err != nil {
+				t.Fatalf("%s: fork run: %v", engine, err)
+			}
+			if s.final, err = m.Run(); err != nil {
+				t.Fatalf("%s: parent resume: %v", engine, err)
+			}
+			snaps = append(snaps, s)
+		}
+		if i == 0 {
+			refSnaps = snaps
+			continue
+		}
+		for j := range snaps {
+			if !reflect.DeepEqual(snaps[j], refSnaps[j]) {
+				t.Fatalf("%s diverges from ref at target %d:\n  %s: %+v\n  ref: %+v",
+					engine, targets[j], engine, snaps[j], refSnaps[j])
+			}
 		}
 	}
 }

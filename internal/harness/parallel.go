@@ -68,7 +68,7 @@ type runKey struct {
 	cost                   mem.CostModel
 	dirtyThreshold         int
 	energyPrediction       bool
-	noFastPath             bool
+	engine                 emu.Engine // resolved, never Auto
 }
 
 func keyFor(p *program.Program, kind systems.Kind, cfg RunConfig) runKey {
@@ -91,7 +91,7 @@ func keyFor(p *program.Program, kind systems.Kind, cfg RunConfig) runKey {
 		cost:                   cfg.Cost,
 		dirtyThreshold:         cfg.DirtyThreshold,
 		energyPrediction:       cfg.EnergyPrediction,
-		noFastPath:             cfg.NoFastPath,
+		engine:                 emu.Config{Engine: cfg.Engine, NoFastPath: cfg.NoFastPath}.ResolveEngine(),
 	}
 }
 

@@ -55,16 +55,37 @@ type RunConfig struct {
 	// visible in NVM for post-run state comparison.
 	FinalFlush bool
 	// NoFastPath forces the emulator's per-instruction reference
-	// interpreter (see emu.Config.NoFastPath). Results are identical either
-	// way; the engine-equivalence suite sets it to obtain the reference side
-	// of its comparison.
+	// interpreter.
+	//
+	// Deprecated: set Engine to emu.EngineRef instead. Consulted only while
+	// Engine is emu.EngineAuto (see emu.Config).
 	NoFastPath bool
+	// Engine selects the execution engine (see emu.Engine). The zero value
+	// picks the fastest correct engine; the equivalence suite sets concrete
+	// engines to obtain each side of its comparison. Validate external input
+	// with emu.ParseEngine before setting it here.
+	Engine emu.Engine
+}
+
+// defaultEngine is the engine DefaultRunConfig selects. EngineAuto (the
+// zero value) picks the fastest correct engine; SetDefaultEngine pins the
+// whole experiment harness to a specific one (a performance/debugging knob
+// — results are engine-invariant by the equivalence suite).
+var defaultEngine emu.Engine
+
+// SetDefaultEngine sets the engine experiment regeneration runs on and
+// returns the previous setting. Not safe to call concurrently with running
+// experiments; intended for CLI startup.
+func SetDefaultEngine(e emu.Engine) emu.Engine {
+	old := defaultEngine
+	defaultEngine = e
+	return old
 }
 
 // DefaultRunConfig is the paper's headline configuration: a 2-way 512 B
 // cache with the Section 5.2 cost model, verification on.
 func DefaultRunConfig() RunConfig {
-	return RunConfig{CacheSize: 512, Ways: 2, Verify: true, Cost: mem.DefaultCostModel()}
+	return RunConfig{CacheSize: 512, Ways: 2, Verify: true, Cost: mem.DefaultCostModel(), Engine: defaultEngine}
 }
 
 // Run executes one benchmark under one system and returns the emulator
@@ -200,6 +221,7 @@ func newMachineOn(space *mem.Space, img *program.Image, kind systems.Kind, cfg R
 		FinalFlush:             cfg.FinalFlush,
 		Probe:                  probe,
 		NoFastPath:             cfg.NoFastPath,
+		Engine:                 cfg.Engine,
 	})
 	return machine, sys, nil
 }

@@ -1,6 +1,9 @@
 package isa
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Major opcodes of the RV32 base encoding (bits 6:0).
 const (
@@ -51,9 +54,21 @@ func immJ(w uint32) int32 {
 	return signExtend(v, 21)
 }
 
+// decodeCalls counts Decode invocations process-wide. Decoding is meant to
+// happen exactly once per image (emu.DecodeText); the emulator's regression
+// test reads DecodeCalls around a run to prove the execution hot loops never
+// decode.
+var decodeCalls atomic.Uint64
+
+// DecodeCalls reports the cumulative number of Decode invocations in this
+// process. Test instrumentation for the zero-decode-in-hot-loop guarantee;
+// not meant for production use.
+func DecodeCalls() uint64 { return decodeCalls.Load() }
+
 // Decode translates a 32-bit machine word into a decoded instruction.
 // It returns a *DecodeError for encodings outside RV32IM.
 func Decode(w uint32) (Instr, error) {
+	decodeCalls.Add(1)
 	rd := Reg(w >> 7 & 0x1F)
 	rs1 := Reg(w >> 15 & 0x1F)
 	rs2 := Reg(w >> 20 & 0x1F)

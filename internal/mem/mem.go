@@ -57,6 +57,19 @@ func newPage() *page {
 // copy-on-write descendants that share page storage until written.
 type Space struct {
 	pages map[uint32]*page
+
+	// One-entry page caches for the aligned unit accessors (LoadWord and
+	// friends): emulated data accesses are overwhelmingly same-page, so one
+	// key compare replaces the map lookup on the hot path. rPg is valid for
+	// reading whenever non-nil; wPg additionally implies exclusive ownership
+	// (refs == 1), so Fork must clear it. The per-byte ByteAt/SetByte path
+	// deliberately bypasses the caches — it is the reference substrate —
+	// but its copy-on-write must refresh any cached pointer it replaces
+	// (see writablePage).
+	rKey uint32
+	rPg  *page
+	wKey uint32
+	wPg  *page
 }
 
 // NewSpace returns an empty memory space.
@@ -91,7 +104,46 @@ func (s *Space) writablePage(addr uint32) *page {
 		np.data = p.data
 		p.refs.Add(-1)
 		s.pages[key] = np
+		// The mapping changed: any unit-accessor cache entry for this page
+		// must follow it, or subsequent cached reads would observe the old
+		// page after the fork that still references it starts writing.
+		if s.rPg != nil && s.rKey == key {
+			s.rPg = np
+		}
+		if s.wPg != nil && s.wKey == key {
+			s.wPg = np
+		}
 		return np
+	}
+	return p
+}
+
+// pageR returns the page holding addr for reading through the one-entry
+// read cache (the unit-accessor fast path).
+func (s *Space) pageR(addr uint32) *page {
+	key := addr >> pageBits
+	if p := s.rPg; p != nil && s.rKey == key {
+		return p
+	}
+	p := s.readPage(addr)
+	s.rKey, s.rPg = key, p
+	return p
+}
+
+// pageW returns an exclusively owned page holding addr through the one-entry
+// write cache. A hit must re-check the refcount: a Fork since the last miss
+// shares the cached page, and writing it in place would leak into the fork.
+// (Fork itself must stay read-only on the parent — sibling forks are taken
+// concurrently — so the staleness check lives here, on the owner's side.)
+func (s *Space) pageW(addr uint32) *page {
+	key := addr >> pageBits
+	if p := s.wPg; p != nil && s.wKey == key && p.refs.Load() == 1 {
+		return p
+	}
+	p := s.writablePage(addr)
+	s.wKey, s.wPg = key, p
+	if s.rKey == key {
+		s.rPg = p
 	}
 	return p
 }
@@ -102,6 +154,12 @@ func (s *Space) writablePage(addr uint32) *page {
 // release (unreferenced pages are garbage-collected, and the surviving side
 // simply pays one copy for pages whose count never dropped back to 1).
 func (s *Space) Fork() *Space {
+	// Fork must not write the parent (beyond the atomic refcounts): the
+	// snapshot explorer forks one frozen parent from many workers at once.
+	// The parent's write cache goes stale here — every page becomes shared —
+	// but pageW re-checks the refcount on hit, and the read cache stays
+	// valid because shared pages are immutable until writablePage hands
+	// ownership back (refreshing both caches).
 	f := &Space{pages: make(map[uint32]*page, len(s.pages))}
 	for k, p := range s.pages {
 		p.refs.Add(1)
@@ -137,6 +195,39 @@ func (s *Space) Write(addr uint32, size int, val uint32) {
 		s.SetByte(addr+uint32(i), byte(val>>(8*i)))
 	}
 }
+
+// The page-exposure API below is the direct-port fast path: the AOT
+// interpreter fetches a page's raw storage once through the cached
+// pageR/pageW lookup and then reads and writes it directly, with no call per
+// access (the Space-level accessors cannot inline — the miss-path call alone
+// busts the inliner budget — so the interpreter keeps its own one-entry
+// cache in loop-local state instead).
+
+// PageBits is the page-size exponent (pages are 1<<PageBits bytes); PageMask
+// masks an address down to its in-page offset.
+const (
+	PageBits = pageBits
+	PageMask = pageSize - 1
+)
+
+// PageData is the raw backing storage of one page, in address order.
+type PageData = [pageSize]byte
+
+// ReadPage returns the storage of the page holding addr for reading,
+// materializing a zero-filled page on first touch. The pointer is
+// invalidated by the next copy-on-write of the page (any write through a
+// forked sibling or through WritePage after a Fork): callers caching it must
+// drop the cache whenever code they do not control may write or fork the
+// space.
+func (s *Space) ReadPage(addr uint32) *PageData { return &s.pageR(addr).data }
+
+// WritePage returns exclusively owned storage of the page holding addr,
+// copying a shared page first. Writing through the pointer is sound under
+// the same regime as Space.Write until the next Fork; the caching caveat of
+// ReadPage applies, and a cached ReadPage pointer to the same page must be
+// re-fetched after WritePage (the copy-on-write may have replaced the
+// storage).
+func (s *Space) WritePage(addr uint32) *PageData { return &s.pageW(addr).data }
 
 // LoadBytes copies data into the space starting at addr (program loading).
 func (s *Space) LoadBytes(addr uint32, data []byte) {
@@ -254,6 +345,27 @@ func (n *NVM) Space() *Space { return n.space }
 
 // Cost returns the NVM's cost model.
 func (n *NVM) Cost() CostModel { return n.cost }
+
+// DirectPort is a devirtualized fast path into a system's data memory: the
+// AOT execution engine uses it to serve loads and stores with a fixed cycle
+// charge and a direct Space access, skipping the sim.System interface
+// dispatch. A system may only expose a port when the port-served access is
+// observably identical to its Load/Store — fixed latency, hit-counter-only
+// accounting, and no probe to notify — so today only the volatile baseline
+// qualifies (and only while unprobed). The caller still owns alignment
+// checking, MMIO routing, clock advancement (Advance(HitCycles), which may
+// raise the power failure), and the CacheHits counter.
+type DirectPort struct {
+	Space     *Space
+	HitCycles uint64
+}
+
+// DirectMemory is the capability interface systems implement to offer a
+// DirectPort. The second result gates it dynamically: a probed system must
+// return false so every access flows through Load/Store and emits events.
+type DirectMemory interface {
+	DirectPort() (DirectPort, bool)
+}
 
 // AlignmentError reports a misaligned or invalid-size access; the emulator
 // treats it as a program bug and aborts the run.

@@ -323,6 +323,45 @@ func TestForkConcurrentWriters(t *testing.T) {
 	}
 }
 
+// TestForkConcurrentForkers takes many forks of one quiescent parent from
+// separate goroutines at once — the snapshot explorer's fan-out pattern.
+// Under -race this pins Fork as read-only on the parent (beyond the atomic
+// refcounts). The parent writes first so its one-entry write cache is warm
+// at fork time, then writes again after the forks: the stale cached page is
+// shared now, and the post-fork write must copy it rather than leak through
+// (the pageW refcount re-check).
+func TestForkConcurrentForkers(t *testing.T) {
+	s := NewSpace()
+	for a := uint32(0); a < 2*pageSize; a += 4 {
+		s.Write(a, 4, a^5)
+	}
+	const n = 8
+	var wg sync.WaitGroup
+	forks := make([]*Space, n)
+	for i := range forks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f := s.Fork()
+			f.Write(0, 4, uint32(i)+77)
+			forks[i] = f
+		}(i)
+	}
+	wg.Wait()
+	s.Write(0, 4, 999) // write-cache entry from before the forks is stale
+	for i, f := range forks {
+		if v := f.Read(0, 4); v != uint32(i)+77 {
+			t.Fatalf("fork %d lost its write: %d", i, v)
+		}
+		if v := f.Read(4, 4); v != 4^5 {
+			t.Fatalf("fork %d shared page corrupted: %d", i, v)
+		}
+	}
+	if v := s.Read(0, 4); v != 999 {
+		t.Fatalf("parent lost its post-fork write: %d", v)
+	}
+}
+
 // Property: a fork equals its parent until either writes.
 func TestForkEqualQuick(t *testing.T) {
 	f := func(writes []uint32) bool {

@@ -124,10 +124,19 @@ type Config struct {
 	// server's live nacho_sim_* metrics (see ServeTelemetry).
 	Telemetry *TelemetryServer
 	// NoFastPath forces the emulator's per-instruction reference interpreter
-	// even on un-instrumented runs. Results are identical either way; the
-	// knob exists for the engine-equivalence suite, for measuring the batched
-	// engine's speedup, and for isolating engine bugs.
+	// even on un-instrumented runs.
+	//
+	// Deprecated: set Engine to "ref" instead. Consulted only while Engine is
+	// empty or "auto".
 	NoFastPath bool
+	// Engine selects the execution engine: "auto" (or empty) picks the
+	// fastest correct engine, "ref" the per-instruction reference
+	// interpreter, "fast" the batched ALU fast path, "aot" the compiled
+	// threaded-code engine. Results are identical on every engine; the knob
+	// exists for the engine-equivalence suite, for measuring engine speedups,
+	// and for isolating engine bugs. Unknown values fail the run with a named
+	// diagnostic.
+	Engine string
 }
 
 func (c Config) withDefaults() Config {
@@ -146,7 +155,11 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-func (c Config) runConfig() harness.RunConfig {
+func (c Config) runConfig() (harness.RunConfig, error) {
+	engine, err := emu.ParseEngine(c.Engine)
+	if err != nil {
+		return harness.RunConfig{}, fmt.Errorf("nacho: %w", err)
+	}
 	cost := mem.DefaultCostModel()
 	rc := harness.RunConfig{
 		CacheSize:        c.CacheSize,
@@ -158,6 +171,7 @@ func (c Config) runConfig() harness.RunConfig {
 		EnergyPrediction: c.EnergyPrediction,
 		Trace:            c.Trace,
 		NoFastPath:       c.NoFastPath,
+		Engine:           engine,
 	}
 	if c.OnDurationMs > 0 {
 		period := cost.CyclesForMillis(c.OnDurationMs)
@@ -168,7 +182,7 @@ func (c Config) runConfig() harness.RunConfig {
 		}
 		rc.ForcedCheckpointPeriod = period / 2
 	}
-	return rc
+	return rc, nil
 }
 
 // Result reports the paper's evaluation metrics for one run
@@ -302,7 +316,10 @@ func Run(cfg Config) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("nacho: unknown benchmark %q (see Benchmarks())", cfg.Benchmark)
 	}
-	rc := cfg.runConfig()
+	rc, err := cfg.runConfig()
+	if err != nil {
+		return nil, err
+	}
 	stats, tep := cfg.observers(&rc)
 	res, err := harness.Run(p, systems.Kind(cfg.System), rc)
 	if err := finishTrace(tep, res.Counters.Cycles, err); err != nil {

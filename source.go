@@ -3,6 +3,7 @@ package nacho
 import (
 	"fmt"
 
+	"nacho/internal/emu"
 	"nacho/internal/harness"
 	"nacho/internal/program"
 	"nacho/internal/systems"
@@ -40,7 +41,10 @@ func RunSource(name, source string, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rc := cfg.runConfig()
+	rc, err := cfg.runConfig()
+	if err != nil {
+		return nil, err
+	}
 	stats, tep := cfg.observers(&rc)
 	res, err := harness.RunImage(img, systems.Kind(cfg.System), rc, false)
 	if err := finishTrace(tep, res.Counters.Cycles, err); err != nil {
@@ -123,6 +127,20 @@ func SetParallelism(n int) int { return harness.SetWorkers(n) }
 
 // Parallelism reports the current experiment worker count.
 func Parallelism() int { return harness.Workers() }
+
+// SetDefaultEngine selects the execution engine experiment regeneration
+// runs on ("auto", "ref", "fast", or "aot"; see Config.Engine) and returns
+// the previous setting. Every report is byte-identical regardless of the
+// engine — the equivalence suite enforces it — so this is purely a
+// performance and debugging knob. Unknown names return a descriptive error
+// and leave the setting unchanged.
+func SetDefaultEngine(name string) (string, error) {
+	e, err := emu.ParseEngine(name)
+	if err != nil {
+		return "", fmt.Errorf("nacho: %w", err)
+	}
+	return string(harness.SetDefaultEngine(e)), nil
+}
 
 // Experiment regenerates one of the paper's tables or figures as a text
 // report. Valid names are listed by ExperimentNames. benchmarks narrows the
