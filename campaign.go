@@ -1,0 +1,120 @@
+package nacho
+
+import (
+	"fmt"
+	"os"
+
+	"nacho/internal/telemetry"
+)
+
+// CampaignConfig configures process-wide campaign observability: a span
+// tracer rendering the whole campaign as one Perfetto timeline, and a
+// persistent ledger with one JSON line per run. Either output may be empty to
+// enable just the other.
+type CampaignConfig struct {
+	// Name labels the campaign's root span (default "campaign").
+	Name string
+	// TracePath, when non-empty, receives the Chrome trace-event/Perfetto
+	// JSON timeline (campaign → cell → run → window spans) on Close. Load it
+	// at ui.perfetto.dev.
+	TracePath string
+	// LedgerPath, when non-empty, receives the append-only JSONL run ledger:
+	// one record per run with its identity, outcome, counters and timing.
+	LedgerPath string
+	// SpanCapacity bounds the tracer's span arena (0 = a default sized for
+	// the full paper matrix). When the arena fills, further spans are counted
+	// as dropped, never blocking the campaign.
+	SpanCapacity int
+}
+
+// Campaign is an active observability session. Exactly one can be active per
+// process: StartCampaign installs the tracer and ledger process-wide, so
+// every harness run, experiment regeneration, fuzz seed, and explorer window
+// between Start and Close is captured with no further plumbing.
+type Campaign struct {
+	cfg        CampaignConfig
+	tracer     *telemetry.Tracer
+	root       telemetry.SpanID
+	ledger     *telemetry.Ledger
+	ledgerFile *os.File
+}
+
+// StartCampaign begins recording a campaign. Returns (nil, nil) — campaign
+// off, and Close on a nil Campaign is a no-op — when cfg enables no output.
+func StartCampaign(cfg CampaignConfig) (*Campaign, error) {
+	if cfg.TracePath == "" && cfg.LedgerPath == "" {
+		return nil, nil
+	}
+	if cfg.Name == "" {
+		cfg.Name = "campaign"
+	}
+	c := &Campaign{cfg: cfg}
+	if cfg.TracePath != "" {
+		c.tracer = telemetry.NewTracer(cfg.SpanCapacity)
+		c.root = c.tracer.Begin(0, telemetry.SpanCampaign, cfg.Name, "", "")
+		c.tracer.SetAmbient(c.root)
+		telemetry.SetActiveTracer(c.tracer)
+	}
+	if cfg.LedgerPath != "" {
+		f, err := os.Create(cfg.LedgerPath)
+		if err != nil {
+			telemetry.SetActiveTracer(nil)
+			return nil, fmt.Errorf("nacho: campaign ledger: %w", err)
+		}
+		c.ledgerFile = f
+		c.ledger = telemetry.NewLedger(f)
+		telemetry.SetActiveLedger(c.ledger)
+	}
+	return c, nil
+}
+
+// Runs reports how many ledger records have been appended so far (0 when the
+// ledger is off).
+func (c *Campaign) Runs() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.ledger.Len()
+}
+
+// DroppedSpans reports spans discarded because the tracer arena filled.
+func (c *Campaign) DroppedSpans() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.tracer.Dropped()
+}
+
+// Close ends the campaign: it uninstalls the tracer and ledger, closes the
+// root span, writes the trace file, and flushes the ledger. Safe on a nil
+// Campaign. The first error encountered is returned, but every teardown step
+// always runs.
+func (c *Campaign) Close() error {
+	if c == nil {
+		return nil
+	}
+	var first error
+	keep := func(err error) {
+		if first == nil && err != nil {
+			first = err
+		}
+	}
+	if c.tracer != nil {
+		telemetry.SetActiveTracer(nil)
+		c.tracer.SetAmbient(0)
+		c.tracer.End(c.root, 0, 0, false)
+		f, err := os.Create(c.cfg.TracePath)
+		if err != nil {
+			keep(fmt.Errorf("nacho: campaign trace: %w", err))
+		} else {
+			keep(c.tracer.WriteTrace(f))
+			keep(f.Close())
+		}
+	}
+	if c.ledger != nil {
+		telemetry.SetActiveLedger(nil)
+		keep(c.ledger.Flush())
+		keep(c.ledgerFile.Close())
+	}
+	return first
+}

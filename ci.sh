@@ -43,6 +43,23 @@ go test -run xxx -bench 'BenchmarkEmulatorThroughputALU$|BenchmarkEmulatorThroug
 # exposition line, then check the Perfetto export loads as trace-event JSON.
 go test -run 'TestServeTelemetryEndToEnd|TestPerfettoExport' .
 
+# Campaign observability gate: the registry, span-emit and ledger-append hot
+# paths must stay allocation-free (AllocsPerRun-pinned), and the campaign
+# e2e — nested span tree covering every run, ledger records reproducing the
+# report cells, reports byte-identical with observability on — plus the
+# dashboard's live bootstrap data must hold under the race detector against
+# the parallel harness and the snapshot-fork explorer.
+go test -run 'TestHotPathZeroAlloc|TestSpanEmitAllocFree|TestLedgerAppendAllocFree' ./internal/telemetry/
+go test -race -run 'TestCampaignEndToEnd|TestCampaignExhaustiveWindows|TestDashboardEndToEnd' .
+
+# Campaign CLI smoke: a small sweep with -trace-campaign and -ledger must
+# exit clean and leave a non-empty Perfetto trace and run ledger behind.
+go build -o /tmp/nachobench.ci ./cmd/nachobench
+/tmp/nachobench.ci -exp fig5 -bench crc -trace-campaign /tmp/nachobench.ci.trace -ledger /tmp/nachobench.ci.ledger >/dev/null 2>&1
+test -s /tmp/nachobench.ci.trace
+test -s /tmp/nachobench.ci.ledger
+rm -f /tmp/nachobench.ci /tmp/nachobench.ci.trace /tmp/nachobench.ci.ledger
+
 # Crash-consistency fuzzing smoke: a short coverage-guided run of the
 # differential oracle (any reported input is a real consistency bug), then
 # a fixed-seed campaign run twice — the report must be byte-identical, and

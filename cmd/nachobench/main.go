@@ -34,7 +34,10 @@ func main() {
 		j       = flag.Int("j", 0, "parallel simulation workers (0 = all CPUs, 1 = sequential)")
 		timings = flag.Bool("timings", true, "print per-experiment timing summaries to stderr")
 		engine  = flag.String("engine", "auto", "execution engine for all simulations: auto, ref, fast, or aot")
-		serve   = flag.String("serve", "", "serve live telemetry (/metrics, /status, /debug/pprof) on this address during the sweep")
+		serve   = flag.String("serve", "", "serve live telemetry (/metrics, /status, /dashboard, /debug/pprof) on this address during the sweep")
+
+		traceCampaign = flag.String("trace-campaign", "", "write a Perfetto trace of the whole campaign (experiment/run spans) to this file")
+		ledger        = flag.String("ledger", "", "append one JSON record per run to this ledger file")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -69,6 +72,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "nachobench: telemetry on http://%s\n", ts.Addr())
 	}
 
+	campaign, err := nacho.StartCampaign(nacho.CampaignConfig{
+		Name: "nachobench", TracePath: *traceCampaign, LedgerPath: *ledger,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nachobench:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := campaign.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "nachobench:", err)
+		}
+	}()
+
 	var subset []string
 	if *bench != "" {
 		subset = strings.Split(*bench, ",")
@@ -85,6 +101,7 @@ func main() {
 		out, err := nacho.RunExperiment(name, subset)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "nachobench:", err)
+			campaign.Close() // flush the partial trace/ledger before exiting
 			os.Exit(1)
 		}
 		if *csv {

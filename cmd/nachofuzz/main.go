@@ -30,9 +30,11 @@ import (
 	"strings"
 	"time"
 
+	"nacho"
 	"nacho/internal/emu"
 	"nacho/internal/fuzzer"
 	"nacho/internal/harness"
+	"nacho/internal/snapshot"
 	"nacho/internal/systems"
 	"nacho/internal/telemetry"
 )
@@ -55,6 +57,9 @@ func main() {
 		exhaustive = flag.Bool("exhaustive", false, "enumerate every crash instant via snapshot forking instead of random schedules")
 		intervals  = flag.Int("intervals", 2, "checkpoint intervals to enumerate per (program, system) with -exhaustive")
 		stride     = flag.Uint64("stride", 1, "enumerate every stride-th crash instant with -exhaustive")
+
+		traceCampaign = flag.String("trace-campaign", "", "write a Perfetto trace of the whole campaign (seed/run/window spans) to this file")
+		ledgerPath    = flag.String("ledger", "", "append one JSON record per oracle run to this ledger file")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -69,6 +74,7 @@ func main() {
 		reg := telemetry.NewRegistry()
 		harness.RegisterMetrics(reg)
 		fuzzer.RegisterMetrics(reg)
+		snapshot.RegisterMetrics(reg)
 		srv, err := telemetry.NewServer(*serve, reg, func() any { return harness.Status() })
 		if err != nil {
 			fatal(err)
@@ -81,19 +87,32 @@ func main() {
 		os.Exit(runReplay(*replay))
 	}
 
+	campaign, err := nacho.StartCampaign(nacho.CampaignConfig{
+		Name: "nachofuzz", TracePath: *traceCampaign, LedgerPath: *ledgerPath,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	exit := func(code int) {
+		if err := campaign.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "nachofuzz:", err)
+		}
+		os.Exit(code)
+	}
+
 	if *seeds <= 0 {
 		fmt.Fprintln(os.Stderr, "nachofuzz: -seeds must be positive")
-		os.Exit(2)
+		exit(2)
 	}
 	kinds, err := parseSystems(*sysList)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nachofuzz:", err)
-		os.Exit(2)
+		exit(2)
 	}
 	engine, err := emu.ParseEngine(*engineName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nachofuzz:", err)
-		os.Exit(2)
+		exit(2)
 	}
 
 	cfg := fuzzer.CampaignConfig{
@@ -115,6 +134,9 @@ func main() {
 	}
 	rep := fuzzer.RunCampaign(cfg)
 	fmt.Print(rep)
+	if err := campaign.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "nachofuzz:", err)
+	}
 	if len(rep.Errors) > 0 {
 		os.Exit(2)
 	}

@@ -38,7 +38,9 @@ func main() {
 		list       = flag.Bool("list", false, "list benchmarks and systems, then exit")
 		runFile    = flag.String("run", "", "assemble and run a user RV32IM .s file instead of a benchmark")
 		perfetto   = flag.String("perfetto", "", "write the run as Perfetto/Chrome trace-event JSON to this file")
-		serve      = flag.String("serve", "", "serve live telemetry (/metrics, /status, /debug/pprof) on this address during the run")
+		serve      = flag.String("serve", "", "serve live telemetry (/metrics, /status, /dashboard, /debug/pprof) on this address during the run")
+		traceCamp  = flag.String("trace-campaign", "", "write a campaign-level Perfetto trace (wall-clock run spans) to this file")
+		ledger     = flag.String("ledger", "", "append one JSON record per run to this ledger file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -109,11 +111,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "nachosim: telemetry on http://%s\n", ts.Addr())
 		cfg.Telemetry = ts
 	}
+	campaign, err := nacho.StartCampaign(nacho.CampaignConfig{
+		Name: "nachosim", TracePath: *traceCamp, LedgerPath: *ledger,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := campaign.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "nachosim:", err)
+		}
+	}()
 
-	var (
-		res *nacho.Result
-		err error
-	)
+	var res *nacho.Result
 	if *runFile != "" {
 		src, rerr := os.ReadFile(*runFile)
 		if rerr != nil {
@@ -124,6 +134,7 @@ func main() {
 		res, err = nacho.Run(cfg)
 	}
 	if err != nil {
+		campaign.Close() // flush the error record before exiting
 		fatal(err)
 	}
 

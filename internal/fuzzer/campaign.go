@@ -10,6 +10,7 @@ import (
 
 	"nacho/internal/harness"
 	"nacho/internal/systems"
+	"nacho/internal/telemetry"
 )
 
 // CampaignConfig parameterizes one fuzzing campaign.
@@ -118,6 +119,15 @@ func RunCampaign(cfg CampaignConfig) *CampaignReport {
 				}
 				programsTotal.Add(1)
 				prog := Generate(seed)
+				// One seed is one cell span on the campaign tracer; the
+				// seed's oracle runs (and exhaustive windows) parent to it.
+				tr := telemetry.ActiveTracer()
+				var cell telemetry.SpanID
+				if tr != nil {
+					cell = tr.Begin(0, telemetry.SpanCell, fmt.Sprintf("seed %d", seed), "", "")
+				}
+				oracle := cfg.Oracle
+				oracle.Span = cell
 				var (
 					fs  []Finding
 					st  ExhaustiveStats
@@ -125,11 +135,12 @@ func RunCampaign(cfg CampaignConfig) *CampaignReport {
 				)
 				if cfg.Exhaustive {
 					fs, st, err = CheckExhaustive(prog, cfg.Kinds, ExhaustiveConfig{
-						Oracle: cfg.Oracle, Intervals: cfg.Intervals, Stride: cfg.Stride,
+						Oracle: oracle, Intervals: cfg.Intervals, Stride: cfg.Stride, Span: cell,
 					})
 				} else {
-					fs, err = Check(prog, cfg.Kinds, cfg.Oracle)
+					fs, err = Check(prog, cfg.Kinds, oracle)
 				}
+				tr.End(cell, uint64(len(fs)), uint64(seed), err != nil)
 				mu.Lock()
 				programs++
 				findings = append(findings, fs...)

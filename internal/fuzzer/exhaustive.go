@@ -10,6 +10,7 @@ import (
 	"nacho/internal/sim"
 	"nacho/internal/snapshot"
 	"nacho/internal/systems"
+	"nacho/internal/telemetry"
 )
 
 // Exhaustive mode replaces the randomized failure schedules with exhaustive
@@ -34,6 +35,9 @@ type ExhaustiveConfig struct {
 	// Workers is the fork parallelism within one exploration (default 1;
 	// the campaign already fans seeds across the harness pool).
 	Workers int
+	// Span, when non-zero, parents the exploration's window spans on the
+	// campaign tracer (the campaign sets it to the seed's cell span).
+	Span telemetry.SpanID
 }
 
 func (c ExhaustiveConfig) normalized() ExhaustiveConfig {
@@ -134,6 +138,7 @@ func checkSystemExhaustive(img *program.Image, g *goldenRun, prog *Prog, kind sy
 		Windows: cfg.Intervals,
 		Stride:  cfg.Stride,
 		Workers: cfg.Workers,
+		Span:    cfg.Span,
 	}, func(o snapshot.Outcome) bool {
 		if diffAgainstGolden(o.Res, o.Err, o.Sys.Mem(), g, budget) == nil {
 			return true

@@ -13,6 +13,7 @@ import (
 	"nacho/internal/program"
 	"nacho/internal/sim"
 	"nacho/internal/systems"
+	"nacho/internal/telemetry"
 	"nacho/internal/verify"
 )
 
@@ -31,6 +32,10 @@ type Config struct {
 	// engine-invariant; this knob exists to fuzz a specific engine against
 	// the golden run. Callers validate external input with emu.ParseEngine.
 	Engine emu.Engine
+	// Span, when non-zero, parents every oracle run's span on the campaign
+	// tracer (the fuzz campaign sets it to the seed's cell span). Purely
+	// observational.
+	Span telemetry.SpanID
 }
 
 func (c Config) normalized() Config {
@@ -143,6 +148,7 @@ func baseConfig(cfg Config) harness.RunConfig {
 		FinalFlush:      true,
 		MaxInstructions: fuzzMaxInstructions,
 		MaxCycles:       failFreeMaxCycles,
+		Span:            cfg.Span,
 	}
 }
 

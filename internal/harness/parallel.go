@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"nacho/internal/mem"
 	"nacho/internal/program"
 	"nacho/internal/systems"
+	"nacho/internal/telemetry"
 )
 
 // The experiment matrix is embarrassingly parallel: every run is an
@@ -72,10 +74,7 @@ type runKey struct {
 }
 
 func keyFor(p *program.Program, kind systems.Kind, cfg RunConfig) runKey {
-	sched := "none"
-	if cfg.Schedule != nil {
-		sched = cfg.Schedule.Key()
-	}
+	sched := scheduleKey(cfg)
 	return runKey{
 		prog:                   p.Name,
 		kind:                   kind,
@@ -126,10 +125,22 @@ type runCache struct {
 	hits     int           // cache hits, including singleflight waits
 	bypassed int           // probed/traced runs that skipped the cache
 	runTime  time.Duration // summed per-run wall time across all workers
+
+	// Per-regeneration wall-time distribution and per-engine run counts over
+	// the simulations this cache executed (not hits or bypasses), feeding the
+	// report's Timing line. The process-wide engineStats keep accumulating
+	// across experiments for the metrics endpoint; these reset per report.
+	wallHist   *telemetry.Histogram // microseconds, RunWallBuckets
+	engineRuns map[emu.Engine]int
 }
 
 func newRunCache() *runCache {
-	return &runCache{entries: make(map[runKey]*cacheEntry), seen: make(map[runKey]bool)}
+	return &runCache{
+		entries:    make(map[runKey]*cacheEntry),
+		seen:       make(map[runKey]bool),
+		wallHist:   telemetry.NewHistogram(RunWallBuckets),
+		engineRuns: make(map[emu.Engine]int),
+	}
 }
 
 func (rc *runCache) get(p *program.Program, kind systems.Kind, cfg RunConfig) (emu.Result, error) {
@@ -157,6 +168,10 @@ func (rc *runCache) get(p *program.Program, kind systems.Kind, cfg RunConfig) (e
 		pool.cacheHits.Add(1)
 		rc.mu.Unlock()
 		<-e.done
+		// A served hit still appends a ledger record — the ledger's invariant
+		// is one record per run *request*, so a replayed campaign can see
+		// which report cells shared a simulation.
+		appendLedger(p.Name, kind, cfg, executedEngine(cfg), e.res, e.err, 0, true)
 		return e.res, e.err
 	}
 	e := &cacheEntry{done: make(chan struct{})}
@@ -169,8 +184,10 @@ func (rc *runCache) get(p *program.Program, kind systems.Kind, cfg RunConfig) (e
 	dur := time.Since(start)
 	close(e.done)
 
+	rc.wallHist.Observe(uint64(dur.Microseconds()))
 	rc.mu.Lock()
 	rc.runTime += dur
+	rc.engineRuns[executedEngine(cfg)]++
 	rc.mu.Unlock()
 	return e.res, e.err
 }
@@ -217,6 +234,15 @@ func regenerate(build func(rc *runCache) (*Report, error)) (*Report, error) {
 	start := time.Now()
 	nWorkers := Workers()
 	rc := newRunCache()
+
+	// One experiment regeneration is one cell span on the campaign tracer,
+	// and the ambient parent for every run span emitted under it — the run
+	// path attaches to the right cell with no plumbing. The title is only
+	// known once a builder pass has run; SetName patches it in.
+	tr := telemetry.ActiveTracer()
+	cell := tr.Begin(0, telemetry.SpanCell, "", "", "")
+	prevAmbient := tr.SetAmbient(cell)
+
 	if nWorkers > 1 {
 		dry := newRunCache()
 		dry.collect = true
@@ -224,6 +250,7 @@ func regenerate(build func(rc *runCache) (*Report, error)) (*Report, error) {
 			// The dry pass already assembled the report skeleton, so the
 			// experiment title and matrix size are known before any
 			// simulation starts — /status can show sweep progress live.
+			tr.SetName(cell, dryRep.Title)
 			beginExperiment(dryRep.Title, len(dry.jobs))
 			rc.prewarm(dry.jobs, nWorkers)
 			defer endExperiment()
@@ -234,14 +261,47 @@ func regenerate(build func(rc *runCache) (*Report, error)) (*Report, error) {
 	}
 	rep, err := build(rc)
 	if err != nil {
+		tr.SetAmbient(prevAmbient)
+		tr.End(cell, uint64(rc.runs), uint64(rc.hits), true)
 		return nil, err
 	}
+	tr.SetName(cell, rep.Title)
 	rc.mu.Lock()
 	rep.Timing = fmt.Sprintf("timing: %d runs (%d cache hits), %v simulated across %d workers, %v harness wall time",
 		rc.runs, rc.hits, rc.runTime.Round(time.Millisecond), nWorkers, time.Since(start).Round(time.Millisecond))
 	if rc.bypassed > 0 {
 		rep.Timing += fmt.Sprintf("; %d probed runs bypassed the run cache", rc.bypassed)
 	}
+	rep.Timing += rc.timingDetail()
 	rc.mu.Unlock()
+	tr.SetAmbient(prevAmbient)
+	tr.End(cell, uint64(rc.runs), uint64(rc.hits), false)
 	return rep, nil
+}
+
+// timingDetail renders the per-regeneration wall-time distribution (p50, p95
+// and exact max from the run-cache histogram) and the per-engine run counts.
+// Empty when the experiment executed no simulations. Caller holds rc.mu.
+func (rc *runCache) timingDetail() string {
+	if rc.wallHist.Count() == 0 {
+		return ""
+	}
+	q := func(p float64) time.Duration {
+		return (time.Duration(rc.wallHist.Quantile(p)*1e3) * time.Nanosecond).Round(time.Microsecond)
+	}
+	s := fmt.Sprintf("; run wall p50 %v / p95 %v / max %v",
+		q(0.5), q(0.95), time.Duration(rc.wallHist.Max())*time.Microsecond)
+	engines := make([]string, 0, len(rc.engineRuns))
+	for e := range rc.engineRuns {
+		engines = append(engines, string(e))
+	}
+	sort.Strings(engines)
+	s += "; engine runs:"
+	for i, e := range engines {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf(" %s=%d", e, rc.engineRuns[emu.Engine(e)])
+	}
+	return s
 }

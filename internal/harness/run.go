@@ -6,6 +6,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"nacho/internal/emu"
 	"nacho/internal/mem"
@@ -13,6 +14,7 @@ import (
 	"nacho/internal/program"
 	"nacho/internal/sim"
 	"nacho/internal/systems"
+	"nacho/internal/telemetry"
 	"nacho/internal/trace"
 	"nacho/internal/verify"
 )
@@ -65,6 +67,10 @@ type RunConfig struct {
 	// engines to obtain each side of its comparison. Validate external input
 	// with emu.ParseEngine before setting it here.
 	Engine emu.Engine
+	// Span, when non-zero, parents the run span this run emits on the
+	// campaign tracer; zero attaches it to the tracer's ambient span. Purely
+	// observational: it is not part of the run-cache identity.
+	Span telemetry.SpanID
 }
 
 // defaultEngine is the engine DefaultRunConfig selects. EngineAuto (the
@@ -146,31 +152,42 @@ func RunImageSys(img *program.Image, kind systems.Kind, cfg RunConfig, checkGold
 	if err != nil {
 		return emu.Result{}, nil, err
 	}
+
+	// Campaign observability brackets the run: a span on the installed tracer
+	// (no-ops when tracing is off), per-engine wall-time accounting, and — at
+	// the single exit below, once the final verdict is known — one ledger
+	// record. engine is the engine that actually executes, which for any
+	// probed run (probe != nil) is the reference interpreter.
+	engine := executedEngine(cfg)
+	name := img.Program.Name
+	tr := telemetry.ActiveTracer()
+	span := tr.Begin(cfg.Span, telemetry.SpanRun, name, string(kind), string(engine))
 	runStarted()
+	startWall := time.Now()
 	res, err := machine.Run()
+	wallMicros := time.Since(startWall).Microseconds()
 	runCompleted(res.Counters.Cycles)
+	runObserved(engine, wallMicros, res.Counters.Instructions)
 	if rec != nil {
 		// Flush errors mirror the old unbuffered Fprintf path, whose write
 		// errors were likewise not fatal to the run.
 		rec.Flush()
 	}
-	name := img.Program.Name
 	if err != nil {
-		return res, sys, fmt.Errorf("%s on %s: %w", name, kind, err)
-	}
-	if verr := ver.Err(); verr != nil {
-		return res, sys, fmt.Errorf("%s on %s: %w", name, kind, verr)
-	}
-	if cfg.Verify && checkGolden {
+		err = fmt.Errorf("%s on %s: %w", name, kind, err)
+	} else if verr := ver.Err(); verr != nil {
+		err = fmt.Errorf("%s on %s: %w", name, kind, verr)
+	} else if cfg.Verify && checkGolden {
 		if res.ExitCode != 0 {
-			return res, sys, fmt.Errorf("%s on %s: exit code %d", name, kind, res.ExitCode)
-		}
-		if res.Result != img.Expected {
-			return res, sys, fmt.Errorf("%s on %s: result 0x%08x, reference 0x%08x",
+			err = fmt.Errorf("%s on %s: exit code %d", name, kind, res.ExitCode)
+		} else if res.Result != img.Expected {
+			err = fmt.Errorf("%s on %s: result 0x%08x, reference 0x%08x",
 				name, kind, res.Result, img.Expected)
 		}
 	}
-	return res, sys, nil
+	tr.End(span, res.Counters.Cycles, res.Counters.Instructions, err != nil)
+	appendLedger(name, kind, cfg, engine, res, err, wallMicros, false)
+	return res, sys, err
 }
 
 // buildSpace loads an image's segments into a fresh address space, checking

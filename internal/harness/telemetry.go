@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nacho/internal/emu"
+	"nacho/internal/systems"
 	"nacho/internal/telemetry"
 )
 
@@ -77,6 +79,102 @@ func workerDone(worker int) {
 	delete(pool.activeJobs, worker)
 	pool.jobsDone++
 	pool.mu.Unlock()
+}
+
+// RunWallBuckets are the inclusive upper bounds, in microseconds, of the run
+// wall-time histograms: a 1-3-10 ladder from 100 µs (a short cached-size run)
+// to 10 s (a long verified schedule sweep cell).
+var RunWallBuckets = []uint64{100, 300, 1000, 3000, 10000, 30000, 100000, 300000, 1000000, 3000000, 10000000}
+
+// engineStats is the always-on per-engine accounting behind the
+// nacho_harness_engine_* series and the dashboard's sim-MIPS table: run and
+// retired-instruction counts plus a wall-time histogram per concrete engine.
+// The map is built once and never mutated, so lookups are lock-free.
+type engineStat struct {
+	runs  atomic.Uint64
+	instr atomic.Uint64
+	wall  *telemetry.Histogram // run wall time in microseconds
+}
+
+var engineStats = func() map[emu.Engine]*engineStat {
+	m := make(map[emu.Engine]*engineStat, 3)
+	for _, e := range []emu.Engine{emu.EngineRef, emu.EngineFast, emu.EngineAOT} {
+		m[e] = &engineStat{wall: telemetry.NewHistogram(RunWallBuckets)}
+	}
+	return m
+}()
+
+// executedEngine reports the engine a run actually executes on. Any attached
+// probe — the verifier, the trace recorder, a caller probe — forces the
+// per-instruction reference interpreter (the sole emitter of per-instruction
+// events; see emu.Machine); otherwise the resolved configured engine runs.
+func executedEngine(cfg RunConfig) emu.Engine {
+	if cfg.Verify || cfg.Trace != nil || cfg.Probe != nil {
+		return emu.EngineRef
+	}
+	return emu.Config{Engine: cfg.Engine, NoFastPath: cfg.NoFastPath}.ResolveEngine()
+}
+
+// runObserved accounts one executed simulation against its engine's stats.
+func runObserved(engine emu.Engine, wallMicros int64, instructions uint64) {
+	st := engineStats[engine]
+	if st == nil {
+		st = engineStats[emu.EngineRef]
+	}
+	st.runs.Add(1)
+	st.instr.Add(instructions)
+	st.wall.Observe(uint64(wallMicros))
+}
+
+// scheduleKey renders a RunConfig's power schedule identity ("none" when
+// always-on); it is the schedule component of both the run-cache key and the
+// ledger record.
+func scheduleKey(cfg RunConfig) string {
+	if cfg.Schedule != nil {
+		return cfg.Schedule.Key()
+	}
+	return "none"
+}
+
+// appendLedger writes one run record to the installed campaign ledger; a
+// no-op when none is installed. cacheHit marks a result served from the run
+// cache without executing (counters are the cached run's, wall time 0); a run
+// error takes precedence over the cache-hit outcome so failures are always
+// greppable as "error".
+func appendLedger(name string, kind systems.Kind, cfg RunConfig, engine emu.Engine,
+	res emu.Result, err error, wallMicros int64, cacheHit bool) {
+	l := telemetry.ActiveLedger()
+	if l == nil {
+		return
+	}
+	rec := telemetry.Record{
+		V:             telemetry.LedgerVersion,
+		Program:       name,
+		System:        string(kind),
+		Engine:        string(engine),
+		Cache:         cfg.CacheSize,
+		Ways:          cfg.Ways,
+		Schedule:      scheduleKey(cfg),
+		Outcome:       "ok",
+		Bypass:        !cacheHit && (cfg.Trace != nil || cfg.Probe != nil),
+		Cycles:        res.Counters.Cycles,
+		Instructions:  res.Counters.Instructions,
+		Checkpoints:   res.Counters.Checkpoints,
+		NVMReadBytes:  res.Counters.NVMReadBytes,
+		NVMWriteBytes: res.Counters.NVMWriteBytes,
+		CacheHits:     res.Counters.CacheHits,
+		CacheMisses:   res.Counters.CacheMisses,
+		PowerFailures: res.Counters.PowerFailures,
+		WallMicros:    wallMicros,
+	}
+	if cacheHit {
+		rec.Outcome = "cache-hit"
+	}
+	if err != nil {
+		rec.Outcome = "error"
+		rec.Error = err.Error()
+	}
+	l.Append(&rec)
 }
 
 // WorkerJob is one in-flight worker-pool job in a Status snapshot.
@@ -159,4 +257,14 @@ func RegisterMetrics(r *telemetry.Registry) {
 	r.NewGaugeFunc("nacho_harness_simulated_cycles_per_sec",
 		"Aggregate simulation throughput since the first run.",
 		func() float64 { return Status().SimulatedCyclesPerSec })
+	for _, e := range []emu.Engine{emu.EngineRef, emu.EngineFast, emu.EngineAOT} {
+		st := engineStats[e]
+		lbl := telemetry.Label{Name: "engine", Value: string(e)}
+		r.NewCounterFunc("nacho_harness_engine_runs_total",
+			"Simulations executed, by the engine that actually ran them.", st.runs.Load, lbl)
+		r.NewCounterFunc("nacho_harness_engine_instructions_total",
+			"Instructions retired, by engine.", st.instr.Load, lbl)
+		r.RegisterHistogram("nacho_harness_run_wall_micros",
+			"Run wall time in microseconds, by engine.", st.wall, lbl)
+	}
 }

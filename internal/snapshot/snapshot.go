@@ -30,6 +30,7 @@ import (
 	"nacho/internal/emu"
 	"nacho/internal/power"
 	"nacho/internal/sim"
+	"nacho/internal/telemetry"
 )
 
 // NewMachine builds a fresh from-boot machine executing the workload under
@@ -54,6 +55,10 @@ type Options struct {
 	// Workers is the fork-execution parallelism (default 1). Exploration is
 	// deterministic regardless: outcomes are visited in instant order.
 	Workers int
+	// Span, when non-zero, parents the SpanWindow spans this exploration
+	// emits on the campaign tracer (one per enumerated window); zero attaches
+	// them to the tracer's ambient span.
+	Span telemetry.SpanID
 }
 
 // Outcome is the completed run of one forked crash instant.
@@ -129,6 +134,7 @@ func (s *scoutProbe) OnAccess(ev sim.AccessEvent) {
 // deepest shareable state for the whole window.
 func Explore(newMachine NewMachine, opts Options, visit func(Outcome) bool) (Stats, error) {
 	var stats Stats
+	defer func() { recordExploration(stats) }()
 	if opts.Stride == 0 {
 		opts.Stride = 1
 	}
@@ -200,7 +206,12 @@ func Explore(newMachine NewMachine, opts Options, visit func(Outcome) bool) (Sta
 			continue
 		}
 
+		before := stats.Instants
+		ws := telemetry.ActiveTracer().Begin(opts.Span, telemetry.SpanWindow, "", "", "")
 		more, err := exploreWindow(base, cur, stop, opts, &stats, visit)
+		fanOut := uint64(stats.Instants - before)
+		windowInstants.Observe(fanOut)
+		telemetry.ActiveTracer().End(ws, fanOut, cur+1, err != nil)
 		if err != nil || !more {
 			return stats, err
 		}

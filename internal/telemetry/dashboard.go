@@ -1,0 +1,253 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// The live dashboard: a single dependency-free HTML+JS page served at
+// /dashboard that polls the endpoints the server already exposes —
+// /metrics.json for the registry, /status for the harness pool document —
+// and renders campaign progress: worker occupancy, run and cache-hit rates,
+// per-engine throughput (sim-MIPS), run wall-time histogram percentiles, and
+// the fuzz/snapshot series when those campaigns are running. The page ships
+// with a server-rendered bootstrap snapshot (a JSON island), so the first
+// paint shows live values without waiting a poll interval — which is also
+// what makes the dashboard e2e-testable without a browser.
+
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	var boot struct {
+		Metrics []Sample `json:"metrics"`
+		Status  any      `json:"status"`
+	}
+	boot.Metrics = s.reg.Snapshot()
+	if s.status != nil {
+		boot.Status = s.status()
+	} else {
+		boot.Status = struct{}{}
+	}
+	bootJSON, err := json.Marshal(&boot)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	// A JSON island must not let a stray "</script" terminate the element.
+	safe := strings.ReplaceAll(string(bootJSON), "</", `<\/`)
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, dashboardHTML, safe)
+}
+
+// dashboardHTML is the page template; the single %s receives the bootstrap
+// JSON island.
+const dashboardHTML = `<!doctype html>
+<html lang="en"><head><meta charset="utf-8">
+<title>nacho campaign dashboard</title>
+<style>
+  :root { color-scheme: dark; }
+  body { font: 14px/1.45 system-ui, sans-serif; margin: 1.5rem; background: #14171c; color: #d7dce2; }
+  h1 { font-size: 1.15rem; margin: 0 0 .25rem; }
+  .sub { color: #8b94a1; margin-bottom: 1.2rem; }
+  .grid { display: grid; grid-template-columns: repeat(auto-fill, minmax(240px, 1fr)); gap: .8rem; }
+  .card { background: #1c2128; border: 1px solid #2b323c; border-radius: 8px; padding: .8rem .95rem; }
+  .card h2 { font-size: .72rem; letter-spacing: .06em; text-transform: uppercase; color: #8b94a1; margin: 0 0 .45rem; }
+  .big { font-size: 1.55rem; font-variant-numeric: tabular-nums; }
+  .unit { font-size: .8rem; color: #8b94a1; margin-left: .25rem; }
+  table { border-collapse: collapse; width: 100%%; font-variant-numeric: tabular-nums; }
+  td, th { padding: .12rem .4rem .12rem 0; text-align: right; }
+  td:first-child, th:first-child { text-align: left; }
+  th { color: #8b94a1; font-weight: 500; font-size: .75rem; }
+  .meter { height: 8px; background: #2b323c; border-radius: 4px; overflow: hidden; margin-top: .45rem; }
+  .meter > div { height: 100%%; background: #4d9fea; width: 0; transition: width .4s; }
+  .bars { display: flex; align-items: flex-end; gap: 3px; height: 56px; margin-top: .45rem; }
+  .bars > div { flex: 1; background: #4d9fea; min-height: 2px; border-radius: 2px 2px 0 0; }
+  .bars > div.inf { background: #e0823d; }
+  .lab { display: flex; justify-content: space-between; color: #8b94a1; font-size: .7rem; margin-top: .2rem; }
+  .hidden { display: none; }
+  #err { color: #e0823d; }
+</style></head><body>
+<h1>nacho campaign dashboard</h1>
+<div class="sub">polling <code>/metrics.json</code> + <code>/status</code> every second
+  &middot; <a href="/metrics">/metrics</a> &middot; <a href="/status">/status</a>
+  <span id="err"></span></div>
+<div class="grid">
+  <div class="card"><h2>Workers</h2>
+    <div><span class="big" id="busy">0</span><span class="unit">of <span id="workers">0</span> busy</span></div>
+    <div class="meter"><div id="occ"></div></div>
+    <div class="lab"><span id="experiment"></span><span id="expjobs"></span></div></div>
+  <div class="card"><h2>Runs</h2>
+    <div><span class="big" id="runs">0</span><span class="unit">completed</span></div>
+    <div class="lab"><span id="runrate">0/s</span><span id="started">0 started</span></div></div>
+  <div class="card"><h2>Run cache</h2>
+    <div><span class="big" id="hits">0</span><span class="unit">hits</span></div>
+    <div class="lab"><span id="hitrate">&ndash;</span><span id="bypassed">0 bypassed</span></div></div>
+  <div class="card"><h2>Simulated throughput</h2>
+    <div><span class="big" id="mips">0</span><span class="unit">sim-MIPS (campaign)</span></div>
+    <div class="lab"><span id="simcycles">0 cycles</span><span id="cps">0 cyc/s</span></div></div>
+  <div class="card"><h2>sim-MIPS by engine</h2>
+    <table id="engines"><tr><th>engine</th><th>runs</th><th>sim-MIPS</th></tr></table></div>
+  <div class="card"><h2>Run wall time</h2>
+    <div class="bars" id="wallbars"></div>
+    <div class="lab"><span id="wallp">p50 &ndash; / p95 &ndash;</span><span id="walln">0 runs</span></div></div>
+  <div class="card hidden" id="fuzzcard"><h2>Fuzzing</h2>
+    <table>
+      <tr><td>programs</td><td id="fz_programs">0</td></tr>
+      <tr><td>oracle runs</td><td id="fz_oracle">0</td></tr>
+      <tr><td>findings</td><td id="fz_findings">0</td></tr>
+      <tr><td>artifacts</td><td id="fz_artifacts">0</td></tr>
+    </table></div>
+  <div class="card hidden" id="snapcard"><h2>Exhaustive exploration</h2>
+    <table>
+      <tr><td>windows</td><td id="sn_windows">0</td></tr>
+      <tr><td>crash instants</td><td id="sn_instants">0</td></tr>
+      <tr><td>fork speedup</td><td id="sn_speedup">&ndash;</td></tr>
+    </table></div>
+</div>
+<script id="bootstrap" type="application/json">%s</script>
+<script>
+"use strict";
+function $(id) { return document.getElementById(id); }
+function fmt(n) {
+  if (!isFinite(n)) return "0";
+  if (n >= 1e9) return (n / 1e9).toFixed(1) + "G";
+  if (n >= 1e6) return (n / 1e6).toFixed(1) + "M";
+  if (n >= 1e4) return (n / 1e3).toFixed(1) + "k";
+  return Math.round(n).toString();
+}
+function fmtMicros(us) {
+  if (us >= 1e6) return (us / 1e6).toFixed(2) + "s";
+  if (us >= 1e3) return (us / 1e3).toFixed(1) + "ms";
+  return Math.round(us) + "us";
+}
+// index metrics.json samples: value by name, {label:value} maps, histograms.
+function index(samples) {
+  var vals = {}, byLabel = {}, hists = {};
+  (samples || []).forEach(function (s) {
+    var lab = s.labels || {};
+    var key = Object.keys(lab).map(function (k) { return k + "=" + lab[k]; }).join(",");
+    if (s.histogram) {
+      if (!hists[s.name]) hists[s.name] = {};
+      hists[s.name][key] = s.histogram;
+      return;
+    }
+    if (key === "") vals[s.name] = s.value;
+    if (!byLabel[s.name]) byLabel[s.name] = {};
+    byLabel[s.name][key] = s.value;
+  });
+  return { vals: vals, byLabel: byLabel, hists: hists };
+}
+// quantile from cumulative buckets (le bounds); +Inf bucket clamps to last bound.
+function quantile(h, q) {
+  if (!h || !h.count) return NaN;
+  var rank = q * h.count, prevCum = 0, prevLe = 0;
+  for (var i = 0; i < h.buckets.length; i++) {
+    var b = h.buckets[i], le = b.le === "+Inf" ? prevLe : Number(b.le);
+    if (b.count >= rank && b.count > prevCum) {
+      var frac = (rank - prevCum) / (b.count - prevCum);
+      return prevLe + (le - prevLe) * Math.min(1, frac);
+    }
+    prevCum = b.count; prevLe = le;
+  }
+  return prevLe;
+}
+function mergeHists(m) {
+  var out = null;
+  Object.keys(m || {}).forEach(function (k) {
+    var h = m[k];
+    if (!out) { out = { count: 0, sum: 0, buckets: h.buckets.map(function (b) { return { le: b.le, count: 0 }; }) }; }
+    out.count += h.count; out.sum += h.sum;
+    h.buckets.forEach(function (b, i) { if (out.buckets[i]) out.buckets[i].count += b.count; });
+  });
+  return out;
+}
+var prev = null;
+function render(metrics, status) {
+  var m = index(metrics), st = status || {};
+  var workers = st.workers || 0, busy = st.busy || 0;
+  $("busy").textContent = busy; $("workers").textContent = workers;
+  $("occ").style.width = workers ? (100 * busy / workers) + "%%" : "0";
+  $("experiment").textContent = st.experiment || "";
+  $("expjobs").textContent = st.experiment_jobs ? (st.experiment_jobs_done || 0) + "/" + st.experiment_jobs + " jobs" : "";
+  var done = st.runs_completed || 0;
+  $("runs").textContent = fmt(done);
+  $("started").textContent = fmt(st.runs_started || 0) + " started";
+  var now = Date.now();
+  if (prev && now > prev.t) {
+    $("runrate").textContent = ((done - prev.done) / ((now - prev.t) / 1000)).toFixed(1) + "/s";
+  }
+  prev = { t: now, done: done };
+  var hits = st.cache_hits || 0;
+  $("hits").textContent = fmt(hits);
+  $("hitrate").textContent = (hits + done) ? (100 * hits / (hits + done)).toFixed(1) + "%% of requests" : "–";
+  $("bypassed").textContent = fmt(st.cache_bypassed_probed || 0) + " bypassed";
+  $("simcycles").textContent = fmt(st.simulated_cycles || 0) + " cycles";
+  $("cps").textContent = fmt(st.simulated_cycles_per_sec || 0) + " cyc/s";
+  // per-engine sim-MIPS: instructions / wall-micros (== MIPS), from the
+  // engine counters and wall-time histogram sums.
+  var eruns = m.byLabel["nacho_harness_engine_runs_total"] || {};
+  var einstr = m.byLabel["nacho_harness_engine_instructions_total"] || {};
+  var ewall = m.hists["nacho_harness_run_wall_micros"] || {};
+  var table = "<tr><th>engine</th><th>runs</th><th>sim-MIPS</th></tr>";
+  var totalInstr = 0, totalWall = 0;
+  Object.keys(eruns).sort().forEach(function (k) {
+    var name = k.replace("engine=", "") || "?";
+    var wall = ewall[k] ? ewall[k].sum : 0;
+    var instr = einstr[k] || 0;
+    totalInstr += instr; totalWall += wall;
+    var mips = wall > 0 ? (instr / wall).toFixed(0) : "–";
+    table += "<tr><td>" + name + "</td><td>" + fmt(eruns[k]) + "</td><td>" + mips + "</td></tr>";
+  });
+  $("engines").innerHTML = table;
+  $("mips").textContent = totalWall > 0 ? (totalInstr / totalWall).toFixed(0) : "0";
+  // wall-time histogram: merged across engines.
+  var wh = mergeHists(ewall);
+  var bars = $("wallbars");
+  bars.innerHTML = "";
+  if (wh && wh.count) {
+    var per = [], prevC = 0, max = 1;
+    wh.buckets.forEach(function (b) { per.push(b.count - prevC); prevC = b.count; });
+    per.forEach(function (c) { if (c > max) max = c; });
+    per.forEach(function (c, i) {
+      var d = document.createElement("div");
+      d.style.height = Math.max(3, 100 * c / max) + "%%";
+      var bk = wh.buckets[i];
+      if (bk.le === "+Inf") d.className = "inf";
+      d.title = (i ? "(" + fmtMicros(Number(wh.buckets[i - 1].le)) + ", " : "[0, ") +
+        (bk.le === "+Inf" ? "∞" : fmtMicros(Number(bk.le))) + "]: " + c + " runs";
+      bars.appendChild(d);
+    });
+    $("wallp").textContent = "p50 " + fmtMicros(quantile(wh, 0.5)) + " / p95 " + fmtMicros(quantile(wh, 0.95));
+    $("walln").textContent = fmt(wh.count) + " runs";
+  } else {
+    $("wallp").textContent = "p50 – / p95 –";
+    $("walln").textContent = "0 runs";
+  }
+  // optional families: show the cards only when the series exist.
+  if ((m.vals["nacho_fuzz_programs_total"] || 0) > 0) {
+    $("fuzzcard").classList.remove("hidden");
+    $("fz_programs").textContent = fmt(m.vals["nacho_fuzz_programs_total"]);
+    $("fz_oracle").textContent = fmt(m.vals["nacho_fuzz_oracle_runs_total"] || 0);
+    $("fz_findings").textContent = fmt(m.vals["nacho_fuzz_findings_total"] || 0);
+    $("fz_artifacts").textContent = fmt(m.vals["nacho_fuzz_artifacts_total"] || 0);
+  }
+  if ((m.vals["nacho_snapshot_windows_total"] || 0) > 0) {
+    $("snapcard").classList.remove("hidden");
+    $("sn_windows").textContent = fmt(m.vals["nacho_snapshot_windows_total"]);
+    $("sn_instants").textContent = fmt(m.vals["nacho_snapshot_instants_total"] || 0);
+    var sp = m.vals["nacho_snapshot_speedup"] || 0;
+    $("sn_speedup").textContent = sp ? sp.toFixed(1) + "×" : "–";
+  }
+}
+var boot = JSON.parse($("bootstrap").textContent);
+render(boot.metrics, boot.status);
+function poll() {
+  Promise.all([
+    fetch("/metrics.json").then(function (r) { return r.json(); }),
+    fetch("/status").then(function (r) { return r.json(); }),
+  ]).then(function (rs) { $("err").textContent = ""; render(rs[0], rs[1]); })
+    .catch(function (e) { $("err").textContent = " — poll failed: " + e; });
+}
+setInterval(poll, 1000);
+</script></body></html>
+`

@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{
+			V: LedgerVersion, Program: "crc32", System: "wb", Engine: "aot",
+			Cache: 1024, Ways: 4, Schedule: "none", Outcome: "ok",
+			Cycles: 123456, Instructions: 10000, Checkpoints: 7,
+			NVMReadBytes: 4096, NVMWriteBytes: 2048,
+			CacheHits: 900, CacheMisses: 100, PowerFailures: 0,
+			WallMicros: 1534,
+		},
+		{
+			V: LedgerVersion, Program: "dijkstra", System: "jit", Engine: "ref",
+			Cache: 2048, Ways: 8, Schedule: "fixed:5ms", Outcome: "error",
+			Error: "exit code 3\twith \"tabs\" and\nnewline", Bypass: true,
+			Cycles: 99, WallMicros: 12,
+		},
+		{
+			V: LedgerVersion, Program: "crc32", System: "wb", Engine: "aot",
+			Cache: 1024, Ways: 4, Schedule: "none", Outcome: "cache-hit",
+			Cycles: 123456, Instructions: 10000, Checkpoints: 7,
+			NVMReadBytes: 4096, NVMWriteBytes: 2048,
+			CacheHits: 900, CacheMisses: 100,
+		},
+	}
+}
+
+// Write → reload → re-serialize must be byte-stable: the canonical renderer is
+// what makes the ledger diffable and content-addressable.
+func TestLedgerRoundTripByteStable(t *testing.T) {
+	var first bytes.Buffer
+	l := NewLedger(&first)
+	recs := sampleRecords()
+	for i := range recs {
+		l.Append(&recs[i])
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Len(); got != uint64(len(recs)) {
+		t.Fatalf("Len = %d, want %d", got, len(recs))
+	}
+
+	loaded, err := ReadLedger(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(recs) {
+		t.Fatalf("reloaded %d records, want %d", len(loaded), len(recs))
+	}
+	for i := range recs {
+		if loaded[i] != recs[i] {
+			t.Errorf("record %d: reloaded %+v, want %+v", i, loaded[i], recs[i])
+		}
+	}
+
+	var second bytes.Buffer
+	l2 := NewLedger(&second)
+	for i := range loaded {
+		l2.Append(&loaded[i])
+	}
+	if err := l2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("round trip not byte-stable:\nfirst:  %q\nsecond: %q", first.String(), second.String())
+	}
+}
+
+// The append hot path runs once per harness run; it must not allocate in
+// steady state (the line scratch is retained across appends).
+func TestLedgerAppendAllocFree(t *testing.T) {
+	l := NewLedger(io.Discard)
+	rec := sampleRecords()[0]
+	l.Append(&rec) // warm up the scratch buffer
+	if allocs := testing.AllocsPerRun(1000, func() { l.Append(&rec) }); allocs != 0 {
+		t.Fatalf("Append allocates %.0f times per call, want 0", allocs)
+	}
+}
+
+func TestLedgerNilSafe(t *testing.T) {
+	var l *Ledger
+	l.Append(&Record{})
+	if l.Len() != 0 {
+		t.Fatal("nil ledger Len != 0")
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatalf("nil ledger Flush = %v", err)
+	}
+}
+
+func TestReadLedgerMalformedLine(t *testing.T) {
+	in := `{"v":1,"program":"a","system":"wb","engine":"ref","cache":1,"ways":1,"schedule":"none","outcome":"ok","cycles":1,"instructions":1,"checkpoints":0,"nvm_read_bytes":0,"nvm_write_bytes":0,"cache_hits":0,"cache_misses":0,"power_failures":0,"wall_micros":5}
+
+{"v":1, truncated`
+	recs, err := ReadLedger(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("ReadLedger accepted malformed line")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %q does not name line 3", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("ReadLedger returned %d good records, want 1", len(recs))
+	}
+}
+
+type failWriter struct{ failed bool }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.failed = true
+	return 0, io.ErrClosedPipe
+}
+
+func TestLedgerStickyError(t *testing.T) {
+	fw := &failWriter{}
+	l := NewLedger(fw)
+	rec := sampleRecords()[0]
+	l.Append(&rec)
+	if err := l.Flush(); err == nil {
+		t.Fatal("Flush did not surface write error")
+	}
+	before := l.Len()
+	l.Append(&rec) // dropped: error is sticky
+	if l.Len() != before {
+		t.Fatal("Append after error still counted a record")
+	}
+}

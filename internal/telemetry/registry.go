@@ -54,14 +54,27 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Histogram counts integer observations into fixed buckets. Bounds are
 // inclusive upper limits (Prometheus `le` semantics); an implicit +Inf bucket
-// catches everything beyond the last bound. Observations, sum and count are
-// all atomic; Observe is a linear scan over the (small, fixed) bound slice
-// plus three atomic adds — no allocation, no lock.
+// catches everything beyond the last bound. Observations, sum, count and max
+// are all atomic; Observe is a linear scan over the (small, fixed) bound
+// slice plus a handful of atomic operations — no allocation, no lock.
 type Histogram struct {
 	bounds []uint64        // sorted inclusive upper bounds
 	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
 	sum    atomic.Uint64
 	count  atomic.Uint64
+	max    atomic.Uint64
+}
+
+// NewHistogram returns a standalone histogram with the given inclusive upper
+// bounds (must be sorted ascending; the +Inf bucket is implicit). Standalone
+// histograms let always-on accounting (e.g. the harness's per-engine run
+// wall-time tracking) observe unconditionally and attach to a registry only
+// when one exists — see Registry.RegisterHistogram.
+func NewHistogram(bounds []uint64) *Histogram {
+	if !sort.SliceIsSorted(bounds, func(i, j int) bool { return bounds[i] < bounds[j] }) {
+		panic(fmt.Sprintf("telemetry: histogram bounds not sorted: %v", bounds))
+	}
+	return &Histogram{bounds: append([]uint64(nil), bounds...), counts: make([]atomic.Uint64, len(bounds)+1)}
 }
 
 // Observe records one value.
@@ -73,6 +86,12 @@ func (h *Histogram) Observe(v uint64) {
 	h.counts[i].Add(1)
 	h.sum.Add(v)
 	h.count.Add(1)
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			return
+		}
+	}
 }
 
 // Count returns the total number of observations.
@@ -80,6 +99,45 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Max returns the largest observed value (0 before any observation).
+func (h *Histogram) Max() uint64 { return h.max.Load() }
+
+// Quantile estimates the q-th quantile (q in [0,1]) by linear interpolation
+// within the bucket that contains it, the standard Prometheus estimation. The
+// +Inf bucket is clamped to the exact tracked maximum, so Quantile(1) — and
+// any quantile landing beyond the last finite bound — is exact rather than
+// unbounded. Returns 0 when nothing has been observed.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		c := h.counts[i].Load()
+		if float64(cum)+float64(c) >= rank && c > 0 {
+			lo := float64(0)
+			if i > 0 {
+				lo = float64(h.bounds[i-1])
+			}
+			hi := float64(bound)
+			frac := (rank - float64(cum)) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	// The quantile lands in the +Inf bucket: the tracked max is the best
+	// (and, for Quantile(1), exact) answer.
+	return float64(h.Max())
+}
 
 // Label is one constant name="value" pair attached to a metric series.
 type Label struct{ Name, Value string }
@@ -175,12 +233,17 @@ func (r *Registry) NewGauge(name, help string, labels ...Label) *Gauge {
 // NewHistogram registers and returns a histogram with the given inclusive
 // upper bounds (must be sorted ascending; the +Inf bucket is implicit).
 func (r *Registry) NewHistogram(name, help string, bounds []uint64, labels ...Label) *Histogram {
-	if !sort.SliceIsSorted(bounds, func(i, j int) bool { return bounds[i] < bounds[j] }) {
-		panic(fmt.Sprintf("telemetry: histogram %q bounds not sorted: %v", name, bounds))
-	}
-	h := &Histogram{bounds: append([]uint64(nil), bounds...), counts: make([]atomic.Uint64, len(bounds)+1)}
+	h := NewHistogram(bounds)
 	r.register(name, help, kindHistogram, &series{labels: labels, hist: h})
 	return h
+}
+
+// RegisterHistogram exposes an existing standalone histogram (see the
+// package-level NewHistogram) as a registered series, so state maintained
+// unconditionally elsewhere appears in the exposition without double
+// bookkeeping.
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram, labels ...Label) {
+	r.register(name, help, kindHistogram, &series{labels: labels, hist: h})
 }
 
 // NewCounterFunc registers a counter whose value is read from fn at scrape

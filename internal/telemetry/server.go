@@ -19,6 +19,7 @@ type StatusFunc func() any
 //	/metrics        Prometheus text exposition
 //	/metrics.json   JSON snapshot of the same registry
 //	/status         live status JSON (per-worker and per-experiment progress)
+//	/dashboard      live HTML dashboard over /metrics.json + /status
 //	/debug/pprof/   the standard Go profiler endpoints
 //
 // It binds its own listener (so ":0" works and Addr reports the real port)
@@ -44,6 +45,7 @@ func NewServer(addr string, reg *Registry, status StatusFunc) (*Server, error) {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
 	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/dashboard", s.handleDashboard)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -104,6 +106,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 <li><a href="/metrics">/metrics</a> — Prometheus text exposition</li>
 <li><a href="/metrics.json">/metrics.json</a> — JSON metrics snapshot</li>
 <li><a href="/status">/status</a> — live harness status</li>
+<li><a href="/dashboard">/dashboard</a> — live campaign dashboard</li>
 <li><a href="/debug/pprof/">/debug/pprof/</a> — Go profiler</li>
 </ul></body></html>
 `)

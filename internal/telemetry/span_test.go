@@ -1,0 +1,263 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The span-emit hot path must not allocate: Begin/End run once per harness run
+// and once per explorer window — millions of times in an exhaustive campaign.
+func TestSpanEmitAllocFree(t *testing.T) {
+	tr := NewTracer(1 << 20)
+	root := tr.Begin(0, SpanCampaign, "campaign", "", "")
+	if allocs := testing.AllocsPerRun(1000, func() {
+		id := tr.Begin(root, SpanRun, "crc32", "wb", "aot")
+		tr.End(id, 12345, 0, false)
+	}); allocs != 0 {
+		t.Fatalf("Begin+End allocates %.0f times per call, want 0", allocs)
+	}
+	// A full arena must also stay allocation-free (drop path).
+	small := NewTracer(1)
+	small.Begin(0, SpanRun, "x", "", "")
+	if allocs := testing.AllocsPerRun(1000, func() {
+		small.Begin(0, SpanRun, "y", "", "")
+	}); allocs != 0 {
+		t.Fatalf("Begin on full arena allocates %.0f times per call, want 0", allocs)
+	}
+}
+
+// All Tracer methods must accept a nil receiver so call sites can emit
+// unconditionally whether or not tracing is installed.
+func TestSpanNilTracer(t *testing.T) {
+	var tr *Tracer
+	id := tr.Begin(0, SpanRun, "x", "", "")
+	if id != 0 {
+		t.Fatalf("nil tracer Begin = %d, want 0", id)
+	}
+	tr.End(id, 0, 0, false)
+	tr.SetAmbient(0)
+	if got := tr.Spans(); got != nil {
+		t.Fatalf("nil tracer Spans = %v, want nil", got)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatal("nil tracer Dropped != 0")
+	}
+}
+
+func TestSpanAmbientParent(t *testing.T) {
+	tr := NewTracer(16)
+	root := tr.Begin(0, SpanCampaign, "c", "", "")
+	prev := tr.SetAmbient(root)
+	if prev != 0 {
+		t.Fatalf("initial ambient = %d, want 0", prev)
+	}
+	cell := tr.Begin(0, SpanCell, "cell", "", "")
+	tr.SetAmbient(cell)
+	run := tr.Begin(0, SpanRun, "run", "wb", "ref")
+	tr.End(run, 1, 0, false)
+	tr.End(cell, 0, 0, false)
+	tr.SetAmbient(root)
+
+	spans := tr.Spans()
+	byID := make(map[SpanID]Span)
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	if byID[cell].Parent != root {
+		t.Errorf("cell parent = %d, want %d", byID[cell].Parent, root)
+	}
+	if byID[run].Parent != cell {
+		t.Errorf("run parent = %d, want %d", byID[run].Parent, cell)
+	}
+}
+
+func TestSpanArenaOverflow(t *testing.T) {
+	tr := NewTracer(4)
+	ids := make([]SpanID, 0, 8)
+	for i := 0; i < 8; i++ {
+		ids = append(ids, tr.Begin(0, SpanRun, "r", "", ""))
+	}
+	for _, id := range ids[:4] {
+		if id == 0 {
+			t.Fatal("in-capacity Begin returned 0")
+		}
+	}
+	for _, id := range ids[4:] {
+		if id != 0 {
+			t.Fatalf("over-capacity Begin returned %d, want 0", id)
+		}
+	}
+	if got := tr.Dropped(); got != 4 {
+		t.Fatalf("Dropped = %d, want 4", got)
+	}
+	// End on a dropped (0) span is a no-op, not a panic.
+	tr.End(0, 1, 2, true)
+	if got := len(tr.Spans()); got != 4 {
+		t.Fatalf("Spans len = %d, want 4", got)
+	}
+}
+
+// checkSpanTree asserts the structural invariants of a span forest: every
+// non-zero parent exists, no span is its own ancestor, and every closed child
+// interval nests inside its closed parent's interval.
+func checkSpanTree(t *testing.T, spans []Span) {
+	t.Helper()
+	byID := make(map[SpanID]Span, len(spans))
+	for _, s := range spans {
+		if s.ID == 0 {
+			t.Fatalf("span with zero ID: %+v", s)
+		}
+		if _, dup := byID[s.ID]; dup {
+			t.Fatalf("duplicate span ID %d", s.ID)
+		}
+		byID[s.ID] = s
+	}
+	for _, s := range spans {
+		if s.End != 0 && s.End < s.Start {
+			t.Errorf("span %d ends before it starts", s.ID)
+		}
+		seen := make(map[SpanID]bool)
+		for p := s.Parent; p != 0; {
+			if seen[p] {
+				t.Fatalf("span %d: parent cycle at %d", s.ID, p)
+			}
+			seen[p] = true
+			ps, ok := byID[p]
+			if !ok {
+				t.Fatalf("span %d: orphan — parent %d not recorded", s.ID, p)
+			}
+			p = ps.Parent
+		}
+		if s.Parent != 0 {
+			ps := byID[s.Parent]
+			if s.Start < ps.Start {
+				t.Errorf("span %d starts before parent %d", s.ID, s.Parent)
+			}
+			if s.End != 0 && ps.End != 0 && s.End > ps.End {
+				t.Errorf("span %d ends after parent %d", s.ID, s.Parent)
+			}
+		}
+	}
+}
+
+// Concurrent emitters (the parallel harness shape: one campaign, cells opened
+// serially, runs emitted from many goroutines) must produce a well-formed
+// tree. Run under -race in CI.
+func TestSpanTreeConcurrent(t *testing.T) {
+	tr := NewTracer(1 << 12)
+	root := tr.Begin(0, SpanCampaign, "campaign", "", "")
+	tr.SetAmbient(root)
+	for cellN := 0; cellN < 4; cellN++ {
+		cell := tr.Begin(0, SpanCell, "cell", "", "")
+		tr.SetAmbient(cell)
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 20; i++ {
+					id := tr.Begin(0, SpanRun, "run", "wb", "aot")
+					win := tr.Begin(id, SpanWindow, "win", "", "")
+					tr.End(win, 3, 7, false)
+					tr.End(id, uint64(i), 0, i%7 == 0)
+				}
+			}()
+		}
+		wg.Wait()
+		tr.End(cell, 0, 0, false)
+		tr.SetAmbient(root)
+	}
+	tr.End(root, 0, 0, false)
+
+	spans := tr.Spans()
+	want := 1 + 4 + 4*8*20*2
+	if len(spans) != want {
+		t.Fatalf("recorded %d spans, want %d", len(spans), want)
+	}
+	checkSpanTree(t, spans)
+	if tr.Dropped() != 0 {
+		t.Fatalf("Dropped = %d, want 0", tr.Dropped())
+	}
+}
+
+func TestWriteTraceValidJSON(t *testing.T) {
+	tr := NewTracer(64)
+	root := tr.Begin(0, SpanCampaign, "fig5", "", "")
+	tr.SetAmbient(root)
+	cell := tr.Begin(0, SpanCell, `cell "quoted"`, "", "")
+	tr.SetAmbient(cell)
+	run := tr.Begin(0, SpanRun, "crc32", "wb", "ref")
+	tr.End(run, 99, 0, true)
+	tr.End(cell, 0, 0, false)
+	open := tr.Begin(root, SpanRun, "still-open", "jit", "fast")
+	_ = open // left open: WriteTrace must close it at the trace end
+	tr.End(root, 0, 0, false)
+
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string          `json:"ph"`
+			Name string          `json:"name"`
+			Pid  int             `json:"pid"`
+			Tid  int             `json:"tid"`
+			Dur  float64         `json:"dur"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var x, meta int
+	names := make(map[string]bool)
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			x++
+			names[ev.Name] = true
+			if ev.Dur < 0 {
+				t.Errorf("event %q has negative dur", ev.Name)
+			}
+		case "M":
+			meta++
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if x != 4 {
+		t.Errorf("trace has %d X events, want 4", x)
+	}
+	if meta == 0 {
+		t.Error("trace has no metadata events")
+	}
+	for _, want := range []string{"fig5", `cell "quoted"`, "crc32", "still-open"} {
+		if !names[want] {
+			t.Errorf("trace missing span %q", want)
+		}
+	}
+	if !strings.Contains(buf.String(), `"error":true`) {
+		t.Error("trace does not mark the failed run span")
+	}
+}
+
+func TestActiveTracerInstall(t *testing.T) {
+	if got := ActiveTracer(); got != nil {
+		t.Fatalf("ActiveTracer at start = %v, want nil", got)
+	}
+	tr := NewTracer(8)
+	if prev := SetActiveTracer(tr); prev != nil {
+		t.Fatalf("SetActiveTracer returned %v, want nil", prev)
+	}
+	defer SetActiveTracer(nil)
+	if ActiveTracer() != tr {
+		t.Fatal("ActiveTracer did not return installed tracer")
+	}
+	if prev := SetActiveTracer(nil); prev != tr {
+		t.Fatal("SetActiveTracer(nil) did not return previous tracer")
+	}
+}

@@ -2,6 +2,7 @@ package nacho
 
 import (
 	"nacho/internal/harness"
+	"nacho/internal/snapshot"
 	"nacho/internal/telemetry"
 )
 
@@ -11,6 +12,7 @@ import (
 //	/metrics        Prometheus text exposition (harness + simulation series)
 //	/metrics.json   the same registry as a JSON snapshot
 //	/status         live worker-pool and experiment progress
+//	/dashboard      live HTML dashboard (worker occupancy, rates, histograms)
 //	/debug/pprof/   the standard Go profiler
 //
 // The harness series (nacho_harness_*: runs started/completed, cache hits,
@@ -30,6 +32,7 @@ type TelemetryServer struct {
 func ServeTelemetry(addr string) (*TelemetryServer, error) {
 	reg := telemetry.NewRegistry()
 	harness.RegisterMetrics(reg)
+	snapshot.RegisterMetrics(reg)
 	probe := telemetry.NewProbe(reg)
 	srv, err := telemetry.NewServer(addr, reg, func() any { return harness.Status() })
 	if err != nil {

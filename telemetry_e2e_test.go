@@ -146,6 +146,102 @@ func TestServeTelemetryEndToEnd(t *testing.T) {
 	}
 }
 
+// TestDashboardEndToEnd is the acceptance test for the live dashboard: after
+// real harness work, /dashboard must serve a self-contained page whose
+// bootstrap JSON island carries the live pool status, run counters, and the
+// per-engine wall-time histogram — real first-paint data, no JS engine needed.
+func TestDashboardEndToEnd(t *testing.T) {
+	ts, err := nacho.ServeTelemetry("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+
+	if _, err := nacho.RunExperiment("fig6", []string{"crc"}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + ts.Addr() + "/dashboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /dashboard = %d, want 200", resp.StatusCode)
+	}
+	page := string(body)
+	for _, want := range []string{"nacho campaign dashboard", "Workers", "Run wall time"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("dashboard page missing %q", want)
+		}
+	}
+
+	const openTag = `<script id="bootstrap" type="application/json">`
+	i := strings.Index(page, openTag)
+	if i < 0 {
+		t.Fatal("dashboard has no bootstrap JSON island")
+	}
+	rest := page[i+len(openTag):]
+	j := strings.Index(rest, "</script>")
+	if j < 0 {
+		t.Fatal("bootstrap island not terminated")
+	}
+	raw := strings.ReplaceAll(rest[:j], `<\/`, `</`)
+	var boot struct {
+		Metrics []struct {
+			Name      string  `json:"name"`
+			Value     float64 `json:"value"`
+			Histogram *struct {
+				Count   uint64 `json:"count"`
+				Buckets []struct {
+					Le    string `json:"le"`
+					Count uint64 `json:"count"`
+				} `json:"buckets"`
+			} `json:"histogram"`
+		} `json:"metrics"`
+		Status struct {
+			Workers       int    `json:"workers"`
+			RunsCompleted uint64 `json:"runs_completed"`
+		} `json:"status"`
+	}
+	if err := json.Unmarshal([]byte(raw), &boot); err != nil {
+		t.Fatalf("bootstrap island is not valid JSON: %v", err)
+	}
+	if boot.Status.Workers < 1 || boot.Status.RunsCompleted < 1 {
+		t.Errorf("bootstrap status = %+v, want live workers and completed runs", boot.Status)
+	}
+	var runsTotal float64
+	var wallCount uint64
+	names := map[string]bool{}
+	for _, s := range boot.Metrics {
+		names[s.Name] = true
+		switch s.Name {
+		case "nacho_harness_runs_completed_total":
+			runsTotal = s.Value
+		case "nacho_harness_run_wall_micros":
+			if s.Histogram != nil {
+				wallCount += s.Histogram.Count
+				if len(s.Histogram.Buckets) == 0 {
+					t.Error("run wall-time histogram has no buckets")
+				}
+			}
+		}
+	}
+	if runsTotal < 1 {
+		t.Errorf("bootstrap nacho_harness_runs_completed_total = %g, want >= 1", runsTotal)
+	}
+	if wallCount < 1 {
+		t.Errorf("bootstrap run wall-time histogram count = %d, want >= 1", wallCount)
+	}
+	if !names["nacho_snapshot_windows_total"] {
+		t.Error("bootstrap metrics missing the snapshot explorer series")
+	}
+}
+
 // TestPerfettoExport is the acceptance test for Config.Perfetto: a Table 3
 // benchmark under power failures must yield Perfetto-loadable trace-event
 // JSON with named tracks, checkpoint-interval duration slices, and write-back
