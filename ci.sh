@@ -78,4 +78,24 @@ diff /tmp/nachofuzz.ci.1 /tmp/nachofuzz.ci.2
 /tmp/nachofuzz.ci -seeds 8 -exhaustive -stride 3 >/tmp/nachofuzz.ci.ex
 rm -f /tmp/nachofuzz.ci /tmp/nachofuzz.ci.1 /tmp/nachofuzz.ci.2 /tmp/nachofuzz.ci.ex
 
+# Persistent run store gate: the full fig5 matrix regenerated twice against
+# one store — the warm pass must execute zero simulations, serve every cell
+# from the store (hit counts land in the CI log via stderr), and print a
+# byte-identical report.
+go test -run 'TestStore|TestWarmStoreRegeneration|TestProbedRunsBypassStore|TestCorruptStoreEntryReexecutes' ./internal/store/ ./internal/harness/
+go build -o /tmp/nachobench.ci ./cmd/nachobench
+/tmp/nachobench.ci -exp fig5 -store /tmp/nacho.ci.store >/tmp/nachobench.ci.cold 2>/tmp/nachobench.ci.cold.err
+/tmp/nachobench.ci -exp fig5 -store /tmp/nacho.ci.store >/tmp/nachobench.ci.warm 2>/tmp/nachobench.ci.warm.err
+diff /tmp/nachobench.ci.cold /tmp/nachobench.ci.warm
+grep 'timing: 0 runs' /tmp/nachobench.ci.warm.err
+grep 'persistent-store hits' /tmp/nachobench.ci.warm.err
+grep 'store /tmp/nacho.ci.store:' /tmp/nachobench.ci.warm.err
+rm -rf /tmp/nachobench.ci /tmp/nacho.ci.store /tmp/nachobench.ci.cold /tmp/nachobench.ci.warm /tmp/nachobench.ci.cold.err /tmp/nachobench.ci.warm.err
+
+# Distributed campaign gate, under the race detector: a coordinator sharding
+# experiments across two separate worker processes over one shared store must
+# print a report byte-identical to the sequential single-process run; the
+# submitted fuzz campaign's merged report must match the local one.
+go test -race -run 'TestNachobenchDistributedDeterminism|TestNachofuzzSubmit' ./cmd/
+
 echo "ci.sh: all checks passed"

@@ -39,6 +39,7 @@ func main() {
 		runFile    = flag.String("run", "", "assemble and run a user RV32IM .s file instead of a benchmark")
 		perfetto   = flag.String("perfetto", "", "write the run as Perfetto/Chrome trace-event JSON to this file")
 		serve      = flag.String("serve", "", "serve live telemetry (/metrics, /status, /dashboard, /debug/pprof) on this address during the run")
+		storeDir   = flag.String("store", "", "persistent content-addressed run store directory (a repeated run is served from it without executing; traced/probed runs bypass it)")
 		traceCamp  = flag.String("trace-campaign", "", "write a campaign-level Perfetto trace (wall-clock run spans) to this file")
 		ledger     = flag.String("ledger", "", "append one JSON record per run to this ledger file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -101,6 +102,20 @@ func main() {
 		}
 		defer f.Close()
 		cfg.Perfetto = f
+	}
+	if *storeDir != "" {
+		rs, err := nacho.OpenRunStore(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := rs.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "nachosim:", err)
+			}
+			st := rs.Stats()
+			fmt.Fprintf(os.Stderr, "nachosim: store %s: %d hits, %d misses, %d puts\n",
+				rs.Dir(), st.Hits, st.Misses, st.Puts)
+		}()
 	}
 	if *serve != "" {
 		ts, err := nacho.ServeTelemetry(*serve)

@@ -1,0 +1,5 @@
+//go:build !race
+
+package cmd_test
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package cmd_test
+
+// raceEnabled mirrors the test binary's -race setting into the binaries the
+// e2e tests build, so "determinism under -race" means the race detector is
+// actually watching both sides of every cross-process run.
+const raceEnabled = true

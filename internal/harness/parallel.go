@@ -121,10 +121,11 @@ type runCache struct {
 	seen    map[runKey]bool
 	jobs    []job
 
-	runs     int           // simulations executed
-	hits     int           // cache hits, including singleflight waits
-	bypassed int           // probed/traced runs that skipped the cache
-	runTime  time.Duration // summed per-run wall time across all workers
+	runs      int           // simulations executed
+	hits      int           // cache hits, including singleflight waits
+	storeHits int           // owner slots served from the persistent store
+	bypassed  int           // probed/traced runs that skipped the cache
+	runTime   time.Duration // summed per-run wall time across all workers
 
 	// Per-regeneration wall-time distribution and per-engine run counts over
 	// the simulations this cache executed (not hits or bypasses), feeding the
@@ -171,24 +172,34 @@ func (rc *runCache) get(p *program.Program, kind systems.Kind, cfg RunConfig) (e
 		// A served hit still appends a ledger record — the ledger's invariant
 		// is one record per run *request*, so a replayed campaign can see
 		// which report cells shared a simulation.
-		appendLedger(p.Name, kind, cfg, executedEngine(cfg), e.res, e.err, 0, true)
+		appendLedger(p.Name, kind, cfg, executedEngine(cfg), e.res, e.err, 0, outcomeCacheHit)
 		return e.res, e.err
 	}
 	e := &cacheEntry{done: make(chan struct{})}
 	rc.entries[key] = e
-	rc.runs++
 	rc.mu.Unlock()
 
 	start := time.Now()
-	e.res, e.err = Run(p, kind, cfg)
+	var fromStore bool
+	e.res, e.err, fromStore = runStored(p, kind, cfg)
 	dur := time.Since(start)
 	close(e.done)
 
-	rc.wallHist.Observe(uint64(dur.Microseconds()))
 	rc.mu.Lock()
-	rc.runTime += dur
-	rc.engineRuns[executedEngine(cfg)]++
+	if fromStore {
+		// Served from the persistent store without executing: not a
+		// simulation, so it stays out of the runs count, the wall-time
+		// distribution and the per-engine accounting.
+		rc.storeHits++
+	} else {
+		rc.runs++
+		rc.runTime += dur
+		rc.engineRuns[executedEngine(cfg)]++
+	}
 	rc.mu.Unlock()
+	if !fromStore {
+		rc.wallHist.Observe(uint64(dur.Microseconds()))
+	}
 	return e.res, e.err
 }
 
@@ -269,6 +280,9 @@ func regenerate(build func(rc *runCache) (*Report, error)) (*Report, error) {
 	rc.mu.Lock()
 	rep.Timing = fmt.Sprintf("timing: %d runs (%d cache hits), %v simulated across %d workers, %v harness wall time",
 		rc.runs, rc.hits, rc.runTime.Round(time.Millisecond), nWorkers, time.Since(start).Round(time.Millisecond))
+	if rc.storeHits > 0 {
+		rep.Timing += fmt.Sprintf("; %d persistent-store hits", rc.storeHits)
+	}
 	if rc.bypassed > 0 {
 		rep.Timing += fmt.Sprintf("; %d probed runs bypassed the run cache", rc.bypassed)
 	}

@@ -96,20 +96,20 @@ func DefaultRunConfig() RunConfig {
 
 // Run executes one benchmark under one system and returns the emulator
 // result. With cfg.Verify set it fails on any shadow/WAR violation or on a
-// checksum mismatch against the Go reference implementation.
+// checksum mismatch against the Go reference implementation. When a
+// persistent run store is installed (SetStore), the result may be served from
+// it without executing.
 func Run(p *program.Program, kind systems.Kind, cfg RunConfig) (emu.Result, error) {
-	img, err := p.Build()
-	if err != nil {
-		return emu.Result{}, err
-	}
-	return RunImage(img, kind, cfg, true)
+	res, err, _ := runStored(p, kind, cfg)
+	return res, err
 }
 
 // RunImage executes an assembled image (a built-in benchmark or a caller-
 // supplied program) under one system. checkGolden additionally compares the
-// program's reported result word against the image's expected checksum.
+// program's reported result word against the image's expected checksum. Like
+// Run, it reads and writes through the installed persistent run store.
 func RunImage(img *program.Image, kind systems.Kind, cfg RunConfig, checkGolden bool) (emu.Result, error) {
-	res, _, err := RunImageSys(img, kind, cfg, checkGolden)
+	res, err, _ := runImageStored(img, kind, cfg, checkGolden)
 	return res, err
 }
 
@@ -186,7 +186,7 @@ func RunImageSys(img *program.Image, kind systems.Kind, cfg RunConfig, checkGold
 		}
 	}
 	tr.End(span, res.Counters.Cycles, res.Counters.Instructions, err != nil)
-	appendLedger(name, kind, cfg, engine, res, err, wallMicros, false)
+	appendLedger(name, kind, cfg, engine, res, err, wallMicros, outcomeExecuted)
 	return res, sys, err
 }
 

@@ -21,6 +21,7 @@ var pool struct {
 	runsCompleted   atomic.Uint64
 	cacheHits       atomic.Uint64
 	cacheBypassed   atomic.Uint64 // probed/traced runs that skipped the run cache
+	storeHits       atomic.Uint64 // runs served from the persistent store without executing
 	simulatedCycles atomic.Uint64
 	workersBusy     atomic.Int64
 	firstRunNano    atomic.Int64 // wall clock of the first run, for cycles/sec
@@ -136,13 +137,24 @@ func scheduleKey(cfg RunConfig) string {
 	return "none"
 }
 
+// Served-outcome labels for appendLedger: a run record is either an actual
+// execution (outcomeExecuted), a result served from the in-process run cache
+// (outcomeCacheHit), or one served from the persistent store
+// (outcomeStoreHit).
+const (
+	outcomeExecuted = ""
+	outcomeCacheHit = "cache-hit"
+	outcomeStoreHit = "store-hit"
+)
+
 // appendLedger writes one run record to the installed campaign ledger; a
-// no-op when none is installed. cacheHit marks a result served from the run
-// cache without executing (counters are the cached run's, wall time 0); a run
-// error takes precedence over the cache-hit outcome so failures are always
-// greppable as "error".
+// no-op when none is installed. served marks a result that was not executed:
+// outcomeCacheHit (in-process run cache) or outcomeStoreHit (persistent
+// store); counters are the original run's, wall time 0. A run error takes
+// precedence over the served outcome so failures are always greppable as
+// "error".
 func appendLedger(name string, kind systems.Kind, cfg RunConfig, engine emu.Engine,
-	res emu.Result, err error, wallMicros int64, cacheHit bool) {
+	res emu.Result, err error, wallMicros int64, served string) {
 	l := telemetry.ActiveLedger()
 	if l == nil {
 		return
@@ -156,7 +168,7 @@ func appendLedger(name string, kind systems.Kind, cfg RunConfig, engine emu.Engi
 		Ways:          cfg.Ways,
 		Schedule:      scheduleKey(cfg),
 		Outcome:       "ok",
-		Bypass:        !cacheHit && (cfg.Trace != nil || cfg.Probe != nil),
+		Bypass:        served == outcomeExecuted && (cfg.Trace != nil || cfg.Probe != nil),
 		Cycles:        res.Counters.Cycles,
 		Instructions:  res.Counters.Instructions,
 		Checkpoints:   res.Counters.Checkpoints,
@@ -167,8 +179,8 @@ func appendLedger(name string, kind systems.Kind, cfg RunConfig, engine emu.Engi
 		PowerFailures: res.Counters.PowerFailures,
 		WallMicros:    wallMicros,
 	}
-	if cacheHit {
-		rec.Outcome = "cache-hit"
+	if served != outcomeExecuted {
+		rec.Outcome = served
 	}
 	if err != nil {
 		rec.Outcome = "error"
@@ -191,6 +203,7 @@ type PoolStatus struct {
 	RunsStarted           uint64      `json:"runs_started"`
 	RunsCompleted         uint64      `json:"runs_completed"`
 	CacheHits             uint64      `json:"cache_hits"`
+	StoreHits             uint64      `json:"store_hits"`
 	CacheBypassedProbed   uint64      `json:"cache_bypassed_probed"`
 	SimulatedCycles       uint64      `json:"simulated_cycles"`
 	SimulatedCyclesPerSec float64     `json:"simulated_cycles_per_sec"`
@@ -209,6 +222,7 @@ func Status() PoolStatus {
 		RunsStarted:         pool.runsStarted.Load(),
 		RunsCompleted:       pool.runsCompleted.Load(),
 		CacheHits:           pool.cacheHits.Load(),
+		StoreHits:           pool.storeHits.Load(),
 		CacheBypassedProbed: pool.cacheBypassed.Load(),
 		SimulatedCycles:     pool.simulatedCycles.Load(),
 		ActiveJobs:          []WorkerJob{},
@@ -240,6 +254,8 @@ func RegisterMetrics(r *telemetry.Registry) {
 		"Simulations completed (with or without error).", pool.runsCompleted.Load)
 	r.NewCounterFunc("nacho_harness_cache_hits_total",
 		"Run-cache hits, including singleflight waits.", pool.cacheHits.Load)
+	r.NewCounterFunc("nacho_harness_store_hits_total",
+		"Runs served from the persistent run store without executing.", pool.storeHits.Load)
 	r.NewCounterFunc("nacho_harness_cache_bypassed_probed_total",
 		"Probed or traced runs that bypassed the run cache.", pool.cacheBypassed.Load)
 	r.NewCounterFunc("nacho_harness_simulated_cycles_total",

@@ -1,0 +1,522 @@
+// Package jobs is the campaign job service: the telemetry HTTP server grown
+// into a distributed work queue over the persistent run store. A coordinator
+// submits an experiment matrix (enumerated to RunSpec cells via the harness
+// experiment registry) or a fuzz campaign (chunked into seed ranges); worker
+// processes poll for leases, execute cells through the store-aware harness
+// run path, and push results back. The shared content-addressed store is the
+// data plane — a run cell's "result" is the store entry under its digest —
+// so the fleet dedupes work submit- and lease-time, and the coordinator
+// regenerates the final report from the warm store without executing
+// anything.
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nacho/internal/harness"
+	"nacho/internal/store"
+	"nacho/internal/telemetry"
+)
+
+// CellKind discriminates the two unit-of-work shapes.
+const (
+	CellRun  = "run"
+	CellFuzz = "fuzz"
+)
+
+// FuzzSpec is the serializable identity of a fuzz campaign (or one chunk of
+// it): a contiguous seed range plus the oracle configuration. It is a pure
+// function — the same spec produces the same findings on any worker.
+type FuzzSpec struct {
+	Seeds    int   `json:"seeds"`
+	SeedBase int64 `json:"seed_base"`
+	// Systems under test (fuzzer.DefaultKinds when empty).
+	Systems []string `json:"systems,omitempty"`
+	// Oracle knobs (zero = the fuzzer's defaults: 512 B, 2-way, 3 schedules).
+	CacheSize int    `json:"cache,omitempty"`
+	Ways      int    `json:"ways,omitempty"`
+	Schedules int    `json:"schedules,omitempty"`
+	Engine    string `json:"engine,omitempty"`
+	// Minimize delta-debugs findings on the worker (deterministic per seed,
+	// so merged reports stay stable).
+	Minimize bool `json:"minimize,omitempty"`
+}
+
+// Cell is one leasable unit of work.
+type Cell struct {
+	ID   int              `json:"id"`
+	Kind string           `json:"kind"`
+	Run  *harness.RunSpec `json:"run,omitempty"`
+	Fuzz *FuzzSpec        `json:"fuzz,omitempty"`
+}
+
+// CellResult is what a worker pushes back for one completed cell.
+type CellResult struct {
+	ID int `json:"id"`
+	// Digest is the store address a run cell's result landed under.
+	Digest string `json:"digest,omitempty"`
+	// Fuzz-cell outcome: programs checked, findings (Finding.String() lines,
+	// sorted by seed then system within the chunk) and infrastructure errors.
+	Programs int      `json:"programs,omitempty"`
+	Findings []string `json:"findings,omitempty"`
+	Errors   []string `json:"errors,omitempty"`
+	// Err marks a cell the worker could not execute (invalid spec).
+	Err string `json:"error,omitempty"`
+}
+
+// JobRequest is the POST /jobs submission body: either a named experiment
+// (its matrix enumerated server-side) or a fuzz campaign (chunked
+// server-side).
+type JobRequest struct {
+	Kind string `json:"kind"` // "experiment" | "fuzz"
+
+	Experiment string   `json:"experiment,omitempty"`
+	Benchmarks []string `json:"benchmarks,omitempty"`
+
+	Fuzz *FuzzSpec `json:"fuzz,omitempty"`
+	// Chunk is the number of fuzz seeds per cell (default 8).
+	Chunk int `json:"chunk,omitempty"`
+}
+
+// JobStatus is the public view of one job.
+type JobStatus struct {
+	ID      string `json:"id"`
+	Kind    string `json:"kind"`
+	Name    string `json:"name"`
+	Total   int    `json:"total"`
+	Done    int    `json:"done"`
+	Deduped int    `json:"deduped"`
+	Leased  int    `json:"leased"`
+	State   string `json:"state"` // "running" | "done"
+	// Report is the merged deterministic findings report, present once a fuzz
+	// job is done. Experiment jobs have no server-side report: the
+	// coordinator regenerates it from the warm store.
+	Report string `json:"report,omitempty"`
+}
+
+// LeaseRequest / LeaseResponse are the worker poll protocol. A response with
+// neither a cell nor the shutdown flag means "nothing right now, poll again".
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+}
+type LeaseResponse struct {
+	Job      string `json:"job,omitempty"`
+	Cell     *Cell  `json:"cell,omitempty"`
+	Shutdown bool   `json:"shutdown,omitempty"`
+}
+
+// CompleteRequest is the worker result push.
+type CompleteRequest struct {
+	Job    string     `json:"job"`
+	Worker string     `json:"worker"`
+	Result CellResult `json:"result"`
+}
+
+// Cell lifecycle states.
+const (
+	statePending = iota
+	stateLeased
+	stateDone
+)
+
+type cellState struct {
+	cell   Cell
+	state  int
+	worker string
+	expiry time.Time
+	result CellResult
+}
+
+type jobState struct {
+	id      string
+	kind    string
+	name    string
+	fuzz    *FuzzSpec // the whole campaign (for the merged report header)
+	cells   []*cellState
+	done    int
+	deduped int
+}
+
+func (j *jobState) status() JobStatus {
+	st := JobStatus{ID: j.id, Kind: j.kind, Name: j.name,
+		Total: len(j.cells), Done: j.done, Deduped: j.deduped, State: "running"}
+	for _, c := range j.cells {
+		if c.state == stateLeased {
+			st.Leased++
+		}
+	}
+	if j.done == len(j.cells) {
+		st.State = "done"
+		if j.kind == "fuzz" {
+			st.Report = j.mergedFuzzReport()
+		}
+	}
+	return st
+}
+
+// mergedFuzzReport renders the campaign report from the per-chunk results,
+// byte-identical to fuzzer.CampaignReport.String() on the whole seed range:
+// cells cover contiguous ascending seed ranges and each chunk's findings are
+// already sorted by (seed, system), so concatenation in cell order is the
+// global sort order. Infrastructure errors are re-sorted globally, matching
+// the campaign's sort.Strings.
+func (j *jobState) mergedFuzzReport() string {
+	var b strings.Builder
+	programs := 0
+	var findings, errs []string
+	for _, c := range j.cells {
+		programs += c.result.Programs
+		findings = append(findings, c.result.Findings...)
+		errs = append(errs, c.result.Errors...)
+		if c.result.Err != "" {
+			errs = append(errs, c.result.Err)
+		}
+	}
+	sort.Strings(errs)
+	kinds := j.fuzz.Systems
+	if len(kinds) == 0 {
+		kinds = defaultFuzzKinds()
+	}
+	fmt.Fprintf(&b, "nachofuzz: %d seeds (base %d) x systems [%s]: %d programs checked, %d findings\n",
+		j.fuzz.Seeds, j.fuzz.SeedBase, strings.Join(kinds, " "), programs, len(findings))
+	for _, f := range findings {
+		fmt.Fprintf(&b, "FINDING %s\n", f)
+	}
+	for _, e := range errs {
+		fmt.Fprintf(&b, "ERROR %s\n", e)
+	}
+	return b.String()
+}
+
+// Server is the job queue. It implements http.Handler (mount it on the
+// telemetry server at /jobs and /jobs/) and is safe for concurrent use.
+type Server struct {
+	store    *store.Store  // nil disables store-side dedupe
+	leaseTTL time.Duration // a lease not completed within this returns to pending
+
+	mu       sync.Mutex
+	jobs     []*jobState
+	byID     map[string]*jobState
+	nextID   int
+	shutdown bool
+
+	submitted     atomic.Uint64
+	cellsTotal    atomic.Uint64
+	cellsDone     atomic.Uint64
+	cellsDeduped  atomic.Uint64
+	leases        atomic.Uint64
+	leasesExpired atomic.Uint64
+}
+
+// DefaultLeaseTTL is how long a worker may sit on a leased cell before it is
+// handed to someone else.
+const DefaultLeaseTTL = 2 * time.Minute
+
+// NewServer creates a job server over an optional persistent store (nil
+// disables digest dedupe). ttl <= 0 selects DefaultLeaseTTL.
+func NewServer(s *store.Store, ttl time.Duration) *Server {
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	return &Server{store: s, leaseTTL: ttl, byID: make(map[string]*jobState)}
+}
+
+// Shutdown flips the server into drain mode: queued cells are still leased
+// and completed, but once nothing is pending, lease responses tell workers to
+// exit.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	s.shutdown = true
+	s.mu.Unlock()
+}
+
+// Drained reports whether shutdown has been requested and every cell of
+// every job is done — the point at which lease responses release workers.
+func (s *Server) Drained() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.shutdown {
+		return false
+	}
+	for _, j := range s.jobs {
+		if j.done != len(j.cells) {
+			return false
+		}
+	}
+	return true
+}
+
+// Submit enqueues a job programmatically (the HTTP POST /jobs body goes
+// through the same path) and returns its ID.
+func (s *Server) Submit(req JobRequest) (string, error) {
+	j := &jobState{kind: req.Kind}
+	switch req.Kind {
+	case "experiment":
+		specs, err := harness.ExperimentSpecs(req.Experiment, req.Benchmarks)
+		if err != nil {
+			return "", err
+		}
+		j.name = req.Experiment
+		for i := range specs {
+			j.cells = append(j.cells, &cellState{cell: Cell{ID: i, Kind: CellRun, Run: &specs[i]}})
+		}
+	case "fuzz":
+		if req.Fuzz == nil || req.Fuzz.Seeds <= 0 {
+			return "", fmt.Errorf("jobs: fuzz job needs a FuzzSpec with seeds > 0")
+		}
+		if _, err := req.Fuzz.CampaignConfig(); err != nil {
+			return "", err
+		}
+		chunk := req.Chunk
+		if chunk <= 0 {
+			chunk = 8
+		}
+		j.fuzz = req.Fuzz
+		j.name = fmt.Sprintf("fuzz %d seeds (base %d)", req.Fuzz.Seeds, req.Fuzz.SeedBase)
+		for i, id := 0, 0; i < req.Fuzz.Seeds; i, id = i+chunk, id+1 {
+			part := *req.Fuzz
+			part.SeedBase = req.Fuzz.SeedBase + int64(i)
+			part.Seeds = min(chunk, req.Fuzz.Seeds-i)
+			j.cells = append(j.cells, &cellState{cell: Cell{ID: id, Kind: CellFuzz, Fuzz: &part}})
+		}
+	default:
+		return "", fmt.Errorf("jobs: unknown job kind %q (want \"experiment\" or \"fuzz\")", req.Kind)
+	}
+
+	// Submit-time dedupe: run cells whose digest is already in the store are
+	// born done — a prior job, process, or machine already paid for them.
+	for _, c := range j.cells {
+		if s.dedupeCell(c) {
+			j.done++
+			j.deduped++
+		}
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	j.id = fmt.Sprintf("job-%d", s.nextID)
+	s.jobs = append(s.jobs, j)
+	s.byID[j.id] = j
+	s.mu.Unlock()
+	s.submitted.Add(1)
+	s.cellsTotal.Add(uint64(len(j.cells)))
+	s.cellsDone.Add(uint64(j.done))
+	s.cellsDeduped.Add(uint64(j.deduped))
+	return j.id, nil
+}
+
+// dedupeCell marks a run cell done if its result already exists in the
+// store. The caller owns the cell (not yet published, or s.mu held).
+func (s *Server) dedupeCell(c *cellState) bool {
+	if s.store == nil || c.cell.Kind != CellRun {
+		return false
+	}
+	digest, err := c.cell.Run.Digest()
+	if err != nil {
+		return false
+	}
+	if _, ok := s.store.GetDigest(digest); !ok {
+		return false
+	}
+	c.state = stateDone
+	c.result = CellResult{ID: c.cell.ID, Digest: digest}
+	return true
+}
+
+// Status returns one job's status, or false.
+func (s *Server) Status(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.byID[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.status(), true
+}
+
+// List returns every job's status in submission order.
+func (s *Server) List() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, len(s.jobs))
+	for i, j := range s.jobs {
+		out[i] = j.status()
+	}
+	return out
+}
+
+// Lease hands the next available cell to worker. Expired leases are reaped
+// (returned to pending) on the way; a run cell that meanwhile appeared in the
+// store is completed as a dedupe instead of handed out. The shutdown signal
+// is only delivered once nothing is pending or leased — drain before exit.
+func (s *Server) Lease(worker string) LeaseResponse {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	busy := false
+	for _, j := range s.jobs {
+		for _, c := range j.cells {
+			if c.state == stateLeased {
+				if now.After(c.expiry) {
+					c.state = statePending
+					c.worker = ""
+					s.leasesExpired.Add(1)
+				} else {
+					busy = true
+				}
+			}
+			if c.state != statePending {
+				continue
+			}
+			// Lease-time dedupe: another worker (or another job sharing the
+			// cell's digest) may have landed the result since submission.
+			if s.dedupeCell(c) {
+				j.done++
+				j.deduped++
+				s.cellsDone.Add(1)
+				s.cellsDeduped.Add(1)
+				continue
+			}
+			c.state = stateLeased
+			c.worker = worker
+			c.expiry = now.Add(s.leaseTTL)
+			s.leases.Add(1)
+			cell := c.cell
+			return LeaseResponse{Job: j.id, Cell: &cell}
+		}
+	}
+	return LeaseResponse{Shutdown: s.shutdown && !busy}
+}
+
+// Complete records a worker's result for a leased cell. Completing an
+// already-done cell (a worker racing a lease-expiry replacement) is
+// idempotent.
+func (s *Server) Complete(req CompleteRequest) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.byID[req.Job]
+	if !ok {
+		return fmt.Errorf("jobs: unknown job %q", req.Job)
+	}
+	if req.Result.ID < 0 || req.Result.ID >= len(j.cells) {
+		return fmt.Errorf("jobs: %s has no cell %d", req.Job, req.Result.ID)
+	}
+	c := j.cells[req.Result.ID]
+	if c.state == stateDone {
+		return nil
+	}
+	c.state = stateDone
+	c.worker = req.Worker
+	c.result = req.Result
+	j.done++
+	s.cellsDone.Add(1)
+	return nil
+}
+
+// ServeHTTP routes the /jobs API:
+//
+//	POST /jobs           submit a JobRequest → {"id": "job-N"}
+//	GET  /jobs           list every job's status
+//	GET  /jobs/{id}      one job's status (merged report once done)
+//	POST /jobs/lease     worker poll → LeaseResponse
+//	POST /jobs/complete  worker result push
+//	POST /jobs/shutdown  drain workers once the queue is empty
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/jobs" && r.Method == http.MethodPost:
+		var req JobRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		id, err := s.Submit(req)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, map[string]string{"id": id})
+	case r.URL.Path == "/jobs" && r.Method == http.MethodGet:
+		writeJSON(w, s.List())
+	case r.URL.Path == "/jobs/lease" && r.Method == http.MethodPost:
+		var req LeaseRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, s.Lease(req.Worker))
+	case r.URL.Path == "/jobs/complete" && r.Method == http.MethodPost:
+		var req CompleteRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := s.Complete(req); err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, map[string]bool{"ok": true})
+	case r.URL.Path == "/jobs/shutdown" && r.Method == http.MethodPost:
+		s.Shutdown()
+		writeJSON(w, map[string]bool{"ok": true})
+	case strings.HasPrefix(r.URL.Path, "/jobs/") && r.Method == http.MethodGet:
+		id := strings.TrimPrefix(r.URL.Path, "/jobs/")
+		st, ok := s.Status(id)
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("jobs: unknown job %q", id))
+			return
+		}
+		writeJSON(w, st)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("jobs: %s %s not supported", r.Method, r.URL.Path))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// RegisterMetrics exposes the queue's accounting in r as nacho_jobs_* series.
+func (s *Server) RegisterMetrics(r *telemetry.Registry) {
+	r.NewCounterFunc("nacho_jobs_submitted_total",
+		"Jobs accepted by the campaign job service.", s.submitted.Load)
+	r.NewCounterFunc("nacho_jobs_cells_total",
+		"Work cells enqueued across all jobs.", s.cellsTotal.Load)
+	r.NewCounterFunc("nacho_jobs_cells_done_total",
+		"Work cells completed (including deduped ones).", s.cellsDone.Load)
+	r.NewCounterFunc("nacho_jobs_cells_deduped_total",
+		"Run cells satisfied by an existing store entry without executing.", s.cellsDeduped.Load)
+	r.NewCounterFunc("nacho_jobs_leases_total",
+		"Cells handed to workers.", s.leases.Load)
+	r.NewCounterFunc("nacho_jobs_leases_expired_total",
+		"Leases reaped after their TTL and returned to the queue.", s.leasesExpired.Load)
+	r.NewGaugeFunc("nacho_jobs_pending",
+		"Cells currently waiting for a worker.", func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			n := 0
+			for _, j := range s.jobs {
+				for _, c := range j.cells {
+					if c.state == statePending {
+						n++
+					}
+				}
+			}
+			return float64(n)
+		})
+}

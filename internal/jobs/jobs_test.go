@@ -1,0 +1,288 @@
+package jobs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"nacho/internal/fuzzer"
+	"nacho/internal/harness"
+	"nacho/internal/store"
+)
+
+// withStore installs a fresh persistent store for one test, restoring the
+// previous one afterwards.
+func withStore(t *testing.T) *store.Store {
+	t.Helper()
+	s, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := harness.SetStore(s)
+	t.Cleanup(func() {
+		harness.SetStore(prev)
+		s.Close()
+	})
+	return s
+}
+
+func testServer(t *testing.T, s *store.Store, ttl time.Duration) (*Server, *httptest.Server) {
+	t.Helper()
+	js := NewServer(s, ttl)
+	mux := http.NewServeMux()
+	mux.Handle("/jobs", js)
+	mux.Handle("/jobs/", js)
+	hs := httptest.NewServer(mux)
+	t.Cleanup(hs.Close)
+	return js, hs
+}
+
+// TestExperimentJobEndToEnd drives the whole loop in one process: submit an
+// experiment matrix, run a worker over HTTP until drained, and verify the
+// store-backed regeneration executes zero simulations.
+func TestExperimentJobEndToEnd(t *testing.T) {
+	s := withStore(t)
+	js, hs := testServer(t, s, 0)
+
+	id, err := SubmitJob(nil, hs.URL, JobRequest{Kind: "experiment", Experiment: "fig6", Benchmarks: []string{"crc"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := harness.ExperimentSpecs("fig6", []string{"crc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := js.Status(id)
+	if !ok || st.Total != len(specs) {
+		t.Fatalf("job status %+v, want %d cells", st, len(specs))
+	}
+
+	js.Shutdown() // queue is loaded: drain, then stop the worker
+	w := &Worker{BaseURL: hs.URL, Name: "t", Concurrency: 2}
+	done, err := w.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != len(specs) {
+		t.Fatalf("worker completed %d cells, want %d", done, len(specs))
+	}
+
+	st, _ = js.Status(id)
+	if st.State != "done" || st.Done != st.Total {
+		t.Fatalf("job not done after drain: %+v", st)
+	}
+
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	before := harness.Status()
+	rep, err := harness.RunNamedExperiment("fig6", []string{"crc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := harness.Status().RunsStarted - before.RunsStarted; got != 0 {
+		t.Errorf("regeneration after worker fill ran %d simulations, want 0", got)
+	}
+	if len(rep.Rows) == 0 {
+		t.Error("regenerated report is empty")
+	}
+}
+
+// TestSubmitTimeDedupe: a job whose cells are already in the store is born
+// done — nothing to lease.
+func TestSubmitTimeDedupe(t *testing.T) {
+	s := withStore(t)
+	specs, err := harness.ExperimentSpecs("fig6", []string{"crc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range specs {
+		if _, err := harness.ExecuteSpec(sp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	js := NewServer(s, 0)
+	id, err := js.Submit(JobRequest{Kind: "experiment", Experiment: "fig6", Benchmarks: []string{"crc"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := js.Status(id)
+	if st.State != "done" || st.Deduped != len(specs) {
+		t.Fatalf("warm submit not fully deduped: %+v (want %d deduped)", st, len(specs))
+	}
+	if lease := js.Lease("t"); lease.Cell != nil {
+		t.Fatalf("deduped job still leased cell %+v", lease.Cell)
+	}
+}
+
+// TestFuzzJobMergedReportMatchesDirect: a chunked, worker-executed fuzz
+// campaign merges to the byte-identical report of a direct single-process
+// RunCampaign over the same seed range.
+func TestFuzzJobMergedReportMatchesDirect(t *testing.T) {
+	spec := FuzzSpec{Seeds: 7, SeedBase: 100, Systems: []string{"nacho", "clank"}}
+	js, hs := testServer(t, nil, 0)
+
+	id, err := js.Submit(JobRequest{Kind: "fuzz", Fuzz: &spec, Chunk: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := js.Status(id); st.Total != 3 { // 7 seeds / chunks of 3 → 3+3+1
+		t.Fatalf("7 seeds in chunks of 3 made %d cells, want 3", st.Total)
+	}
+
+	js.Shutdown()
+	w := &Worker{BaseURL: hs.URL, Name: "t", Concurrency: 2}
+	if _, err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, _ := js.Status(id)
+	if st.State != "done" {
+		t.Fatalf("fuzz job not done: %+v", st)
+	}
+	cc, err := spec.CampaignConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fuzzer.RunCampaign(cc).String()
+	if st.Report != want {
+		t.Errorf("merged distributed report differs from direct campaign:\nmerged:\n%s\ndirect:\n%s", st.Report, want)
+	}
+}
+
+// TestLeaseExpiryReassigns: an abandoned lease returns to the queue after its
+// TTL and is handed to the next worker.
+func TestLeaseExpiryReassigns(t *testing.T) {
+	js := NewServer(nil, 10*time.Millisecond)
+	if _, err := js.Submit(JobRequest{Kind: "fuzz", Fuzz: &FuzzSpec{Seeds: 1}, Chunk: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	first := js.Lease("flaky")
+	if first.Cell == nil {
+		t.Fatal("no cell leased")
+	}
+	// Within the TTL the cell is taken.
+	if again := js.Lease("steady"); again.Cell != nil {
+		t.Fatalf("cell double-leased: %+v", again.Cell)
+	}
+	time.Sleep(20 * time.Millisecond)
+	second := js.Lease("steady")
+	if second.Cell == nil || second.Cell.ID != first.Cell.ID {
+		t.Fatalf("expired lease not reassigned: %+v", second.Cell)
+	}
+}
+
+// TestShutdownDrainsBeforeStopping: shutdown is delivered to workers only
+// once nothing is pending or leased.
+func TestShutdownDrainsBeforeStopping(t *testing.T) {
+	js := NewServer(nil, 0)
+	id, err := js.Submit(JobRequest{Kind: "fuzz", Fuzz: &FuzzSpec{Seeds: 1}, Chunk: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	js.Shutdown()
+
+	lease := js.Lease("t")
+	if lease.Cell == nil {
+		t.Fatal("shutdown starved a pending cell")
+	}
+	if lease.Shutdown {
+		t.Error("shutdown delivered alongside a live cell")
+	}
+	// The cell is leased, not done: other workers must keep waiting, not exit.
+	if other := js.Lease("t2"); other.Cell != nil || other.Shutdown {
+		t.Fatalf("undrained queue released a worker: %+v", other)
+	}
+	if err := js.Complete(CompleteRequest{Job: id, Worker: "t", Result: CellResult{ID: lease.Cell.ID}}); err != nil {
+		t.Fatal(err)
+	}
+	if final := js.Lease("t"); !final.Shutdown {
+		t.Error("drained queue did not deliver shutdown")
+	}
+}
+
+// TestCompleteIsIdempotent: a worker racing a lease-expiry replacement can
+// complete the same cell twice without double counting.
+func TestCompleteIsIdempotent(t *testing.T) {
+	js := NewServer(nil, 0)
+	id, err := js.Submit(JobRequest{Kind: "fuzz", Fuzz: &FuzzSpec{Seeds: 1}, Chunk: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lease := js.Lease("t")
+	req := CompleteRequest{Job: id, Worker: "t", Result: CellResult{ID: lease.Cell.ID, Programs: 1}}
+	if err := js.Complete(req); err != nil {
+		t.Fatal(err)
+	}
+	if err := js.Complete(req); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := js.Status(id)
+	if st.Done != 1 {
+		t.Errorf("double complete counted %d done, want 1", st.Done)
+	}
+}
+
+// TestSubmitRejectsGarbage covers the validation surface: unknown kinds,
+// empty fuzz specs, bad systems and experiments are refused at submit time.
+func TestSubmitRejectsGarbage(t *testing.T) {
+	js := NewServer(nil, 0)
+	for name, req := range map[string]JobRequest{
+		"kind":       {Kind: "bake"},
+		"experiment": {Kind: "experiment", Experiment: "fig99"},
+		"no-fuzz":    {Kind: "fuzz"},
+		"zero-seeds": {Kind: "fuzz", Fuzz: &FuzzSpec{}},
+		"system":     {Kind: "fuzz", Fuzz: &FuzzSpec{Seeds: 1, Systems: []string{"warp-core"}}},
+		"engine":     {Kind: "fuzz", Fuzz: &FuzzSpec{Seeds: 1, Engine: "turbo"}},
+	} {
+		if _, err := js.Submit(req); err == nil {
+			t.Errorf("bad %s request accepted", name)
+		}
+	}
+}
+
+// TestHTTPSurface exercises the routing: submit over HTTP, list, status,
+// unknown job 404, bad body 400.
+func TestHTTPSurface(t *testing.T) {
+	_, hs := testServer(t, nil, 0)
+
+	id, err := SubmitJob(nil, hs.URL, JobRequest{Kind: "fuzz", Fuzz: &FuzzSpec{Seeds: 2}, Chunk: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := FetchStatus(nil, hs.URL, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total != 2 || st.State != "running" {
+		t.Fatalf("status %+v, want 2 running cells", st)
+	}
+
+	if _, err := FetchStatus(nil, hs.URL, "job-999"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("unknown job error = %v, want 404", err)
+	}
+	resp, err := http.Post(hs.URL+"/jobs", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed submit returned %s, want 400", resp.Status)
+	}
+
+	list, err := http.Get(hs.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list.Body.Close()
+	if list.StatusCode != http.StatusOK {
+		t.Errorf("list returned %s", list.Status)
+	}
+}

@@ -1,0 +1,275 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"nacho/internal/emu"
+	"nacho/internal/fuzzer"
+	"nacho/internal/harness"
+	"nacho/internal/systems"
+)
+
+// defaultFuzzKinds is the fuzzer's default system set as wire strings.
+func defaultFuzzKinds() []string {
+	kinds := fuzzer.DefaultKinds()
+	out := make([]string, len(kinds))
+	for i, k := range kinds {
+		out[i] = string(k)
+	}
+	return out
+}
+
+// CampaignConfig validates the spec and expands it to the fuzzer's campaign
+// configuration. The mapping is total and deterministic: the same spec yields
+// the same campaign on coordinator and worker.
+func (f *FuzzSpec) CampaignConfig() (fuzzer.CampaignConfig, error) {
+	cc := fuzzer.CampaignConfig{Seeds: f.Seeds, SeedBase: f.SeedBase, Minimize: f.Minimize}
+	for _, name := range f.Systems {
+		kind := systems.Kind(name)
+		// The deliberately-broken self-check kind is a valid fuzz subject too.
+		valid := kind == systems.KindNACHOBrokenPW
+		for _, k := range systems.AllKinds() {
+			if k == kind {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			return fuzzer.CampaignConfig{}, fmt.Errorf("jobs: fuzz spec names unknown system %q", name)
+		}
+		cc.Kinds = append(cc.Kinds, kind)
+	}
+	engine, err := emu.ParseEngine(f.Engine)
+	if err != nil {
+		return fuzzer.CampaignConfig{}, fmt.Errorf("jobs: fuzz spec engine: %w", err)
+	}
+	cc.Oracle = fuzzer.Config{
+		CacheSize: f.CacheSize,
+		Ways:      f.Ways,
+		Schedules: f.Schedules,
+		Engine:    engine,
+	}
+	return cc, nil
+}
+
+// Worker is the client side of the lease protocol: it polls a job server,
+// executes cells through the store-aware harness run path, and pushes results
+// back until the server signals shutdown. For experiment jobs the worker must
+// share the coordinator's persistent store directory — the store is how run
+// results travel; the HTTP result push only carries the digest.
+type Worker struct {
+	// BaseURL is the job server root, e.g. "http://127.0.0.1:9100".
+	BaseURL string
+	// Name identifies this worker in leases (default "worker").
+	Name string
+	// Concurrency is the number of cells executed at once (default
+	// harness.Workers()).
+	Concurrency int
+	// Poll is the idle backoff between empty leases (default 100ms).
+	Poll time.Duration
+	// Client is the HTTP client (default http.DefaultClient).
+	Client *http.Client
+	// Log, when non-nil, receives one line per executed cell.
+	Log io.Writer
+}
+
+// Run polls until the server tells the drained fleet to shut down. It
+// returns the number of cells this worker completed, or the first transport
+// error.
+func (w *Worker) Run() (int, error) {
+	name := w.Name
+	if name == "" {
+		name = "worker"
+	}
+	conc := w.Concurrency
+	if conc <= 0 {
+		conc = harness.Workers()
+	}
+	poll := w.Poll
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+
+	var (
+		mu       sync.Mutex
+		done     int
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+	for i := 0; i < conc; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			who := fmt.Sprintf("%s/%d", name, id)
+			for !failed() {
+				var lease LeaseResponse
+				if err := w.post("/jobs/lease", LeaseRequest{Worker: who}, &lease); err != nil {
+					fail(err)
+					return
+				}
+				if lease.Cell == nil {
+					if lease.Shutdown {
+						return
+					}
+					time.Sleep(poll)
+					continue
+				}
+				result := executeCell(lease.Cell)
+				if w.Log != nil {
+					fmt.Fprintf(w.Log, "%s: %s cell %d of %s done\n", who, lease.Cell.Kind, lease.Cell.ID, lease.Job)
+				}
+				if err := w.post("/jobs/complete", CompleteRequest{Job: lease.Job, Worker: who, Result: result}, nil); err != nil {
+					fail(err)
+					return
+				}
+				mu.Lock()
+				done++
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	return done, firstErr
+}
+
+// executeCell runs one leased cell to a CellResult. Execution failures land
+// in the result (simulation errors are results; only an invalid spec sets
+// Err) — the cell is always completed, never abandoned.
+func executeCell(c *Cell) CellResult {
+	result := CellResult{ID: c.ID}
+	switch c.Kind {
+	case CellRun:
+		if c.Run == nil {
+			result.Err = "jobs: run cell without a spec"
+			break
+		}
+		digest, err := harness.ExecuteSpec(*c.Run)
+		if err != nil {
+			result.Err = err.Error()
+			break
+		}
+		result.Digest = digest
+	case CellFuzz:
+		if c.Fuzz == nil {
+			result.Err = "jobs: fuzz cell without a spec"
+			break
+		}
+		cc, err := c.Fuzz.CampaignConfig()
+		if err != nil {
+			result.Err = err.Error()
+			break
+		}
+		rep := fuzzer.RunCampaign(cc)
+		result.Programs = rep.Programs
+		for _, f := range rep.Findings {
+			result.Findings = append(result.Findings, f.String())
+		}
+		result.Errors = rep.Errors
+	default:
+		result.Err = fmt.Sprintf("jobs: unknown cell kind %q", c.Kind)
+	}
+	return result
+}
+
+func (w *Worker) post(path string, body, out any) error {
+	client := w.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	wire, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(w.BaseURL+path, "application/json", bytes.NewReader(wire))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("jobs: %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// SubmitJob posts a job to a server and returns its ID — the coordinator-side
+// client half of POST /jobs.
+func SubmitJob(client *http.Client, baseURL string, req JobRequest) (string, error) {
+	w := &Worker{BaseURL: baseURL, Client: client}
+	var resp struct {
+		ID string `json:"id"`
+	}
+	if err := w.post("/jobs", req, &resp); err != nil {
+		return "", err
+	}
+	return resp.ID, nil
+}
+
+// FetchStatus polls one job's status.
+func FetchStatus(client *http.Client, baseURL, id string) (JobStatus, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(baseURL + "/jobs/" + id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return JobStatus{}, fmt.Errorf("jobs: status %s: %s: %s", id, resp.Status, bytes.TrimSpace(msg))
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return JobStatus{}, err
+	}
+	return st, nil
+}
+
+// WaitJob polls until the job is done (or the deadline passes, returning the
+// last status with an error).
+func WaitJob(client *http.Client, baseURL, id string, poll time.Duration, deadline time.Time) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	for {
+		st, err := FetchStatus(client, baseURL, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State == "done" {
+			return st, nil
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return st, fmt.Errorf("jobs: %s still %d/%d after deadline", id, st.Done, st.Total)
+		}
+		time.Sleep(poll)
+	}
+}
+
+// ShutdownServer signals the drain-and-exit flag on a remote server.
+func ShutdownServer(client *http.Client, baseURL string) error {
+	w := &Worker{BaseURL: baseURL, Client: client}
+	return w.post("/jobs/shutdown", struct{}{}, nil)
+}

@@ -196,28 +196,42 @@ func hexDigit(b byte) byte {
 	return 'a' + b - 10
 }
 
-// ReadLedger loads every record from a ledger stream, in order. Blank lines
-// are skipped; a malformed line fails with its line number so a truncated
-// tail (e.g. a campaign killed mid-write) is diagnosable.
-func ReadLedger(r io.Reader) ([]Record, error) {
+// ReadLedger loads every record from a ledger stream, in order, returning the
+// records and the number of trailing lines skipped. Blank lines are ignored.
+// A malformed *final* line is the signature of a crash mid-append (the process
+// was killed between writing part of a record and its newline), so it is
+// skipped and counted rather than failing the whole load; a malformed line
+// with valid records after it cannot be crash truncation and still fails with
+// its line number.
+func ReadLedger(r io.Reader) ([]Record, int, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
 	var out []Record
 	line := 0
+	var pendingErr error // parse failure on the most recent non-blank line
 	for sc.Scan() {
 		line++
 		b := sc.Bytes()
 		if len(b) == 0 {
 			continue
 		}
+		if pendingErr != nil {
+			// The malformed line was not the last one: real corruption.
+			return out, 0, pendingErr
+		}
 		var rec Record
 		if err := json.Unmarshal(b, &rec); err != nil {
-			return out, fmt.Errorf("telemetry: ledger line %d: %w", line, err)
+			pendingErr = fmt.Errorf("telemetry: ledger line %d: %w", line, err)
+			continue
 		}
 		out = append(out, rec)
 	}
 	if err := sc.Err(); err != nil {
-		return out, fmt.Errorf("telemetry: ledger read: %w", err)
+		return out, 0, fmt.Errorf("telemetry: ledger read: %w", err)
 	}
-	return out, nil
+	skipped := 0
+	if pendingErr != nil {
+		skipped = 1
+	}
+	return out, skipped, nil
 }

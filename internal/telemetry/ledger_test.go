@@ -49,9 +49,12 @@ func TestLedgerRoundTripByteStable(t *testing.T) {
 		t.Fatalf("Len = %d, want %d", got, len(recs))
 	}
 
-	loaded, err := ReadLedger(bytes.NewReader(first.Bytes()))
+	loaded, skipped, err := ReadLedger(bytes.NewReader(first.Bytes()))
 	if err != nil {
 		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("clean ledger reported %d skipped lines", skipped)
 	}
 	if len(loaded) != len(recs) {
 		t.Fatalf("reloaded %d records, want %d", len(loaded), len(recs))
@@ -97,13 +100,39 @@ func TestLedgerNilSafe(t *testing.T) {
 	}
 }
 
-func TestReadLedgerMalformedLine(t *testing.T) {
-	in := `{"v":1,"program":"a","system":"wb","engine":"ref","cache":1,"ways":1,"schedule":"none","outcome":"ok","cycles":1,"instructions":1,"checkpoints":0,"nvm_read_bytes":0,"nvm_write_bytes":0,"cache_hits":0,"cache_misses":0,"power_failures":0,"wall_micros":5}
+const goodLedgerLine = `{"v":1,"program":"a","system":"wb","engine":"ref","cache":1,"ways":1,"schedule":"none","outcome":"ok","cycles":1,"instructions":1,"checkpoints":0,"nvm_read_bytes":0,"nvm_write_bytes":0,"cache_hits":0,"cache_misses":0,"power_failures":0,"wall_micros":5}`
 
-{"v":1, truncated`
-	recs, err := ReadLedger(strings.NewReader(in))
+// A malformed FINAL line is crash truncation (process killed mid-append): the
+// load succeeds, the line is counted as skipped, and the good prefix is kept.
+func TestReadLedgerCrashTruncatedTail(t *testing.T) {
+	for _, tail := range []string{
+		`{"v":1, truncated`,       // cut inside a field
+		goodLedgerLine[:40],       // cut mid-record
+		`garbage`,                 // not JSON at all
+		"{\"v\":1, truncated\n",   // truncated but newline made it out
+		"{\"v\":1, truncated\n\n", // trailing blank line after the stump
+	} {
+		in := goodLedgerLine + "\n\n" + tail
+		recs, skipped, err := ReadLedger(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("tail %q: crash-truncated tail failed the load: %v", tail, err)
+		}
+		if skipped != 1 {
+			t.Errorf("tail %q: skipped = %d, want 1", tail, skipped)
+		}
+		if len(recs) != 1 {
+			t.Errorf("tail %q: kept %d records, want 1", tail, len(recs))
+		}
+	}
+}
+
+// A malformed line with valid records after it is not crash truncation and
+// must still fail, naming the offending line.
+func TestReadLedgerMalformedMidStream(t *testing.T) {
+	in := goodLedgerLine + "\n\n{\"v\":1, truncated\n" + goodLedgerLine + "\n"
+	recs, _, err := ReadLedger(strings.NewReader(in))
 	if err == nil {
-		t.Fatal("ReadLedger accepted malformed line")
+		t.Fatal("ReadLedger accepted mid-stream malformed line")
 	}
 	if !strings.Contains(err.Error(), "line 3") {
 		t.Errorf("error %q does not name line 3", err)

@@ -53,43 +53,15 @@ func RunSource(name, source string, cfg Config) (*Result, error) {
 	return newResult(res, stats), nil
 }
 
-// experimentReport resolves an experiment name to its regenerated report.
+// experimentReport resolves an experiment name to its regenerated report via
+// the harness experiment registry (the same registry the campaign job service
+// enumerates run matrices from).
 func experimentReport(name string, benchmarks []string) (*harness.Report, error) {
-	pick := func(def []string) []string {
-		if len(benchmarks) > 0 {
-			return benchmarks
-		}
-		return def
+	rep, err := harness.RunNamedExperiment(name, benchmarks)
+	if err != nil {
+		return nil, fmt.Errorf("nacho: %w", err)
 	}
-	switch name {
-	case "table1":
-		return harness.Table1(), nil
-	case "fig5":
-		return harness.Fig5(pick(harness.AllBenchmarks()))
-	case "fig6":
-		return harness.Fig6(pick(harness.Fig6Benchmarks()))
-	case "fig7":
-		return harness.Fig7(pick(harness.Fig6Benchmarks()))
-	case "table2":
-		return harness.Table2(pick(harness.Table2Benchmarks()))
-	case "table3":
-		return harness.Table3(pick(harness.Table3Benchmarks()))
-	case "fig8":
-		return harness.Fig8(pick(harness.AllBenchmarks()))
-	case "ext-adaptive":
-		return harness.ExtAdaptive(pick([]string{"coremark", "quicksort", "picojpeg", "dijkstra"}))
-	case "ext-energy":
-		return harness.ExtEnergy(pick(harness.AllBenchmarks()))
-	case "ext-wt":
-		return harness.ExtWriteThrough(pick(harness.AllBenchmarks()))
-	case "ext-table2-long":
-		return harness.ExtTable2Long()
-	case "ext-fp":
-		return harness.ExtFalsePositives(pick(harness.AllBenchmarks()))
-	case "ext-seeds":
-		return harness.ExtSeedVariance(pick(harness.Table2Benchmarks()))
-	}
-	return nil, fmt.Errorf("nacho: unknown experiment %q", name)
+	return rep, nil
 }
 
 // ExperimentOutput is one regenerated table or figure in both render forms,
@@ -167,10 +139,4 @@ func ExperimentCSV(name string, benchmarks []string) (string, error) {
 // followed by this reproduction's Section 8 extension experiments
 // (adaptive checkpointing, the rough energy model, the write-through
 // comparison).
-func ExperimentNames() []string {
-	return []string{
-		"table1", "fig5", "fig6", "fig7", "table2", "table3", "fig8",
-		"ext-adaptive", "ext-energy", "ext-wt", "ext-table2-long", "ext-fp",
-		"ext-seeds",
-	}
-}
+func ExperimentNames() []string { return harness.ExperimentNames() }

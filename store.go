@@ -1,0 +1,133 @@
+package nacho
+
+import (
+	"fmt"
+	"time"
+
+	"nacho/internal/harness"
+	"nacho/internal/jobs"
+	"nacho/internal/store"
+)
+
+// RunStore is a persistent content-addressed store of run results. While one
+// is open, every deterministic simulation in the process — experiment
+// regeneration, Run, RunSource — is read through it and written behind it:
+// results survive restarts, so a second regeneration of the same experiment
+// executes zero simulations and renders a byte-identical report. Traced or
+// probed runs bypass the store entirely (their instrumentation must observe a
+// real execution).
+//
+// The directory is shared safely between processes (writes are atomic
+// renames), which is how `nachobench -worker` fleets return results to their
+// coordinator.
+type RunStore struct {
+	s    *store.Store
+	prev *store.Store
+}
+
+// RunStoreStats is a snapshot of one store's accounting.
+type RunStoreStats struct {
+	// Hits and Misses count read-through lookups.
+	Hits, Misses uint64
+	// Puts counts entries written (write-behind).
+	Puts uint64
+	// CorruptEvicted counts checksum-failed entries deleted on read; the
+	// affected runs re-executed transparently.
+	CorruptEvicted uint64
+	// WriteErrors counts failed write-behind attempts.
+	WriteErrors uint64
+}
+
+// OpenRunStore opens (creating if needed) the store rooted at dir and
+// installs it as the process's active run store. Close it when done; stores
+// do not nest — open at most one at a time.
+func OpenRunStore(dir string) (*RunStore, error) {
+	s, err := store.Open(dir)
+	if err != nil {
+		return nil, fmt.Errorf("nacho: %w", err)
+	}
+	return &RunStore{s: s, prev: harness.SetStore(s)}, nil
+}
+
+// Dir returns the store's root directory.
+func (rs *RunStore) Dir() string { return rs.s.Dir() }
+
+// Stats snapshots the store's accounting.
+func (rs *RunStore) Stats() RunStoreStats {
+	st := rs.s.Stats()
+	return RunStoreStats{Hits: st.Hits, Misses: st.Misses, Puts: st.Puts,
+		CorruptEvicted: st.CorruptEvicted, WriteErrors: st.WriteErrors}
+}
+
+// Count walks the store and returns the number of persisted entries.
+func (rs *RunStore) Count() (int, error) { return rs.s.Count() }
+
+// Close flushes pending write-behind entries, uninstalls the store, and
+// returns the first write error encountered over its lifetime, if any.
+func (rs *RunStore) Close() error {
+	harness.SetStore(rs.prev)
+	if err := rs.s.Close(); err != nil {
+		return fmt.Errorf("nacho: %w", err)
+	}
+	return nil
+}
+
+// JobService is the campaign job queue mounted on a TelemetryServer: POST
+// /jobs accepts an experiment matrix or fuzz campaign, worker processes
+// (`nachobench -worker <url>`) lease cells and push results through the
+// shared RunStore, and the queue dedupes fleet-wide by content digest.
+type JobService struct {
+	js *jobs.Server
+}
+
+// ServeJobs mounts the campaign job API under /jobs on this telemetry server,
+// backed by the process's active RunStore (open it first — submit- and
+// lease-time dedupe need it, and without a shared store run results cannot
+// travel back from workers).
+func (t *TelemetryServer) ServeJobs() *JobService {
+	js := jobs.NewServer(harness.ActiveStore(), 0)
+	js.RegisterMetrics(t.reg)
+	t.srv.Handle("/jobs", js)
+	t.srv.Handle("/jobs/", js)
+	return &JobService{js: js}
+}
+
+// SubmitExperiment enqueues one named experiment's full run matrix (see
+// ExperimentNames; benchmarks narrows the set, nil means the paper default)
+// and returns the job ID. Cells whose results are already in the store are
+// deduplicated immediately.
+func (s *JobService) SubmitExperiment(name string, benchmarks []string) (string, error) {
+	id, err := s.js.Submit(jobs.JobRequest{Kind: "experiment", Experiment: name, Benchmarks: benchmarks})
+	if err != nil {
+		return "", fmt.Errorf("nacho: %w", err)
+	}
+	return id, nil
+}
+
+// Wait blocks until every cell of the job is done and reports how many cells
+// workers executed and how many were served by the store without running.
+func (s *JobService) Wait(id string) (executed, deduped int, err error) {
+	for {
+		st, ok := s.js.Status(id)
+		if !ok {
+			return 0, 0, fmt.Errorf("nacho: unknown job %q", id)
+		}
+		if st.State == "done" {
+			return st.Done - st.Deduped, st.Deduped, nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// Shutdown flips the queue into drain mode: once nothing is pending or
+// leased, workers polling for leases are told to exit.
+func (s *JobService) Shutdown() { s.js.Shutdown() }
+
+// AwaitShutdown blocks until a shutdown has been requested (via Shutdown or
+// POST /jobs/shutdown) and every submitted job has drained — the serve-only
+// coordinator's exit condition.
+func (s *JobService) AwaitShutdown() {
+	for !s.js.Drained() {
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -33,6 +33,9 @@ func ServeTelemetry(addr string) (*TelemetryServer, error) {
 	reg := telemetry.NewRegistry()
 	harness.RegisterMetrics(reg)
 	snapshot.RegisterMetrics(reg)
+	if s := harness.ActiveStore(); s != nil {
+		s.RegisterMetrics(reg) // nacho_store_*: open the RunStore before serving
+	}
 	probe := telemetry.NewProbe(reg)
 	srv, err := telemetry.NewServer(addr, reg, func() any { return harness.Status() })
 	if err != nil {
