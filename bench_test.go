@@ -304,6 +304,69 @@ func BenchmarkEmulatorThroughputALUIntermittent(b *testing.B) {
 	benchmarkALUKernel(b, Config{System: NACHO, DisableVerify: true, OnDurationMs: 1})
 }
 
+// benchmarkCachedThroughput measures simulated-instruction throughput on a
+// cache-based system over the memory-bound suite — the workload class the
+// sim.FastPort cached-hit path exists for. noPort disables the port, giving
+// the pre-fast-path baseline; the ratio of the paired benchmarks is the fast
+// path's speedup (recorded in BENCH_emu.json under "cachedpath").
+func benchmarkCachedThroughput(b *testing.B, system System, onMs float64, noPort bool) {
+	for _, name := range memBoundBenchmarks {
+		b.Run(name, func(b *testing.B) {
+			var instructions uint64
+			for i := 0; i < b.N; i++ {
+				res, err := Run(Config{
+					Benchmark: name, System: system, DisableVerify: true,
+					OnDurationMs: onMs, NoFastPort: noPort,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				instructions += res.Instructions
+			}
+			b.ReportMetric(float64(instructions)/b.Elapsed().Seconds()/1e6, "sim-MIPS")
+		})
+	}
+}
+
+// BenchmarkEmulatorThroughputNACHO measures the default engine on the
+// memory-bound suite under NACHO, failure-free: every data access runs the
+// full cache controller, so cached-hit dispatch dominates.
+func BenchmarkEmulatorThroughputNACHO(b *testing.B) {
+	benchmarkCachedThroughput(b, NACHO, 0, false)
+}
+
+// BenchmarkEmulatorThroughputNACHONoPort is the same workload with the
+// fast port disabled — the pre-fast-path AOT baseline.
+func BenchmarkEmulatorThroughputNACHONoPort(b *testing.B) {
+	benchmarkCachedThroughput(b, NACHO, 0, true)
+}
+
+// BenchmarkEmulatorThroughputNACHOIntermittent measures the memory-bound
+// suite under NACHO with the paper's periodic 1 ms power failures and
+// forward-progress checkpoints — the acceptance workload for the fast path.
+func BenchmarkEmulatorThroughputNACHOIntermittent(b *testing.B) {
+	benchmarkCachedThroughput(b, NACHO, 1, false)
+}
+
+// BenchmarkEmulatorThroughputNACHOIntermittentNoPort is the intermittent
+// workload with the fast port disabled.
+func BenchmarkEmulatorThroughputNACHOIntermittentNoPort(b *testing.B) {
+	benchmarkCachedThroughput(b, NACHO, 1, true)
+}
+
+// BenchmarkEmulatorThroughputPROWL measures the cache-baseline variant:
+// PROWL's skewed-associative cache serves both port directions, so the fast
+// path applies to a compared baseline too, not just NACHO.
+func BenchmarkEmulatorThroughputPROWL(b *testing.B) {
+	benchmarkCachedThroughput(b, PROWL, 0, false)
+}
+
+// BenchmarkEmulatorThroughputPROWLNoPort is the PROWL workload with the fast
+// port disabled.
+func BenchmarkEmulatorThroughputPROWLNoPort(b *testing.B) {
+	benchmarkCachedThroughput(b, PROWL, 0, true)
+}
+
 // BenchmarkNACHOSimulation measures full NACHO simulation speed including
 // the cache controller and verification.
 func BenchmarkNACHOSimulation(b *testing.B) {

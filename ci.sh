@@ -19,13 +19,16 @@ fi
 go vet ./...
 go build ./...
 go test ./...
-# The harness race pass includes the three-way engine-equivalence suite
-# (TestEngineEquivalence*): the per-instruction reference interpreter, the
-# batched fast path, and the AOT threaded-code engine must produce
-# byte-identical results — including Fork/RunUntil mid-run state and the
-# fuzzer-generated programs — under the race detector too. The snapshot/mem pass exercises the copy-on-write fork
-# machinery (refcounted pages, concurrent fork workers) under the race
-# detector; power rides along for its schedule property tests.
+# The harness race pass includes the engine-equivalence suite
+# (TestEngineEquivalence*) over the full five-variant matrix: the
+# per-instruction reference interpreter, the batched fast path, and the AOT
+# threaded-code engine, with the fast and AOT engines run both with and
+# without the sim.FastPort cached-hit path (the /noport axis) — all must
+# produce byte-identical results, including Fork/RunUntil mid-run state and
+# the fuzzer-generated programs, under the race detector too. The
+# snapshot/mem pass exercises the copy-on-write fork machinery (refcounted
+# pages, concurrent fork workers) under the race detector; power rides along
+# for its schedule property tests.
 go test -race ./internal/harness/... ./internal/core/ ./internal/systems/
 go test -race ./internal/snapshot/ ./internal/mem/ ./internal/power/
 
@@ -38,6 +41,14 @@ go test -bench=. -benchtime=1x ./internal/cache/ ./internal/track/ ./internal/te
 # printing sim-MIPS so an engine regression is visible in the CI log
 # (reference numbers live in BENCH_emu.json).
 go test -run xxx -bench 'BenchmarkEmulatorThroughputALU$|BenchmarkEmulatorThroughputMemAOT' -benchtime 1x . | grep -E 'sim-MIPS|^Benchmark'
+
+# Cached-system fast-path smoke: the memory-bound suite under NACHO with a
+# 1 ms periodic power schedule, sim-MIPS in the CI log (reference numbers in
+# BENCH_emu.json §cachedpath). The hit path itself must stay allocation-free:
+# the ZeroAlloc gates pin AllocsPerRun == 0 for FastPort LoadHit/StoreHit and
+# cache Probe/Touch (run without -race — the race allocator breaks the pin).
+go test -run xxx -bench 'BenchmarkEmulatorThroughputNACHOIntermittent$' -benchtime 1x . | grep -E 'sim-MIPS|^Benchmark'
+go test -run 'ZeroAlloc' ./internal/core/ ./internal/cache/
 
 # Telemetry end-to-end: serve, sweep, scrape mid-flight, validate every
 # exposition line, then check the Perfetto export loads as trace-event JSON.

@@ -100,17 +100,19 @@ func TestNachosimEndToEnd(t *testing.T) {
 	}
 }
 
-// TestProfilingFlags runs both CLIs with -cpuprofile/-memprofile and checks
+// TestProfilingFlags runs both CLIs with the four profile flags and checks
 // that non-empty pprof files come out. An unwritable profile path must fail.
 func TestProfilingFlags(t *testing.T) {
 	dir := t.TempDir()
 	sim := build(t, "cmd/nachosim")
 	cpu, mem := filepath.Join(dir, "sim.cpu.pprof"), filepath.Join(dir, "sim.mem.pprof")
-	out, err := run(t, sim, "-bench", "crc", "-noverify", "-cpuprofile", cpu, "-memprofile", mem)
+	mtx, blk := filepath.Join(dir, "sim.mutex.pprof"), filepath.Join(dir, "sim.block.pprof")
+	out, err := run(t, sim, "-bench", "crc", "-noverify",
+		"-cpuprofile", cpu, "-memprofile", mem, "-mutexprofile", mtx, "-blockprofile", blk)
 	if err != nil {
 		t.Fatalf("nachosim with profiles: %v\n%s", err, out)
 	}
-	for _, p := range []string{cpu, mem} {
+	for _, p := range []string{cpu, mem, mtx, blk} {
 		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
 			t.Errorf("profile %s missing or empty (err=%v)", p, err)
 		}
@@ -118,12 +120,15 @@ func TestProfilingFlags(t *testing.T) {
 
 	bench := build(t, "cmd/nachobench")
 	cpu = filepath.Join(dir, "bench.cpu.pprof")
-	out, err = run(t, bench, "-exp", "table1", "-cpuprofile", cpu)
+	mtx = filepath.Join(dir, "bench.mutex.pprof")
+	out, err = run(t, bench, "-exp", "table1", "-cpuprofile", cpu, "-mutexprofile", mtx)
 	if err != nil {
 		t.Fatalf("nachobench with profile: %v\n%s", err, out)
 	}
-	if fi, err := os.Stat(cpu); err != nil || fi.Size() == 0 {
-		t.Errorf("profile %s missing or empty (err=%v)", cpu, err)
+	for _, p := range []string{cpu, mtx} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err=%v)", p, err)
+		}
 	}
 
 	if out, err = run(t, sim, "-bench", "crc", "-cpuprofile", filepath.Join(dir, "no/such/dir/p")); err == nil {

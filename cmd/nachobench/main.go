@@ -56,8 +56,10 @@ func main() {
 		traceCampaign = flag.String("trace-campaign", "", "write a Perfetto trace of the whole campaign (experiment/run spans) to this file")
 		ledger        = flag.String("ledger", "", "append one JSON record per run to this ledger file")
 
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		mutexprofile = flag.String("mutexprofile", "", "write a mutex-contention profile to this file on exit (diagnoses worker-pool contention)")
+		blockprofile = flag.String("blockprofile", "", "write a goroutine-blocking profile to this file on exit")
 	)
 	flag.Parse()
 	nacho.SetParallelism(*j)
@@ -66,8 +68,11 @@ func main() {
 		os.Exit(1)
 	}
 
-	if *cpuprofile != "" || *memprofile != "" {
-		stop, err := profiling.Start(*cpuprofile, *memprofile)
+	profiles := profiling.Profiles{
+		CPU: *cpuprofile, Mem: *memprofile, Mutex: *mutexprofile, Block: *blockprofile,
+	}
+	if profiles.Enabled() {
+		stop, err := profiling.Start(profiles)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "nachobench:", err)
 			os.Exit(1)

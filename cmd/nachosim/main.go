@@ -21,34 +21,39 @@ import (
 
 func main() {
 	var (
-		bench      = flag.String("bench", "aes", "benchmark name (see -list)")
-		system     = flag.String("system", "nacho", "memory system (see -list)")
-		cacheSize  = flag.Int("cache", 512, "data cache size in bytes")
-		ways       = flag.Int("ways", 2, "cache associativity")
-		onDuration = flag.Float64("onduration", 0, "power-failure on-duration in ms (0 = always on)")
-		random     = flag.Bool("random", false, "use seeded-random on-durations instead of periodic")
-		seed       = flag.Int64("seed", 1, "seed for -random")
-		noVerify   = flag.Bool("noverify", false, "disable shadow-memory and WAR verification")
-		engine     = flag.String("engine", "auto", "execution engine: auto, ref, fast, or aot")
-		noFastPath = flag.Bool("no-fastpath", false, "deprecated: equivalent to -engine ref")
-		trace      = flag.String("trace", "", "write a per-instruction execution trace to this file")
-		threshold  = flag.Int("dirty-threshold", 0, "adaptive checkpointing threshold (0 = off)")
-		probeStats = flag.Bool("probe-stats", false, "collect and print per-checkpoint-interval statistics")
-		energyPred = flag.Bool("energy-prediction", false, "single-buffered checkpoints under guaranteed energy")
-		list       = flag.Bool("list", false, "list benchmarks and systems, then exit")
-		runFile    = flag.String("run", "", "assemble and run a user RV32IM .s file instead of a benchmark")
-		perfetto   = flag.String("perfetto", "", "write the run as Perfetto/Chrome trace-event JSON to this file")
-		serve      = flag.String("serve", "", "serve live telemetry (/metrics, /status, /dashboard, /debug/pprof) on this address during the run")
-		storeDir   = flag.String("store", "", "persistent content-addressed run store directory (a repeated run is served from it without executing; traced/probed runs bypass it)")
-		traceCamp  = flag.String("trace-campaign", "", "write a campaign-level Perfetto trace (wall-clock run spans) to this file")
-		ledger     = flag.String("ledger", "", "append one JSON record per run to this ledger file")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		bench        = flag.String("bench", "aes", "benchmark name (see -list)")
+		system       = flag.String("system", "nacho", "memory system (see -list)")
+		cacheSize    = flag.Int("cache", 512, "data cache size in bytes")
+		ways         = flag.Int("ways", 2, "cache associativity")
+		onDuration   = flag.Float64("onduration", 0, "power-failure on-duration in ms (0 = always on)")
+		random       = flag.Bool("random", false, "use seeded-random on-durations instead of periodic")
+		seed         = flag.Int64("seed", 1, "seed for -random")
+		noVerify     = flag.Bool("noverify", false, "disable shadow-memory and WAR verification")
+		engine       = flag.String("engine", "auto", "execution engine: auto, ref, fast, or aot")
+		noFastPath   = flag.Bool("no-fastpath", false, "deprecated: equivalent to -engine ref")
+		trace        = flag.String("trace", "", "write a per-instruction execution trace to this file")
+		threshold    = flag.Int("dirty-threshold", 0, "adaptive checkpointing threshold (0 = off)")
+		probeStats   = flag.Bool("probe-stats", false, "collect and print per-checkpoint-interval statistics")
+		energyPred   = flag.Bool("energy-prediction", false, "single-buffered checkpoints under guaranteed energy")
+		list         = flag.Bool("list", false, "list benchmarks and systems, then exit")
+		runFile      = flag.String("run", "", "assemble and run a user RV32IM .s file instead of a benchmark")
+		perfetto     = flag.String("perfetto", "", "write the run as Perfetto/Chrome trace-event JSON to this file")
+		serve        = flag.String("serve", "", "serve live telemetry (/metrics, /status, /dashboard, /debug/pprof) on this address during the run")
+		storeDir     = flag.String("store", "", "persistent content-addressed run store directory (a repeated run is served from it without executing; traced/probed runs bypass it)")
+		traceCamp    = flag.String("trace-campaign", "", "write a campaign-level Perfetto trace (wall-clock run spans) to this file")
+		ledger       = flag.String("ledger", "", "append one JSON record per run to this ledger file")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		mutexprofile = flag.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
+		blockprofile = flag.String("blockprofile", "", "write a goroutine-blocking profile to this file on exit")
 	)
 	flag.Parse()
 
-	if *cpuprofile != "" || *memprofile != "" {
-		stop, err := profiling.Start(*cpuprofile, *memprofile)
+	profiles := profiling.Profiles{
+		CPU: *cpuprofile, Mem: *memprofile, Mutex: *mutexprofile, Block: *blockprofile,
+	}
+	if profiles.Enabled() {
+		stop, err := profiling.Start(profiles)
 		if err != nil {
 			fatal(err)
 		}

@@ -7,6 +7,11 @@
 // (RD) and possible-WAR (PW). Size and associativity are configurable; the
 // index function is the address hash the paper refers to ("the cache stores
 // data based on a hash of the memory address").
+//
+// Storage is a single flat backing array indexed by (set<<waysShift)+way,
+// with a parallel array of packed lookup keys (tag<<1 | valid) so the hit
+// scan — the overwhelmingly common operation on the execution fast path — is
+// one tight, allocation-free loop of word compares over adjacent memory.
 package cache
 
 import (
@@ -32,13 +37,25 @@ type Line struct {
 // Addr returns the byte address of the line's word.
 func (l *Line) Addr() uint32 { return l.Tag << 2 }
 
+// key packs a line's lookup identity into one word: tag<<1 | valid. The tag
+// is addr>>2 (at most 30 significant bits), so the packed form fits 31 bits
+// and a valid line's key is always odd — a zero key can never match.
+func key(addr uint32) uint32 { return (addr>>2)<<1 | 1 }
+
 // Cache is a set-associative cache of 4-byte lines.
+//
+// Invariant: keys[i] mirrors (lines[i].Tag, lines[i].Valid) at all times.
+// Valid and Tag are mutated only by Install and InvalidateAll, which maintain
+// the mirror; callers that reach lines through Set() mutate data and the
+// Dirty/RD/PW metadata bits only.
 type Cache struct {
-	sets    [][]Line
-	ways    int
-	numSets int
-	stamp   uint64
-	probe   sim.Probe
+	lines     []Line   // numSets << waysShift entries; padding ways stay zero
+	keys      []uint32 // packed tag|valid mirror of lines, same indexing
+	ways      int
+	numSets   int
+	waysShift uint
+	stamp     uint64
+	probe     sim.Probe
 }
 
 // New creates a cache of sizeBytes capacity and the given associativity.
@@ -56,11 +73,13 @@ func New(sizeBytes, ways int) (*Cache, error) {
 	if numSets&(numSets-1) != 0 {
 		return nil, fmt.Errorf("cache: set count %d is not a power of two", numSets)
 	}
-	c := &Cache{ways: ways, numSets: numSets, sets: make([][]Line, numSets)}
-	backing := make([]Line, lines)
-	for i := range c.sets {
-		c.sets[i] = backing[i*ways : (i+1)*ways : (i+1)*ways]
+	var shift uint
+	for 1<<shift < ways {
+		shift++
 	}
+	c := &Cache{ways: ways, numSets: numSets, waysShift: shift}
+	c.lines = make([]Line, numSets<<shift)
+	c.keys = make([]uint32, numSets<<shift)
 	return c, nil
 }
 
@@ -76,12 +95,11 @@ func MustNew(sizeBytes, ways int) *Cache {
 // Clone returns an independent deep copy of the cache — every line and the
 // LRU stamp — with no probe attached (forked machines run emission-free).
 func (c *Cache) Clone() *Cache {
-	n := &Cache{ways: c.ways, numSets: c.numSets, stamp: c.stamp, sets: make([][]Line, c.numSets)}
-	backing := make([]Line, c.numSets*c.ways)
-	for i := range c.sets {
-		copy(backing[i*c.ways:(i+1)*c.ways], c.sets[i])
-		n.sets[i] = backing[i*c.ways : (i+1)*c.ways : (i+1)*c.ways]
-	}
+	n := &Cache{ways: c.ways, numSets: c.numSets, waysShift: c.waysShift, stamp: c.stamp}
+	n.lines = make([]Line, len(c.lines))
+	n.keys = make([]uint32, len(c.keys))
+	copy(n.lines, c.lines)
+	copy(n.keys, c.keys)
 	return n
 }
 
@@ -103,19 +121,24 @@ func (c *Cache) SetIndex(addr uint32) int {
 }
 
 // Set returns the lines of the set addr maps to. The returned slice aliases
-// cache storage; callers mutate lines through it.
+// cache storage; callers mutate lines through it (data and Dirty/RD/PW only —
+// see the Cache invariant).
 func (c *Cache) Set(addr uint32) []Line {
-	return c.sets[c.SetIndex(addr)]
+	base := c.SetIndex(addr) << c.waysShift
+	return c.lines[base : base+c.ways : base+c.ways]
 }
 
 // Probe looks addr up and returns its line on a hit, or nil on a miss.
 // It does not touch LRU state; callers decide when an access counts.
 func (c *Cache) Probe(addr uint32) *Line {
-	set := c.Set(addr)
-	tag := addr >> 2
-	for i := range set {
-		if set[i].Valid && set[i].Tag == tag {
-			return &set[i]
+	base := c.SetIndex(addr) << c.waysShift
+	k := key(addr)
+	// One bounds check for the whole scan; the per-way compares then run
+	// check-free.
+	ks := c.keys[base : base+c.ways]
+	for w := range ks {
+		if ks[w] == k {
+			return &c.lines[base+w]
 		}
 	}
 	return nil
@@ -124,18 +147,17 @@ func (c *Cache) Probe(addr uint32) *Line {
 // Victim selects the replacement victim in addr's set: an invalid line if one
 // exists, otherwise the least recently used line.
 func (c *Cache) Victim(addr uint32) *Line {
-	set := c.Set(addr)
-	var victim *Line
-	for i := range set {
-		l := &set[i]
-		if !l.Valid {
-			return l
+	base := c.SetIndex(addr) << c.waysShift
+	victim := -1
+	for i := base; i < base+c.ways; i++ {
+		if c.keys[i]&1 == 0 {
+			return &c.lines[i]
 		}
-		if victim == nil || l.lru < victim.lru {
-			victim = l
+		if victim < 0 || c.lines[i].lru < c.lines[victim].lru {
+			victim = i
 		}
 	}
-	return victim
+	return &c.lines[victim]
 }
 
 // Touch marks the line as most recently used.
@@ -149,9 +171,22 @@ func (c *Cache) AttachProbe(p sim.Probe) { c.probe = p }
 
 // Install points the line at addr's word. Metadata bits are left for the
 // controller to manage; the line becomes valid and most recently used.
+// l must belong to addr's set (it came from Victim or Set for this address).
 func (c *Cache) Install(l *Line, addr uint32) {
 	l.Valid = true
 	l.Tag = addr >> 2
+	base := c.SetIndex(addr) << c.waysShift
+	mirrored := false
+	for i := base; i < base+c.ways; i++ {
+		if &c.lines[i] == l {
+			c.keys[i] = key(addr)
+			mirrored = true
+			break
+		}
+	}
+	if !mirrored {
+		panic(fmt.Sprintf("cache: Install of line outside set for addr %#x", addr))
+	}
 	c.Touch(l)
 	if c.probe != nil {
 		c.probe.OnLineFill(sim.FillEvent{Addr: addr &^ 3})
@@ -160,19 +195,19 @@ func (c *Cache) Install(l *Line, addr uint32) {
 
 // ForEach visits every line (checkpoint flush walks).
 func (c *Cache) ForEach(f func(*Line)) {
-	for i := range c.sets {
-		for j := range c.sets[i] {
-			f(&c.sets[i][j])
+	for s := 0; s < c.numSets; s++ {
+		base := s << c.waysShift
+		for w := 0; w < c.ways; w++ {
+			f(&c.lines[base+w])
 		}
 	}
 }
 
 // InvalidateAll destroys all volatile contents (power failure).
 func (c *Cache) InvalidateAll() {
-	for i := range c.sets {
-		for j := range c.sets[i] {
-			c.sets[i][j] = Line{}
-		}
+	for i := range c.lines {
+		c.lines[i] = Line{}
+		c.keys[i] = 0
 	}
 	c.stamp = 0
 }

@@ -1,0 +1,138 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// nestedCache reimplements the original per-set [][]Line storage that the
+// flat single-array layout replaced, and serves as its behavioral reference:
+// probe compares Valid && Tag way by way in way order, the victim is the
+// first invalid way or else the first way holding the minimal LRU stamp, and
+// a single monotonic stamp orders touches.
+type nestedCache struct {
+	sets  [][]nline
+	stamp uint64
+}
+
+type nline struct {
+	valid bool
+	tag   uint32
+	lru   uint64
+}
+
+func newNested(sizeBytes, ways int) *nestedCache {
+	numSets := sizeBytes / LineSize / ways
+	n := &nestedCache{sets: make([][]nline, numSets)}
+	for i := range n.sets {
+		n.sets[i] = make([]nline, ways)
+	}
+	return n
+}
+
+func (n *nestedCache) set(addr uint32) []nline {
+	return n.sets[int(addr>>2)&(len(n.sets)-1)]
+}
+
+func (n *nestedCache) probe(addr uint32) int {
+	s := n.set(addr)
+	for w := range s {
+		if s[w].valid && s[w].tag == addr>>2 {
+			return w
+		}
+	}
+	return -1
+}
+
+func (n *nestedCache) victim(addr uint32) int {
+	s := n.set(addr)
+	v := -1
+	for w := range s {
+		if !s[w].valid {
+			return w
+		}
+		if v < 0 || s[w].lru < s[v].lru {
+			v = w
+		}
+	}
+	return v
+}
+
+func (n *nestedCache) touch(l *nline) {
+	n.stamp++
+	l.lru = n.stamp
+}
+
+func (n *nestedCache) install(addr uint32, w int) {
+	s := n.set(addr)
+	s[w] = nline{valid: true, tag: addr >> 2}
+	n.touch(&s[w])
+}
+
+func (n *nestedCache) invalidateAll() {
+	for _, s := range n.sets {
+		for w := range s {
+			s[w] = nline{}
+		}
+	}
+	n.stamp = 0
+}
+
+// wayOf locates a line returned by Probe/Victim within its set.
+func wayOf(c *Cache, addr uint32, l *Line) int {
+	set := c.Set(addr)
+	for w := range set {
+		if &set[w] == l {
+			return w
+		}
+	}
+	return -1
+}
+
+// TestFlatLayoutMatchesNestedReference pins the flattening refactor: the
+// single backing array with packed lookup keys must make exactly the
+// decisions of the original nested storage — same hits, same victim way,
+// same LRU order — under long random probe/install/touch/invalidate streams.
+// The 24B/3-way geometry exercises the padding rows a non-power-of-two
+// associativity leaves in the flat array.
+func TestFlatLayoutMatchesNestedReference(t *testing.T) {
+	for _, g := range []struct{ size, ways int }{
+		{32, 1}, {64, 2}, {24, 3}, {64, 4}, {512, 2},
+	} {
+		c := MustNew(g.size, g.ways)
+		n := newNested(g.size, g.ways)
+		rng := rand.New(rand.NewSource(int64(g.size*8 + g.ways)))
+		words := 4 * g.size / LineSize // ~4x capacity: plenty of conflicts
+		for i := 0; i < 50000; i++ {
+			addr := uint32(rng.Intn(words)) * 4
+			if rng.Intn(64) == 0 {
+				c.InvalidateAll()
+				n.invalidateAll()
+				continue
+			}
+			l := c.Probe(addr)
+			w := n.probe(addr)
+			if (l == nil) != (w < 0) {
+				t.Fatalf("%dB/%d-way step %d addr %#x: flat hit=%v, nested hit=%v",
+					g.size, g.ways, i, addr, l != nil, w >= 0)
+			}
+			if l != nil {
+				if got := wayOf(c, addr, l); got != w {
+					t.Fatalf("%dB/%d-way step %d addr %#x: hit way %d, nested %d",
+						g.size, g.ways, i, addr, got, w)
+				}
+				c.Touch(l)
+				n.touch(&n.set(addr)[w])
+				continue
+			}
+			v := c.Victim(addr)
+			wv := n.victim(addr)
+			if got := wayOf(c, addr, v); got != wv {
+				t.Fatalf("%dB/%d-way step %d addr %#x: victim way %d, nested %d",
+					g.size, g.ways, i, addr, got, wv)
+			}
+			c.Install(v, addr)
+			n.install(addr, wv)
+		}
+	}
+}

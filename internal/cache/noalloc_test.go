@@ -1,0 +1,31 @@
+//go:build !race
+
+// Allocation gates are meaningless under the race detector's instrumented
+// allocator, so this file is excluded from -race runs.
+
+package cache
+
+import "testing"
+
+// TestProbeTouchZeroAlloc gates the flat layout's hit scan: Probe plus Touch
+// is the innermost operation of every cached access and must not allocate.
+func TestProbeTouchZeroAlloc(t *testing.T) {
+	c := MustNew(512, 2)
+	for a := uint32(0); a < 512; a += 4 {
+		c.Install(c.Victim(a), a)
+	}
+	hit := true
+	if n := testing.AllocsPerRun(200, func() {
+		l := c.Probe(0x100)
+		if l == nil {
+			hit = false
+			return
+		}
+		c.Touch(l)
+	}); n != 0 {
+		t.Fatalf("Probe/Touch allocates: %v allocs/op", n)
+	}
+	if !hit {
+		t.Fatal("probe missed a resident line")
+	}
+}

@@ -109,6 +109,23 @@ type Controller struct {
 	spMin      uint32
 	dirtyCount int    // maintained only when DirtyThreshold > 0
 	lastCommit uint64 // cycle of the previous checkpoint commit
+	epoch      uint64 // sim.FastPort invalidation epoch (see fastport.go)
+
+	// portLoadLine/portStoreLine memoize the line of the last port-served hit
+	// in each direction (see fastport.go); bumpEpoch clears them. A memo is
+	// valid exactly while the epoch stands: Install (the only Tag mutation)
+	// and InvalidateAll are reachable only through epoch-bumping paths.
+	portLoadLine  *cache.Line
+	portStoreLine *cache.Line
+}
+
+// bumpEpoch records a fast-port invalidation event: previously returned port
+// answers no longer bind, and the memoized hit lines may have been replaced,
+// cleared, or metadata-reset.
+func (k *Controller) bumpEpoch() {
+	k.epoch++
+	k.portLoadLine = nil
+	k.portStoreLine = nil
 }
 
 // New builds a controller over the given NVM space. name is the system label
@@ -166,6 +183,7 @@ func (k *Controller) Fork(clk sim.Clock, regs sim.RegSource, c *metrics.Counters
 		spMin:      k.spMin,
 		dirtyCount: k.dirtyCount,
 		lastCommit: k.lastCommit,
+		epoch:      k.epoch,
 	}
 	if k.tracker != nil {
 		f.tracker = k.tracker.Clone()
@@ -177,6 +195,7 @@ func (k *Controller) Fork(clk sim.Clock, regs sim.RegSource, c *metrics.Counters
 // access, write-back, and checkpoint events plus the events of the components
 // it owns (cache fills, NVM traffic, checkpoint staging). nil detaches.
 func (k *Controller) AttachProbe(p sim.Probe) {
+	k.bumpEpoch()
 	k.probe = p
 	k.cache.AttachProbe(p)
 	k.nvm.AttachProbe(p)
@@ -256,6 +275,9 @@ func (k *Controller) access(addr uint32, t accessType, size int) (*cache.Line, b
 
 // miss is Algorithm 1's CacheMiss procedure.
 func (k *Controller) miss(addr uint32, t accessType, size int) *cache.Line {
+	// Every miss replaces a line (and may evict or checkpoint): whatever the
+	// fast port would have answered before is no longer guaranteed.
+	k.bumpEpoch()
 	line := k.cache.Victim(addr)
 	if line.Valid && line.Dirty {
 		victimAddr := line.Addr()
@@ -383,6 +405,7 @@ const (
 // checkpoint is Algorithm 1's Checkpoint procedure: double-buffered flush of
 // all live dirty lines plus the register file, then clear every WAR bit.
 func (k *Controller) checkpoint(cause ckptCause) {
+	k.bumpEpoch()
 	var lines []checkpoint.Line
 	k.cache.ForEach(func(l *cache.Line) {
 		if l.Valid && l.Dirty {
@@ -457,6 +480,7 @@ func (k *Controller) NotifySP(sp uint32) {
 
 // PowerFailure implements sim.System: all volatile state evaporates.
 func (k *Controller) PowerFailure() {
+	k.bumpEpoch()
 	k.cache.InvalidateAll()
 	if k.tracker != nil {
 		k.tracker.Reset()
@@ -467,6 +491,7 @@ func (k *Controller) PowerFailure() {
 
 // Restore implements sim.System: recover the newest committed checkpoint.
 func (k *Controller) Restore() (sim.Snapshot, bool) {
+	k.bumpEpoch()
 	snap, ok := k.ckpt.Restore()
 	if !ok {
 		return snap, false

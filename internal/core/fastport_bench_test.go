@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"nacho/internal/mem"
+	"nacho/internal/metrics"
+	"nacho/internal/sim"
+)
+
+// benchPort builds a warmed controller and returns its fast port: n distinct
+// word lines resident and dirty, so every LoadHit/StoreHit serves.
+func benchPort(b *testing.B, war WARMode) (sim.FastPort, *metrics.Counters) {
+	b.Helper()
+	nvm := mem.NewNVM(mem.NewSpace(), mem.DefaultCostModel())
+	k, err := New("bench", nvm, Options{
+		CacheSize: 512, Ways: 2, WARMode: war,
+		StackTop: 0x000A_0000, CheckpointBase: 0x000E_0000, Cost: mem.DefaultCostModel(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var c metrics.Counters
+	k.Attach(&sim.TestClock{}, &fakeRegs{sp: 0x000A_0000}, &c)
+	for a := uint32(0x1000); a < 0x1000+512; a += 4 {
+		k.Store(a, 4, a)
+	}
+	port, ok := k.FastPort()
+	if !ok {
+		b.Fatal("fast port refused")
+	}
+	return port, &c
+}
+
+// BenchmarkFastPortLoadHit measures the served-hit cost of the port's read
+// direction — the innermost operation of the AOT engine on cached systems.
+func BenchmarkFastPortLoadHit(b *testing.B) {
+	port, _ := benchPort(b, WARCacheBits)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := port.LoadHit(0x1000+uint32(i*4)&255, 4); !ok {
+			b.Fatal("declined")
+		}
+	}
+}
+
+// BenchmarkFastPortLoadHitRepeat measures the memoized repeat-hit path: the
+// same line served back to back, as in a tight simulated loop.
+func BenchmarkFastPortLoadHitRepeat(b *testing.B) {
+	port, _ := benchPort(b, WARCacheBits)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := port.LoadHit(0x1000, 4); !ok {
+			b.Fatal("declined")
+		}
+	}
+}
+
+// BenchmarkFastPortStoreHit measures the served-hit cost of the write
+// direction.
+func BenchmarkFastPortStoreHit(b *testing.B) {
+	port, _ := benchPort(b, WARCacheBits)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !port.StoreHit(0x1000+uint32(i*4)&255, 4, uint32(i)) {
+			b.Fatal("declined")
+		}
+	}
+}
+
+// BenchmarkFullLoadHit is the sim.System interface hit path the port
+// replaces, for comparison.
+func BenchmarkFullLoadHit(b *testing.B) {
+	nvm := mem.NewNVM(mem.NewSpace(), mem.DefaultCostModel())
+	k, err := New("bench", nvm, Options{
+		CacheSize: 512, Ways: 2, WARMode: WARCacheBits,
+		StackTop: 0x000A_0000, CheckpointBase: 0x000E_0000, Cost: mem.DefaultCostModel(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var c metrics.Counters
+	k.Attach(&sim.TestClock{}, &fakeRegs{sp: 0x000A_0000}, &c)
+	var sys sim.System = k
+	for a := uint32(0x1000); a < 0x1000+512; a += 4 {
+		sys.Store(a, 4, a)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Load(0x1000+uint32(i*4)&255, 4)
+	}
+}

@@ -114,6 +114,19 @@ func (m *Machine) runSliceAOT() error {
 	if dm, ok := m.sys.(mem.DirectMemory); ok {
 		port, portOK = dm.DirectPort()
 	}
+	// The cached-system fast port (NACHO and the cache-based baselines,
+	// unprobed): plain hits bypass the sim.System interface below the safe
+	// horizon; misses, metadata transitions, and near-horizon accesses fall
+	// back to the full call. Also re-acquired each slice, and skipped
+	// entirely when the cheaper direct port is available.
+	var fport sim.FastPort
+	if !portOK && !m.cfg.NoFastPort {
+		if fm, ok := m.sys.(sim.FastMemory); ok {
+			if p, pok := fm.FastPort(); pok {
+				fport = p
+			}
+		}
+	}
 	instrGuard := maxInstr - (aotMaxWidth - 1)
 	for !m.halted {
 		if m.stopAt != 0 && m.cycle >= m.stopAt {
@@ -145,7 +158,7 @@ func (m *Machine) runSliceAOT() error {
 			}
 			continue
 		}
-		if err := m.execAOT(code, port, portOK, cycleGuard, instrGuard); err != nil {
+		if err := m.execAOT(code, port, fport, portOK, cycleGuard, instrGuard); err != nil {
 			return err
 		}
 	}
@@ -261,7 +274,7 @@ func (p *aotPages) writeMiss(addr uint32) *mem.PageData {
 // at every exit. It returns nil when the guard trips, control leaves the
 // text segment (the outer loop's reference step then reports the identical
 // fetch error), or the program halts.
-func (m *Machine) execAOT(code []compile.Inst, port mem.DirectPort, portOK bool, cycleGuard, instrGuard uint64) error {
+func (m *Machine) execAOT(code []compile.Inst, port mem.DirectPort, fport sim.FastPort, portOK bool, cycleGuard, instrGuard uint64) error {
 	var (
 		regs     = &m.regs
 		textBase = m.textBase
@@ -285,6 +298,12 @@ func (m *Machine) execAOT(code []compile.Inst, port mem.DirectPort, portOK bool,
 	pages := aotPages{space: port.Space}
 	pages.drop()
 	hitCyc := port.HitCycles
+	// Fast-port hoists (nil funcs when the system offers no port, or the
+	// direct port took precedence). A served hit charges fHitCyc locally —
+	// the port never touches the clock — and the nf > cyc+fHitCyc pre-check
+	// declines any access whose Advance would raise the power failure, so the
+	// full call reproduces the failure at the byte-identical instant.
+	fLoad, fStore, fHitCyc := fport.LoadHit, fport.StoreHit, fport.HitCycles
 	for {
 		// idx == nCode when sequential flow ran off the end of the text
 		// segment; the outer loop's reference step reports the fetch error.
@@ -581,10 +600,20 @@ func (m *Machine) execAOT(code []compile.Inst, port mem.DirectPort, portOK bool,
 				o := addr & mem.PageMask &^ 3
 				regs[op.Rd] = uint32(d[o]) | uint32(d[o+1])<<8 | uint32(d[o+2])<<16 | uint32(d[o+3])<<24
 			} else {
-				m.cycle, m.c.Instructions = cyc, ins
-				regs[op.Rd] = m.aotLoad(addr, 4)
-				cyc, ins = m.cycle, m.c.Instructions
-				pages.drop()
+				served := false
+				if fLoad != nil && addr-MMIOBase >= 0x1000 && nf > cyc+fHitCyc {
+					var fv uint32
+					if fv, served = fLoad(addr, 4); served {
+						cyc += fHitCyc
+						regs[op.Rd] = fv
+					}
+				}
+				if !served {
+					m.cycle, m.c.Instructions = cyc, ins
+					regs[op.Rd] = m.aotLoad(addr, 4)
+					cyc, ins = m.cycle, m.c.Instructions
+					pages.drop()
+				}
 			}
 			idx++
 			pc += 4
@@ -614,10 +643,18 @@ func (m *Machine) execAOT(code []compile.Inst, port mem.DirectPort, portOK bool,
 				o := addr & mem.PageMask &^ 1
 				v = uint32(d[o]) | uint32(d[o+1])<<8
 			} else {
-				m.cycle, m.c.Instructions = cyc, ins
-				v = m.aotLoad(addr, 2)
-				cyc, ins = m.cycle, m.c.Instructions
-				pages.drop()
+				served := false
+				if fLoad != nil && addr-MMIOBase >= 0x1000 && nf > cyc+fHitCyc {
+					if v, served = fLoad(addr, 2); served {
+						cyc += fHitCyc
+					}
+				}
+				if !served {
+					m.cycle, m.c.Instructions = cyc, ins
+					v = m.aotLoad(addr, 2)
+					cyc, ins = m.cycle, m.c.Instructions
+					pages.drop()
+				}
 			}
 			regs[op.Rd] = uint32(int32(v<<16) >> 16)
 			idx++
@@ -643,10 +680,18 @@ func (m *Machine) execAOT(code []compile.Inst, port mem.DirectPort, portOK bool,
 				}
 				v = uint32(d[addr&mem.PageMask])
 			} else {
-				m.cycle, m.c.Instructions = cyc, ins
-				v = m.aotLoad(addr, 1)
-				cyc, ins = m.cycle, m.c.Instructions
-				pages.drop()
+				served := false
+				if fLoad != nil && addr-MMIOBase >= 0x1000 && nf > cyc+fHitCyc {
+					if v, served = fLoad(addr, 1); served {
+						cyc += fHitCyc
+					}
+				}
+				if !served {
+					m.cycle, m.c.Instructions = cyc, ins
+					v = m.aotLoad(addr, 1)
+					cyc, ins = m.cycle, m.c.Instructions
+					pages.drop()
+				}
 			}
 			regs[op.Rd] = uint32(int32(v<<24) >> 24)
 			idx++
@@ -676,10 +721,20 @@ func (m *Machine) execAOT(code []compile.Inst, port mem.DirectPort, portOK bool,
 				o := addr & mem.PageMask &^ 1
 				regs[op.Rd] = uint32(d[o]) | uint32(d[o+1])<<8
 			} else {
-				m.cycle, m.c.Instructions = cyc, ins
-				regs[op.Rd] = m.aotLoad(addr, 2)
-				cyc, ins = m.cycle, m.c.Instructions
-				pages.drop()
+				served := false
+				if fLoad != nil && addr-MMIOBase >= 0x1000 && nf > cyc+fHitCyc {
+					var fv uint32
+					if fv, served = fLoad(addr, 2); served {
+						cyc += fHitCyc
+						regs[op.Rd] = fv
+					}
+				}
+				if !served {
+					m.cycle, m.c.Instructions = cyc, ins
+					regs[op.Rd] = m.aotLoad(addr, 2)
+					cyc, ins = m.cycle, m.c.Instructions
+					pages.drop()
+				}
 			}
 			idx++
 			pc += 4
@@ -703,10 +758,20 @@ func (m *Machine) execAOT(code []compile.Inst, port mem.DirectPort, portOK bool,
 				}
 				regs[op.Rd] = uint32(d[addr&mem.PageMask])
 			} else {
-				m.cycle, m.c.Instructions = cyc, ins
-				regs[op.Rd] = m.aotLoad(addr, 1)
-				cyc, ins = m.cycle, m.c.Instructions
-				pages.drop()
+				served := false
+				if fLoad != nil && addr-MMIOBase >= 0x1000 && nf > cyc+fHitCyc {
+					var fv uint32
+					if fv, served = fLoad(addr, 1); served {
+						cyc += fHitCyc
+						regs[op.Rd] = fv
+					}
+				}
+				if !served {
+					m.cycle, m.c.Instructions = cyc, ins
+					regs[op.Rd] = m.aotLoad(addr, 1)
+					cyc, ins = m.cycle, m.c.Instructions
+					pages.drop()
+				}
 			}
 			idx++
 			pc += 4
@@ -736,13 +801,21 @@ func (m *Machine) execAOT(code []compile.Inst, port mem.DirectPort, portOK bool,
 				v := regs[op.Rs2]
 				d[o], d[o+1], d[o+2], d[o+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
 			} else {
-				m.cycle, m.c.Instructions = cyc, ins
-				m.aotStore(addr, 4, regs[op.Rs2])
-				cyc, ins = m.cycle, m.c.Instructions
-				pages.drop()
-				if m.halted {
-					m.pc = pc + 4
-					return nil
+				served := false
+				if fStore != nil && addr-MMIOBase >= 0x1000 && nf > cyc+fHitCyc {
+					if served = fStore(addr, 4, regs[op.Rs2]); served {
+						cyc += fHitCyc
+					}
+				}
+				if !served {
+					m.cycle, m.c.Instructions = cyc, ins
+					m.aotStore(addr, 4, regs[op.Rs2])
+					cyc, ins = m.cycle, m.c.Instructions
+					pages.drop()
+					if m.halted {
+						m.pc = pc + 4
+						return nil
+					}
 				}
 			}
 			idx++
@@ -773,13 +846,21 @@ func (m *Machine) execAOT(code []compile.Inst, port mem.DirectPort, portOK bool,
 				v := regs[op.Rs2]
 				d[o], d[o+1] = byte(v), byte(v>>8)
 			} else {
-				m.cycle, m.c.Instructions = cyc, ins
-				m.aotStore(addr, 2, regs[op.Rs2])
-				cyc, ins = m.cycle, m.c.Instructions
-				pages.drop()
-				if m.halted {
-					m.pc = pc + 4
-					return nil
+				served := false
+				if fStore != nil && addr-MMIOBase >= 0x1000 && nf > cyc+fHitCyc {
+					if served = fStore(addr, 2, regs[op.Rs2]&0xFFFF); served {
+						cyc += fHitCyc
+					}
+				}
+				if !served {
+					m.cycle, m.c.Instructions = cyc, ins
+					m.aotStore(addr, 2, regs[op.Rs2])
+					cyc, ins = m.cycle, m.c.Instructions
+					pages.drop()
+					if m.halted {
+						m.pc = pc + 4
+						return nil
+					}
 				}
 			}
 			idx++
@@ -804,13 +885,21 @@ func (m *Machine) execAOT(code []compile.Inst, port mem.DirectPort, portOK bool,
 				}
 				d[addr&mem.PageMask] = byte(regs[op.Rs2])
 			} else {
-				m.cycle, m.c.Instructions = cyc, ins
-				m.aotStore(addr, 1, regs[op.Rs2])
-				cyc, ins = m.cycle, m.c.Instructions
-				pages.drop()
-				if m.halted {
-					m.pc = pc + 4
-					return nil
+				served := false
+				if fStore != nil && addr-MMIOBase >= 0x1000 && nf > cyc+fHitCyc {
+					if served = fStore(addr, 1, regs[op.Rs2]&0xFF); served {
+						cyc += fHitCyc
+					}
+				}
+				if !served {
+					m.cycle, m.c.Instructions = cyc, ins
+					m.aotStore(addr, 1, regs[op.Rs2])
+					cyc, ins = m.cycle, m.c.Instructions
+					pages.drop()
+					if m.halted {
+						m.pc = pc + 4
+						return nil
+					}
 				}
 			}
 			idx++
@@ -849,10 +938,20 @@ func (m *Machine) execAOT(code []compile.Inst, port mem.DirectPort, portOK bool,
 				o := addr & mem.PageMask &^ 3
 				regs[op.Rd] = uint32(d[o]) | uint32(d[o+1])<<8 | uint32(d[o+2])<<16 | uint32(d[o+3])<<24
 			} else {
-				m.cycle, m.c.Instructions = cyc, ins
-				regs[op.Rd] = m.aotLoad(addr, 4)
-				cyc, ins = m.cycle, m.c.Instructions
-				pages.drop()
+				served := false
+				if fLoad != nil && addr-MMIOBase >= 0x1000 && nf > cyc+fHitCyc {
+					var fv uint32
+					if fv, served = fLoad(addr, 4); served {
+						cyc += fHitCyc
+						regs[op.Rd] = fv
+					}
+				}
+				if !served {
+					m.cycle, m.c.Instructions = cyc, ins
+					regs[op.Rd] = m.aotLoad(addr, 4)
+					cyc, ins = m.cycle, m.c.Instructions
+					pages.drop()
+				}
 			}
 			idx += 2
 			pc += 8
@@ -884,10 +983,18 @@ func (m *Machine) execAOT(code []compile.Inst, port mem.DirectPort, portOK bool,
 				o := addr & mem.PageMask &^ 1
 				v = uint32(d[o]) | uint32(d[o+1])<<8
 			} else {
-				m.cycle, m.c.Instructions = cyc, ins
-				v = m.aotLoad(addr, 2)
-				cyc, ins = m.cycle, m.c.Instructions
-				pages.drop()
+				served := false
+				if fLoad != nil && addr-MMIOBase >= 0x1000 && nf > cyc+fHitCyc {
+					if v, served = fLoad(addr, 2); served {
+						cyc += fHitCyc
+					}
+				}
+				if !served {
+					m.cycle, m.c.Instructions = cyc, ins
+					v = m.aotLoad(addr, 2)
+					cyc, ins = m.cycle, m.c.Instructions
+					pages.drop()
+				}
 			}
 			regs[op.Rd] = uint32(int32(v<<16) >> 16)
 			idx += 2
@@ -915,10 +1022,18 @@ func (m *Machine) execAOT(code []compile.Inst, port mem.DirectPort, portOK bool,
 				}
 				v = uint32(d[addr&mem.PageMask])
 			} else {
-				m.cycle, m.c.Instructions = cyc, ins
-				v = m.aotLoad(addr, 1)
-				cyc, ins = m.cycle, m.c.Instructions
-				pages.drop()
+				served := false
+				if fLoad != nil && addr-MMIOBase >= 0x1000 && nf > cyc+fHitCyc {
+					if v, served = fLoad(addr, 1); served {
+						cyc += fHitCyc
+					}
+				}
+				if !served {
+					m.cycle, m.c.Instructions = cyc, ins
+					v = m.aotLoad(addr, 1)
+					cyc, ins = m.cycle, m.c.Instructions
+					pages.drop()
+				}
 			}
 			regs[op.Rd] = uint32(int32(v<<24) >> 24)
 			idx += 2
@@ -950,10 +1065,20 @@ func (m *Machine) execAOT(code []compile.Inst, port mem.DirectPort, portOK bool,
 				o := addr & mem.PageMask &^ 1
 				regs[op.Rd] = uint32(d[o]) | uint32(d[o+1])<<8
 			} else {
-				m.cycle, m.c.Instructions = cyc, ins
-				regs[op.Rd] = m.aotLoad(addr, 2)
-				cyc, ins = m.cycle, m.c.Instructions
-				pages.drop()
+				served := false
+				if fLoad != nil && addr-MMIOBase >= 0x1000 && nf > cyc+fHitCyc {
+					var fv uint32
+					if fv, served = fLoad(addr, 2); served {
+						cyc += fHitCyc
+						regs[op.Rd] = fv
+					}
+				}
+				if !served {
+					m.cycle, m.c.Instructions = cyc, ins
+					regs[op.Rd] = m.aotLoad(addr, 2)
+					cyc, ins = m.cycle, m.c.Instructions
+					pages.drop()
+				}
 			}
 			idx += 2
 			pc += 8
@@ -979,10 +1104,20 @@ func (m *Machine) execAOT(code []compile.Inst, port mem.DirectPort, portOK bool,
 				}
 				regs[op.Rd] = uint32(d[addr&mem.PageMask])
 			} else {
-				m.cycle, m.c.Instructions = cyc, ins
-				regs[op.Rd] = m.aotLoad(addr, 1)
-				cyc, ins = m.cycle, m.c.Instructions
-				pages.drop()
+				served := false
+				if fLoad != nil && addr-MMIOBase >= 0x1000 && nf > cyc+fHitCyc {
+					var fv uint32
+					if fv, served = fLoad(addr, 1); served {
+						cyc += fHitCyc
+						regs[op.Rd] = fv
+					}
+				}
+				if !served {
+					m.cycle, m.c.Instructions = cyc, ins
+					regs[op.Rd] = m.aotLoad(addr, 1)
+					cyc, ins = m.cycle, m.c.Instructions
+					pages.drop()
+				}
 			}
 			idx += 2
 			pc += 8
@@ -1014,13 +1149,21 @@ func (m *Machine) execAOT(code []compile.Inst, port mem.DirectPort, portOK bool,
 				o := addr & mem.PageMask &^ 3
 				d[o], d[o+1], d[o+2], d[o+3] = byte(val), byte(val>>8), byte(val>>16), byte(val>>24)
 			} else {
-				m.cycle, m.c.Instructions = cyc, ins
-				m.aotStore(addr, 4, val)
-				cyc, ins = m.cycle, m.c.Instructions
-				pages.drop()
-				if m.halted {
-					m.pc = pc + 8
-					return nil
+				served := false
+				if fStore != nil && addr-MMIOBase >= 0x1000 && nf > cyc+fHitCyc {
+					if served = fStore(addr, 4, val); served {
+						cyc += fHitCyc
+					}
+				}
+				if !served {
+					m.cycle, m.c.Instructions = cyc, ins
+					m.aotStore(addr, 4, val)
+					cyc, ins = m.cycle, m.c.Instructions
+					pages.drop()
+					if m.halted {
+						m.pc = pc + 8
+						return nil
+					}
 				}
 			}
 			idx += 2
@@ -1053,13 +1196,21 @@ func (m *Machine) execAOT(code []compile.Inst, port mem.DirectPort, portOK bool,
 				o := addr & mem.PageMask &^ 1
 				d[o], d[o+1] = byte(val), byte(val>>8)
 			} else {
-				m.cycle, m.c.Instructions = cyc, ins
-				m.aotStore(addr, 2, val)
-				cyc, ins = m.cycle, m.c.Instructions
-				pages.drop()
-				if m.halted {
-					m.pc = pc + 8
-					return nil
+				served := false
+				if fStore != nil && addr-MMIOBase >= 0x1000 && nf > cyc+fHitCyc {
+					if served = fStore(addr, 2, val&0xFFFF); served {
+						cyc += fHitCyc
+					}
+				}
+				if !served {
+					m.cycle, m.c.Instructions = cyc, ins
+					m.aotStore(addr, 2, val)
+					cyc, ins = m.cycle, m.c.Instructions
+					pages.drop()
+					if m.halted {
+						m.pc = pc + 8
+						return nil
+					}
 				}
 			}
 			idx += 2
@@ -1087,13 +1238,21 @@ func (m *Machine) execAOT(code []compile.Inst, port mem.DirectPort, portOK bool,
 				}
 				d[addr&mem.PageMask] = byte(val)
 			} else {
-				m.cycle, m.c.Instructions = cyc, ins
-				m.aotStore(addr, 1, val)
-				cyc, ins = m.cycle, m.c.Instructions
-				pages.drop()
-				if m.halted {
-					m.pc = pc + 8
-					return nil
+				served := false
+				if fStore != nil && addr-MMIOBase >= 0x1000 && nf > cyc+fHitCyc {
+					if served = fStore(addr, 1, val&0xFF); served {
+						cyc += fHitCyc
+					}
+				}
+				if !served {
+					m.cycle, m.c.Instructions = cyc, ins
+					m.aotStore(addr, 1, val)
+					cyc, ins = m.cycle, m.c.Instructions
+					pages.drop()
+					if m.halted {
+						m.pc = pc + 8
+						return nil
+					}
 				}
 			}
 			idx += 2

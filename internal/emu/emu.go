@@ -79,6 +79,12 @@ type Config struct {
 	// alias for older callers and is consulted only while Engine is
 	// EngineAuto.
 	NoFastPath bool
+	// NoFastPort makes the AOT and batched engines route every data access
+	// through the full sim.System interface instead of consulting the
+	// system's sim.FastPort hit path. Results are byte-identical either way
+	// (the equivalence suite runs both sides of this axis); the knob exists
+	// for debugging, for that suite, and for measuring the fast path's gain.
+	NoFastPort bool
 }
 
 const defaultMaxInstructions = 2_000_000_000

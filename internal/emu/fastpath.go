@@ -5,6 +5,7 @@ import (
 
 	"nacho/internal/isa"
 	"nacho/internal/power"
+	"nacho/internal/sim"
 )
 
 // This file is the batched fast path: the probe-free specialization of the
@@ -46,6 +47,22 @@ func (m *Machine) runSliceFast() error {
 		aluRun    = m.aluRun
 		textBase  = m.textBase
 	)
+	// The cached-system fast port (see internal/sim): plain hits on the
+	// system's data cache execute in portStep without a sim.System call.
+	// Re-acquired each slice — forks bind to the forked system, and probed
+	// runs never reach this loop.
+	var (
+		fLoad   func(addr uint32, size int) (uint32, bool)
+		fStore  func(addr uint32, size int, val uint32) bool
+		fHitCyc uint64
+	)
+	if !m.cfg.NoFastPort {
+		if fm, ok := m.sys.(sim.FastMemory); ok {
+			if p, pok := fm.FastPort(); pok {
+				fLoad, fStore, fHitCyc = p.LoadHit, p.StoreHit, p.HitCycles
+			}
+		}
+	}
 	for !m.halted {
 		if m.stopAt != 0 && m.cycle >= m.stopAt {
 			return nil
@@ -71,6 +88,7 @@ func (m *Machine) runSliceFast() error {
 		}
 
 		k := uint64(0)
+		var in *isa.Instr
 		if off := m.pc - textBase; m.pc%4 == 0 && off/4 < uint32(len(text)) {
 			idx := off / 4
 			if r := uint64(aluRun[idx]); r > 0 {
@@ -87,9 +105,14 @@ func (m *Machine) runSliceFast() error {
 					nextForced:   m.nextForced,
 					stopAt:       m.stopAt,
 				})
+			} else if fLoad != nil || fStore != nil {
+				in = &text[idx]
 			}
 		}
 		if k == 0 {
+			if in != nil && m.portStep(in, fLoad, fStore, fHitCyc) {
+				continue
+			}
 			if err := m.stepChecked(); err != nil {
 				return err
 			}
@@ -163,6 +186,80 @@ func batchHorizon(in horizonInputs) uint64 {
 		}
 	}
 	return k
+}
+
+// portStep executes one memory instruction through the system's fast port,
+// or reports false so the caller takes the reference step. It replicates
+// step()'s state transition for a plain cache hit exactly: one base cycle
+// plus the fixed hit latency, the load/store counter, the destination
+// register (with LB/LH sign extension), and pc+4 — declining on anything the
+// reference path handles differently (non-memory ops, MMIO, misalignment,
+// loads into x0/sp which carry setReg semantics, a cache miss or metadata
+// transition inside the port, or a failure instant within this instruction's
+// cycles, which the reference Advance must raise itself).
+func (m *Machine) portStep(in *isa.Instr, fLoad func(uint32, int) (uint32, bool), fStore func(uint32, int, uint32) bool, hitCyc uint64) bool {
+	var size int
+	var isLoad bool
+	switch in.Op {
+	case isa.LW:
+		size, isLoad = 4, true
+	case isa.LH, isa.LHU:
+		size, isLoad = 2, true
+	case isa.LB, isa.LBU:
+		size, isLoad = 1, true
+	case isa.SW:
+		size = 4
+	case isa.SH:
+		size = 2
+	case isa.SB:
+		size = 1
+	default:
+		return false
+	}
+	if isLoad {
+		if fLoad == nil || in.Rd == isa.Zero || in.Rd == isa.SP {
+			return false
+		}
+	} else if fStore == nil {
+		return false
+	}
+	if m.failEnabled && m.nextFailure <= m.cycle+1+hitCyc {
+		return false
+	}
+	addr := m.regs[in.Rs1] + uint32(in.Imm)
+	if addr%uint32(size) != 0 || addr-MMIOBase < 0x1000 {
+		return false
+	}
+	if isLoad {
+		v, ok := fLoad(addr, size)
+		if !ok {
+			return false
+		}
+		switch in.Op {
+		case isa.LB:
+			v = uint32(int32(v<<24) >> 24)
+		case isa.LH:
+			v = uint32(int32(v<<16) >> 16)
+		}
+		m.c.Loads++
+		m.regs[in.Rd] = v
+	} else {
+		val := m.regs[in.Rs2]
+		switch size {
+		case 1:
+			val &= 0xFF
+		case 2:
+			val &= 0xFFFF
+		}
+		if !fStore(addr, size, val) {
+			return false
+		}
+		m.c.Stores++
+	}
+	m.cycle += 1 + hitCyc
+	m.c.Instructions++
+	m.pc += 4
+	return true
 }
 
 // stepChecked is one reference-path instruction plus the stack-fault check

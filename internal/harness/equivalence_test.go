@@ -17,11 +17,12 @@ import (
 // The engine-equivalence suite is the enforcement behind the execution
 // engines' correctness claim: for every program, system, and failure
 // schedule, all three engines — the per-instruction reference interpreter,
-// the batched fast path, and the AOT threaded-code engine — must produce
-// byte-identical results: exit code, result words, output, every counter
-// including the cycle count, and the final register file. Errors
-// (cycle-budget aborts, stack faults) must also be identical, message and
-// all, because they encode the instant and pc at which the run died.
+// the batched fast path, and the AOT threaded-code engine — and, on the two
+// non-reference engines, both settings of the sim.FastPort cached-hit axis,
+// must produce byte-identical results: exit code, result words, output,
+// every counter including the cycle count, and the final register file.
+// Errors (cycle-budget aborts, stack faults) must also be identical, message
+// and all, because they encode the instant and pc at which the run died.
 
 // equivalenceBudget bounds the failure-free runs. Intermittent runs, which
 // can livelock (e.g. a periodic schedule shorter than a system's
@@ -37,12 +38,34 @@ func scheduledBudget(freeCycles uint64) uint64 {
 	return freeCycles*8 + 200_000
 }
 
-// equivalenceEngines is the full engine matrix; the reference interpreter
-// comes first so every other engine diffs against the specification.
-var equivalenceEngines = []emu.Engine{emu.EngineRef, emu.EngineFast, emu.EngineAOT}
+// engineVariant is one cell of the engine × fast-port equivalence matrix.
+type engineVariant struct {
+	engine emu.Engine
+	noPort bool // disable the sim.FastPort cached-hit path
+}
 
-// runBoth executes the image under every engine and fails the test on any
-// observable difference from the reference interpreter. It returns the
+func (v engineVariant) String() string {
+	if v.noPort {
+		return string(v.engine) + "/noport"
+	}
+	return string(v.engine)
+}
+
+// equivalenceVariants is the full engine × fast-port matrix; the reference
+// interpreter comes first so every other variant diffs against the
+// specification. The fast and AOT engines run both with and without the
+// system's sim.FastPort cached-hit path, making NoFastPort a fourth
+// equivalence axis alongside program, system, and schedule.
+var equivalenceVariants = []engineVariant{
+	{engine: emu.EngineRef},
+	{engine: emu.EngineFast},
+	{engine: emu.EngineFast, noPort: true},
+	{engine: emu.EngineAOT},
+	{engine: emu.EngineAOT, noPort: true},
+}
+
+// runBoth executes the image under every engine variant and fails the test on
+// any observable difference from the reference interpreter. It returns the
 // reference result for callers that derive schedules from it.
 func runBoth(t *testing.T, label string, img *program.Image, kind systems.Kind, cfg harness.RunConfig) emu.Result {
 	t.Helper()
@@ -50,18 +73,19 @@ func runBoth(t *testing.T, label string, img *program.Image, kind systems.Kind, 
 	cfg.NoFastPath = false
 	var ref emu.Result
 	var refErr error
-	for i, engine := range equivalenceEngines {
-		cfg.Engine = engine
+	for i, v := range equivalenceVariants {
+		cfg.Engine = v.engine
+		cfg.NoFastPort = v.noPort
 		res, err := harness.RunImage(img, kind, cfg, false)
 		if i == 0 {
 			ref, refErr = res, err
 			continue
 		}
 		if (err == nil) != (refErr == nil) || (err != nil && err.Error() != refErr.Error()) {
-			t.Fatalf("%s: %s diverges from ref on error:\n  %s: %v\n  ref: %v", label, engine, engine, err, refErr)
+			t.Fatalf("%s: %s diverges from ref on error:\n  %s: %v\n  ref: %v", label, v, v, err, refErr)
 		}
 		if !reflect.DeepEqual(res, ref) {
-			t.Fatalf("%s: %s diverges from ref:\n  %s: %+v\n  ref: %+v", label, engine, engine, res, ref)
+			t.Fatalf("%s: %s diverges from ref:\n  %s: %+v\n  ref: %+v", label, v, v, res, ref)
 		}
 	}
 	return ref
@@ -262,29 +286,30 @@ func TestEngineEquivalenceForkRunUntil(t *testing.T) {
 		final  emu.Result
 	}
 	var refSnaps []snap
-	for i, engine := range equivalenceEngines {
+	for i, v := range equivalenceVariants {
 		c := cfg
-		c.Engine = engine
+		c.Engine = v.engine
+		c.NoFastPort = v.noPort
 		var snaps []snap
 		for _, target := range targets {
 			m, _, err := harness.BuildMachine(img, systems.KindNACHO, c)
 			if err != nil {
-				t.Fatalf("%s: build: %v", engine, err)
+				t.Fatalf("%s: build: %v", v, err)
 			}
 			halted, err := m.RunUntil(target)
 			if err != nil {
-				t.Fatalf("%s: RunUntil(%d): %v", engine, target, err)
+				t.Fatalf("%s: RunUntil(%d): %v", v, target, err)
 			}
 			s := snap{cycle: m.Now(), halted: halted, regs: m.RegSnapshot()}
 			f, err := m.Fork(power.Periodic{Period: free.Counters.Cycles/5 + 211})
 			if err != nil {
-				t.Fatalf("%s: fork: %v", engine, err)
+				t.Fatalf("%s: fork: %v", v, err)
 			}
 			if s.fork, err = f.Run(); err != nil {
-				t.Fatalf("%s: fork run: %v", engine, err)
+				t.Fatalf("%s: fork run: %v", v, err)
 			}
 			if s.final, err = m.Run(); err != nil {
-				t.Fatalf("%s: parent resume: %v", engine, err)
+				t.Fatalf("%s: parent resume: %v", v, err)
 			}
 			snaps = append(snaps, s)
 		}
@@ -295,7 +320,7 @@ func TestEngineEquivalenceForkRunUntil(t *testing.T) {
 		for j := range snaps {
 			if !reflect.DeepEqual(snaps[j], refSnaps[j]) {
 				t.Fatalf("%s diverges from ref at target %d:\n  %s: %+v\n  ref: %+v",
-					engine, targets[j], engine, snaps[j], refSnaps[j])
+					v, targets[j], v, snaps[j], refSnaps[j])
 			}
 		}
 	}

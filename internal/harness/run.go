@@ -67,6 +67,11 @@ type RunConfig struct {
 	// engines to obtain each side of its comparison. Validate external input
 	// with emu.ParseEngine before setting it here.
 	Engine emu.Engine
+	// NoFastPort disables the engines' sim.FastPort cached-hit path (see
+	// emu.Config.NoFastPort). Result-invariant — the equivalence suite runs
+	// both sides of this axis — so, like Probe and Trace, it is not part of
+	// the run-cache identity.
+	NoFastPort bool
 	// Span, when non-zero, parents the run span this run emits on the
 	// campaign tracer; zero attaches it to the tracer's ambient span. Purely
 	// observational: it is not part of the run-cache identity.
@@ -238,6 +243,7 @@ func newMachineOn(space *mem.Space, img *program.Image, kind systems.Kind, cfg R
 		FinalFlush:             cfg.FinalFlush,
 		Probe:                  probe,
 		NoFastPath:             cfg.NoFastPath,
+		NoFastPort:             cfg.NoFastPort,
 		Engine:                 cfg.Engine,
 	})
 	return machine, sys, nil

@@ -1,6 +1,7 @@
-// Package profiling wires the standard -cpuprofile/-memprofile flags into
-// the command-line tools, so simulator hot spots (the execution engine above
-// all) can be inspected with `go tool pprof` without a test harness.
+// Package profiling wires the standard -cpuprofile/-memprofile (and
+// -mutexprofile/-blockprofile) flags into the command-line tools, so
+// simulator hot spots (the execution engine above all) and worker-pool
+// contention can be inspected with `go tool pprof` without a test harness.
 package profiling
 
 import (
@@ -10,14 +11,31 @@ import (
 	"runtime/pprof"
 )
 
-// Start begins CPU profiling to cpuPath and arranges for a heap profile at
-// memPath; either path may be empty to skip that profile. The returned stop
-// function flushes and closes the profiles and must be called exactly once
-// before the process exits (deferring it in main is the intended use).
-func Start(cpuPath, memPath string) (stop func() error, err error) {
+// Profiles names the output file for each supported profile kind; an empty
+// path skips that profile.
+type Profiles struct {
+	CPU   string // pprof CPU samples over the whole run
+	Mem   string // live-heap profile written at exit
+	Mutex string // mutex-contention profile (SetMutexProfileFraction(1))
+	Block string // blocking profile (SetBlockProfileRate(1))
+}
+
+// Enabled reports whether any profile was requested; callers skip Start (and
+// the deferred stop) entirely when it is false.
+func (p Profiles) Enabled() bool {
+	return p.CPU != "" || p.Mem != "" || p.Mutex != "" || p.Block != ""
+}
+
+// Start begins the requested profiles. The returned stop function flushes
+// and closes them and must be called exactly once before the process exits
+// (deferring it in main is the intended use). The mutex and block profiles
+// sample at full rate for the duration of the run — the right setting for
+// diagnosing worker-pool contention in finite benchmark campaigns, where the
+// sampling overhead is irrelevant next to simulation time.
+func Start(p Profiles) (stop func() error, err error) {
 	var cpuFile *os.File
-	if cpuPath != "" {
-		cpuFile, err = os.Create(cpuPath)
+	if p.CPU != "" {
+		cpuFile, err = os.Create(p.CPU)
 		if err != nil {
 			return nil, err
 		}
@@ -26,6 +44,12 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 			return nil, fmt.Errorf("cpu profile: %w", err)
 		}
 	}
+	if p.Mutex != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	if p.Block != "" {
+		runtime.SetBlockProfileRate(1)
+	}
 	return func() error {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
@@ -33,8 +57,20 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 				return err
 			}
 		}
-		if memPath != "" {
-			f, err := os.Create(memPath)
+		if p.Mutex != "" {
+			runtime.SetMutexProfileFraction(0)
+			if err := writeLookup("mutex", p.Mutex); err != nil {
+				return err
+			}
+		}
+		if p.Block != "" {
+			runtime.SetBlockProfileRate(0)
+			if err := writeLookup("block", p.Block); err != nil {
+				return err
+			}
+		}
+		if p.Mem != "" {
+			f, err := os.Create(p.Mem)
 			if err != nil {
 				return err
 			}
@@ -46,4 +82,17 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 		}
 		return nil
 	}, nil
+}
+
+// writeLookup dumps a named runtime profile to path.
+func writeLookup(name, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("%s profile: %w", name, err)
+	}
+	return f.Close()
 }

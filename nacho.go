@@ -137,6 +137,11 @@ type Config struct {
 	// and for isolating engine bugs. Unknown values fail the run with a named
 	// diagnostic.
 	Engine string
+	// NoFastPort makes the fast and AOT engines route every data access
+	// through the full memory-system interface instead of the system's
+	// cached-hit fast port. Results are identical either way; the knob exists
+	// for the equivalence suite and for measuring the fast port's speedup.
+	NoFastPort bool
 }
 
 func (c Config) withDefaults() Config {
@@ -171,6 +176,7 @@ func (c Config) runConfig() (harness.RunConfig, error) {
 		EnergyPrediction: c.EnergyPrediction,
 		Trace:            c.Trace,
 		NoFastPath:       c.NoFastPath,
+		NoFastPort:       c.NoFastPort,
 		Engine:           engine,
 	}
 	if c.OnDurationMs > 0 {
